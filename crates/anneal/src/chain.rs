@@ -1,0 +1,129 @@
+//! Chain strength selection and chain readout.
+//!
+//! A chain of physical qubits represents one logical spin only while its
+//! members agree; the intra-chain ferromagnetic coupling must be strong
+//! enough to hold them together, yet not so strong that it drowns the
+//! problem couplings in the device's limited analogue range. Readout maps
+//! possibly-broken chains back to logical spins by majority vote.
+
+use qjo_qubo::IsingModel;
+
+use crate::embed::Embedding;
+
+/// Uniform torque compensation (the D-Wave Ocean default heuristic):
+/// `strength = prefactor · max|J| · sqrt(mean logical degree)`.
+///
+/// The intuition: a chain member feels at most ~degree problem couplings of
+/// magnitude ≤ max|J| "pulling" on it; the RMS torque grows with the square
+/// root of the degree.
+pub fn uniform_torque_compensation(ising: &IsingModel, prefactor: f64) -> f64 {
+    let n = ising.num_spins().max(1);
+    let mut degree_sum = 0usize;
+    let mut max_j = 0.0f64;
+    for (_, _, j) in ising.couplings() {
+        if j != 0.0 {
+            degree_sum += 2;
+            max_j = max_j.max(j.abs());
+        }
+    }
+    let max_h = ising.fields().fold(0.0f64, |m, (_, h)| m.max(h.abs()));
+    let scale = max_j.max(max_h).max(1e-12);
+    let mean_degree = degree_sum as f64 / n as f64;
+    (prefactor * scale * mean_degree.sqrt().max(1.0)).max(scale)
+}
+
+/// Result of reading one annealing sample back through an embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnembeddedRead {
+    /// Logical spins after majority vote.
+    pub spins: Vec<i8>,
+    /// Number of chains whose members disagreed.
+    pub broken_chains: usize,
+}
+
+/// Majority-vote unembedding of a physical spin configuration.
+///
+/// Ties (even chains split 50/50) resolve to −1, matching Ocean's
+/// deterministic tie-break.
+pub fn unembed_majority(embedding: &Embedding, physical_spins: &[i8]) -> UnembeddedRead {
+    let mut spins = Vec::with_capacity(embedding.chains.len());
+    let mut broken = 0usize;
+    for chain in &embedding.chains {
+        let up = chain.iter().filter(|&&q| physical_spins[q] > 0).count();
+        let down = chain.len() - up;
+        if up > 0 && down > 0 {
+            broken += 1;
+        }
+        spins.push(if up > down { 1 } else { -1 });
+    }
+    UnembeddedRead { spins, broken_chains: broken }
+}
+
+/// Fraction of broken chains across many reads.
+pub fn chain_break_fraction(reads: &[UnembeddedRead], num_chains: usize) -> f64 {
+    if reads.is_empty() || num_chains == 0 {
+        return 0.0;
+    }
+    let total: usize = reads.iter().map(|r| r.broken_chains).sum();
+    total as f64 / (reads.len() * num_chains) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_vote_resolves_chains() {
+        let e = Embedding { chains: vec![vec![0, 1, 2], vec![3]] };
+        let read = unembed_majority(&e, &[1, 1, -1, -1]);
+        assert_eq!(read.spins, vec![1, -1]);
+        assert_eq!(read.broken_chains, 1);
+    }
+
+    #[test]
+    fn unanimous_chains_are_not_broken() {
+        let e = Embedding { chains: vec![vec![0, 1], vec![2, 3]] };
+        let read = unembed_majority(&e, &[-1, -1, 1, 1]);
+        assert_eq!(read.spins, vec![-1, 1]);
+        assert_eq!(read.broken_chains, 0);
+    }
+
+    #[test]
+    fn even_tie_breaks_to_minus_one() {
+        let e = Embedding { chains: vec![vec![0, 1]] };
+        let read = unembed_majority(&e, &[1, -1]);
+        assert_eq!(read.spins, vec![-1]);
+        assert_eq!(read.broken_chains, 1);
+    }
+
+    #[test]
+    fn chain_break_fraction_averages_over_reads() {
+        let reads = vec![
+            UnembeddedRead { spins: vec![1, 1], broken_chains: 1 },
+            UnembeddedRead { spins: vec![1, 1], broken_chains: 0 },
+        ];
+        assert!((chain_break_fraction(&reads, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(chain_break_fraction(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn torque_compensation_scales_with_coupling_and_degree() {
+        let mut sparse = IsingModel::new(4);
+        sparse.add_coupling(0, 1, 1.0);
+        let mut dense = IsingModel::new(4);
+        for a in 0..4 {
+            for b in a + 1..4 {
+                dense.add_coupling(a, b, 1.0);
+            }
+        }
+        let s_sparse = uniform_torque_compensation(&sparse, 1.414);
+        let s_dense = uniform_torque_compensation(&dense, 1.414);
+        assert!(s_dense > s_sparse, "{s_dense} vs {s_sparse}");
+        // Strength is at least the problem scale.
+        assert!(s_sparse >= 1.0);
+
+        let mut strong = IsingModel::new(2);
+        strong.add_coupling(0, 1, 10.0);
+        assert!(uniform_torque_compensation(&strong, 1.414) >= 10.0);
+    }
+}

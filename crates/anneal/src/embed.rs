@@ -1,0 +1,805 @@
+//! Heuristic minor embedding of QUBO graphs into hardware graphs.
+//!
+//! Annealers can only couple physically adjacent qubits. A QUBO whose
+//! interaction graph does not match the hardware graph is *minor-embedded*:
+//! each logical variable becomes a *chain* of physical qubits that behaves
+//! as one spin (held together by a strong ferromagnetic coupling), and each
+//! logical interaction must be realised by at least one physical coupler
+//! between the two chains.
+//!
+//! The embedder follows the minorminer recipe (Cai, Macready, Roy 2014):
+//! variables are placed one at a time; each new variable runs a
+//! usage-penalised multi-source Dijkstra from every already-placed
+//! neighbour's chain, picks the root vertex minimising the total path cost,
+//! and claims the union of the paths. Overlaps are allowed during
+//! construction but penalised exponentially; improvement passes then rip up
+//! and re-route the contended chains until the embedding is overlap-free
+//! (or attempts are exhausted). Three refinements keep the loop from
+//! cycling: chains are trimmed to leaf-free cores after every pass, a
+//! best-state snapshot is restored when a pass runs away, and a
+//! large-neighbourhood "kick" (tearing out *all* contended chains at once,
+//! with a grace period before snap-back) breaks multi-chain contention
+//! cycles that single-chain moves reproduce.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::SeedableRng;
+
+use qjo_transpile::Topology;
+
+/// A minor embedding: `chains[v]` lists the physical qubits representing
+/// logical variable `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    /// Physical qubit chains, one per logical variable.
+    pub chains: Vec<Vec<usize>>,
+}
+
+/// Why an embedding is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// A variable's chain is empty.
+    EmptyChain(usize),
+    /// Two chains share physical qubit `qubit`.
+    Overlap {
+        /// First chain.
+        a: usize,
+        /// Second chain.
+        b: usize,
+        /// The shared physical qubit.
+        qubit: usize,
+    },
+    /// A chain is not connected in the hardware graph.
+    DisconnectedChain(usize),
+    /// A source edge has no physical coupler between its chains.
+    MissingCoupler(usize, usize),
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::EmptyChain(v) => write!(f, "variable {v} has an empty chain"),
+            EmbeddingError::Overlap { a, b, qubit } => {
+                write!(f, "chains {a} and {b} overlap at physical qubit {qubit}")
+            }
+            EmbeddingError::DisconnectedChain(v) => {
+                write!(f, "chain of variable {v} is disconnected")
+            }
+            EmbeddingError::MissingCoupler(a, b) => {
+                write!(f, "no physical coupler between chains {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}
+
+impl Embedding {
+    /// Total physical qubits used (the quantity Fig. 3 reports).
+    pub fn num_physical_qubits(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Length of the longest chain.
+    pub fn max_chain_length(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean chain length.
+    pub fn mean_chain_length(&self) -> f64 {
+        if self.chains.is_empty() {
+            return 0.0;
+        }
+        self.num_physical_qubits() as f64 / self.chains.len() as f64
+    }
+
+    /// Verifies minor-embedding validity: non-empty, pairwise-disjoint,
+    /// connected chains, and a physical coupler for every source edge.
+    pub fn validate(
+        &self,
+        source_edges: &[(usize, usize)],
+        target: &Topology,
+    ) -> Result<(), EmbeddingError> {
+        let mut owner = vec![usize::MAX; target.num_qubits()];
+        for (v, chain) in self.chains.iter().enumerate() {
+            if chain.is_empty() {
+                return Err(EmbeddingError::EmptyChain(v));
+            }
+            for &q in chain {
+                if owner[q] != usize::MAX {
+                    return Err(EmbeddingError::Overlap { a: owner[q], b: v, qubit: q });
+                }
+                owner[q] = v;
+            }
+        }
+        // Connectivity of each chain (BFS within the chain set).
+        for (v, chain) in self.chains.iter().enumerate() {
+            let inside: std::collections::HashSet<usize> = chain.iter().copied().collect();
+            let mut seen = std::collections::HashSet::from([chain[0]]);
+            let mut stack = vec![chain[0]];
+            while let Some(q) = stack.pop() {
+                for &w in target.neighbors(q) {
+                    if inside.contains(&w) && seen.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            if seen.len() != chain.len() {
+                return Err(EmbeddingError::DisconnectedChain(v));
+            }
+        }
+        // Edge coverage.
+        for &(a, b) in source_edges {
+            let covered = self.chains[a].iter().any(|&qa| {
+                target.neighbors(qa).iter().any(|&w| self.chains[b].contains(&w))
+            });
+            if !covered {
+                return Err(EmbeddingError::MissingCoupler(a, b));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the embedding heuristic.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    /// Independent restarts with different variable orders.
+    pub max_tries: usize,
+    /// Rip-up-and-re-route passes per try.
+    pub improvement_passes: usize,
+    /// Base of the exponential overlap penalty.
+    pub penalty_base: f64,
+    /// Wall-clock budget in seconds; `None` = unlimited. When exhausted,
+    /// the embedder gives up (reported as an embedding failure), which
+    /// bounds the cost of probing beyond the feasibility frontier.
+    pub time_budget_secs: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Embedder {
+    fn default() -> Self {
+        Embedder {
+            max_tries: 8,
+            improvement_passes: 64,
+            penalty_base: 8.0,
+            time_budget_secs: None,
+            seed: 0,
+        }
+    }
+}
+
+struct State<'a> {
+    target: &'a Topology,
+    chains: Vec<Vec<usize>>,
+    usage: Vec<u32>,
+    /// Cached `penalty_base^usage[q]`, kept in sync by claim/release.
+    cost: Vec<f64>,
+    adjacency: Vec<Vec<usize>>, // source graph
+    penalty_base: f64,
+    /// Scratch buffers reused across Dijkstra runs (one pair per source
+    /// neighbour of the variable currently being placed).
+    dist_pool: Vec<Vec<f64>>,
+    pred_pool: Vec<Vec<usize>>,
+    /// `owner[q] == v` marks q as inside the neighbour chain a path walk is
+    /// currently targeting (epoch-stamped via `owner_epoch`).
+    owner_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'a> State<'a> {
+    fn new(target: &'a Topology, num_vars: usize, adjacency: Vec<Vec<usize>>, penalty_base: f64) -> Self {
+        let n = target.num_qubits();
+        State {
+            target,
+            chains: vec![Vec::new(); num_vars],
+            usage: vec![0; n],
+            cost: vec![1.0; n],
+            adjacency,
+            penalty_base,
+            dist_pool: Vec::new(),
+            pred_pool: Vec::new(),
+            owner_epoch: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn set_penalty_base(&mut self, base: f64) {
+        self.penalty_base = base;
+        for (q, c) in self.cost.iter_mut().enumerate() {
+            *c = base.powi(self.usage[q] as i32);
+        }
+    }
+
+    fn claim(&mut self, v: usize, chain: Vec<usize>) {
+        for &q in &chain {
+            self.usage[q] += 1;
+            self.cost[q] = self.penalty_base.powi(self.usage[q] as i32);
+        }
+        self.chains[v] = chain;
+    }
+
+    fn release(&mut self, v: usize) {
+        let chain = std::mem::take(&mut self.chains[v]);
+        for &q in &chain {
+            self.usage[q] -= 1;
+            self.cost[q] = self.penalty_base.powi(self.usage[q] as i32);
+        }
+    }
+
+    /// Usage-weighted multi-source Dijkstra from every qubit of `sources`
+    /// into the provided scratch buffers; source qubits cost 0.
+    fn dijkstra_into(&self, sources: &[usize], dist: &mut Vec<f64>, pred: &mut Vec<usize>) {
+        let n = self.target.num_qubits();
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        pred.clear();
+        pred.resize(n, usize::MAX);
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> =
+            BinaryHeap::with_capacity(n / 4);
+        for &s in sources {
+            dist[s] = 0.0;
+            heap.push(Reverse((OrderedF64(0.0), s)));
+        }
+        while let Some(Reverse((OrderedF64(d), q))) = heap.pop() {
+            if d > dist[q] {
+                continue;
+            }
+            for &w in self.target.neighbors(q) {
+                let nd = d + self.cost[w];
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    pred[w] = q;
+                    heap.push(Reverse((OrderedF64(nd), w)));
+                }
+            }
+        }
+    }
+
+    /// (Re-)places variable `v`, allowing overlaps (penalised).
+    fn place(&mut self, v: usize, rng: &mut StdRng) {
+        let placed_neighbors: Vec<usize> = self.adjacency[v]
+            .iter()
+            .copied()
+            .filter(|&u| !self.chains[u].is_empty())
+            .collect();
+        if placed_neighbors.is_empty() {
+            // Isolated (so far): take the least-used qubit, random tie-break.
+            let min_use = *self.usage.iter().min().expect("non-empty target");
+            let candidates: Vec<usize> =
+                (0..self.usage.len()).filter(|&q| self.usage[q] == min_use).collect();
+            let q = *candidates.choose(rng).expect("non-empty");
+            self.claim(v, vec![q]);
+            return;
+        }
+
+        // One Dijkstra per placed neighbour chain, into pooled buffers.
+        let deg = placed_neighbors.len();
+        while self.dist_pool.len() < deg {
+            self.dist_pool.push(Vec::new());
+            self.pred_pool.push(Vec::new());
+        }
+        for (run, &u) in placed_neighbors.iter().enumerate() {
+            let mut dist = std::mem::take(&mut self.dist_pool[run]);
+            let mut pred = std::mem::take(&mut self.pred_pool[run]);
+            let sources = std::mem::take(&mut self.chains[u]);
+            self.dijkstra_into(&sources, &mut dist, &mut pred);
+            self.chains[u] = sources;
+            self.dist_pool[run] = dist;
+            self.pred_pool[run] = pred;
+        }
+
+        // Root minimising total path cost (the root's own usage cost is
+        // counted once per run — a harmless bias toward unused roots).
+        let n = self.target.num_qubits();
+        let mut best_root = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for q in 0..n {
+            let mut total = self.cost[q];
+            for dist in &self.dist_pool[..deg] {
+                total += dist[q];
+                if total >= best_cost {
+                    break;
+                }
+            }
+            if total < best_cost {
+                best_cost = total;
+                best_root = q;
+            }
+        }
+        assert!(best_root != usize::MAX, "target graph has no vertices");
+
+        // Chain = root plus interior of each path back to the neighbour
+        // chains (path endpoints inside neighbour chains are excluded).
+        let mut chain_set = std::collections::BTreeSet::from([best_root]);
+        for (run_idx, &u) in placed_neighbors.iter().enumerate() {
+            // Epoch-stamp the neighbour chain for O(1) membership checks.
+            self.epoch += 1;
+            for &q in &self.chains[u] {
+                self.owner_epoch[q] = self.epoch;
+            }
+            let pred = &self.pred_pool[run_idx];
+            let mut cur = best_root;
+            while self.owner_epoch[cur] != self.epoch {
+                chain_set.insert(cur);
+                cur = pred[cur];
+                if cur == usize::MAX {
+                    // Neighbour unreachable; leave partial (validation will
+                    // reject, and the next try may fare better).
+                    break;
+                }
+            }
+        }
+        self.claim(v, chain_set.into_iter().collect());
+    }
+
+    /// Removes unnecessary leaf qubits from `v`'s chain while keeping the
+    /// chain connected and every placed-neighbour adjacency covered.
+    /// Run between improvement passes to keep chains lean.
+    fn trim(&mut self, v: usize) {
+        loop {
+            let chain = &self.chains[v];
+            if chain.len() <= 1 {
+                return;
+            }
+            self.epoch += 1;
+            for &q in chain {
+                self.owner_epoch[q] = self.epoch;
+            }
+            let chain_epoch = self.epoch;
+            let mut removed = None;
+            'candidates: for (idx, &q) in chain.iter().enumerate() {
+                let internal_degree = self
+                    .target
+                    .neighbors(q)
+                    .iter()
+                    .filter(|&&w| self.owner_epoch[w] == chain_epoch)
+                    .count();
+                if internal_degree != 1 {
+                    continue;
+                }
+                for &u in &self.adjacency[v] {
+                    let other = &self.chains[u];
+                    if other.is_empty() {
+                        continue;
+                    }
+                    let covered = chain.iter().enumerate().any(|(j, &qa)| {
+                        j != idx && self.target.neighbors(qa).iter().any(|w| other.contains(w))
+                    });
+                    if !covered {
+                        continue 'candidates;
+                    }
+                }
+                removed = Some((idx, q));
+                break;
+            }
+            match removed {
+                Some((idx, q)) => {
+                    self.chains[v].remove(idx);
+                    self.usage[q] -= 1;
+                    self.cost[q] = self.penalty_base.powi(self.usage[q] as i32);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn max_usage(&self) -> u32 {
+        self.usage.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Replaces all chains with a snapshot, rebuilding usage and costs.
+    fn restore(&mut self, chains: &[Vec<usize>]) {
+        self.chains = chains.to_vec();
+        self.usage.fill(0);
+        for chain in &self.chains {
+            for &q in chain {
+                self.usage[q] += 1;
+            }
+        }
+        let base = self.penalty_base;
+        for (q, c) in self.cost.iter_mut().enumerate() {
+            *c = base.powi(self.usage[q] as i32);
+        }
+    }
+}
+
+/// Total-order wrapper for f64 heap keys (costs are never NaN).
+#[derive(PartialEq)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("costs are never NaN")
+    }
+}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Embedder {
+    /// Attempts to embed the source graph (given as `num_vars` and an edge
+    /// list) into `target`. Returns a validated embedding or `None`.
+    pub fn embed(
+        &self,
+        num_vars: usize,
+        source_edges: &[(usize, usize)],
+        target: &Topology,
+    ) -> Option<Embedding> {
+        if num_vars == 0 {
+            return Some(Embedding { chains: Vec::new() });
+        }
+        if target.num_qubits() == 0 {
+            return None;
+        }
+        let mut adjacency = vec![Vec::new(); num_vars];
+        for &(a, b) in source_edges {
+            assert!(a < num_vars && b < num_vars, "source edge out of range");
+            if a != b {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let started = std::time::Instant::now();
+        let out_of_time = |started: &std::time::Instant| {
+            self.time_budget_secs
+                .is_some_and(|budget| started.elapsed().as_secs_f64() > budget)
+        };
+        for _try in 0..self.max_tries {
+            if out_of_time(&started) {
+                return None;
+            }
+            let mut state = State::new(target, num_vars, adjacency.clone(), self.penalty_base);
+            // Place in BFS order from a max-degree variable (random
+            // tie-breaking), so every new variable lands next to already
+            // placed neighbours instead of a random spot.
+            let mut order: Vec<usize> = (0..num_vars).collect();
+            order.shuffle(&mut rng);
+            order.sort_by_key(|&v| Reverse(state.adjacency[v].len()));
+            let order = {
+                let mut bfs = Vec::with_capacity(num_vars);
+                let mut seen = vec![false; num_vars];
+                for &start in &order {
+                    if seen[start] {
+                        continue;
+                    }
+                    seen[start] = true;
+                    let mut queue = std::collections::VecDeque::from([start]);
+                    while let Some(v) = queue.pop_front() {
+                        bfs.push(v);
+                        for &u in &state.adjacency[v] {
+                            if !seen[u] {
+                                seen[u] = true;
+                                queue.push_back(u);
+                            }
+                        }
+                    }
+                }
+                bfs
+            };
+            for &v in &order {
+                state.place(v, &mut rng);
+            }
+            // Rip up and re-route every variable until overlap-free
+            // (minorminer's improvement loop), ramping the overlap penalty
+            // so persistent contention gets increasingly expensive. When
+            // one-at-a-time re-routing stalls, a large-neighbourhood kick
+            // tears out *all* contended chains at once and re-places them,
+            // which breaks the A↔B↔C contention cycles single-variable
+            // moves keep reproducing.
+            for v in 0..num_vars {
+                state.trim(v);
+            }
+            let overfill_of = |state: &State| -> u32 {
+                state.usage.iter().map(|&u| u.saturating_sub(1)).sum()
+            };
+            let mut best_chains = state.chains.clone();
+            let mut best_overfill = overfill_of(&state);
+            let mut stalled = 0usize;
+            // Passes after a kick during which the (worse) perturbed state
+            // is allowed to re-optimise without being snapped back.
+            let mut grace = 0usize;
+            let mut epoch_start = 0usize;
+            for pass in 0..self.improvement_passes {
+                if state.max_usage() <= 1 || out_of_time(&started) {
+                    break;
+                }
+                // Escalate the overlap penalty steadily (×2 every few
+                // passes, capped) so early passes can still share qubits
+                // while late passes strongly repel contention. The schedule
+                // restarts after each kick.
+                state.set_penalty_base(
+                    self.penalty_base
+                        * (1u64 << ((pass - epoch_start) / 3 + stalled).min(9)) as f64,
+                );
+                // Re-route only the chains involved in contention; touching
+                // settled chains mostly re-introduces churn. Every tenth
+                // pass re-routes everything once, which lets a locally
+                // congested blob of chains spread into free regions that
+                // contended-only moves never reach.
+                let mut contended: Vec<usize> = if pass % 10 == 9 {
+                    (0..num_vars).collect()
+                } else {
+                    (0..num_vars)
+                        .filter(|&v| state.chains[v].iter().any(|&q| state.usage[q] > 1))
+                        .collect()
+                };
+                contended.shuffle(&mut rng);
+                if stalled >= 4 {
+                    // Large-neighbourhood kick: tear out all contended
+                    // chains — plus a random half of their source-graph
+                    // neighbours for diversity — to break contention cycles
+                    // that one-at-a-time re-routing keeps reproducing.
+                    // Re-place most-connected-first so no variable starts
+                    // from a random orphan spot.
+                    use rand::RngExt;
+                    let mut widened: Vec<usize> = contended.clone();
+                    for &v in &contended {
+                        for &u in &state.adjacency[v] {
+                            if rng.random_bool(0.5) {
+                                widened.push(u);
+                            }
+                        }
+                    }
+                    widened.sort_unstable();
+                    widened.dedup();
+                    contended = widened;
+                    for &v in &contended {
+                        state.release(v);
+                    }
+                    contended.sort_by_key(|&v| {
+                        Reverse(
+                            state.adjacency[v]
+                                .iter()
+                                .filter(|&&u| !state.chains[u].is_empty())
+                                .count(),
+                        )
+                    });
+                    stalled = 0;
+                    grace = 8;
+                    epoch_start = pass;
+                }
+                for &v in &contended {
+                    state.release(v);
+                    state.place(v, &mut rng);
+                }
+                for &v in &contended {
+                    state.trim(v);
+                }
+                let overfill = overfill_of(&state);
+                if overfill < best_overfill {
+                    best_overfill = overfill;
+                    best_chains = state.chains.clone();
+                    stalled = 0;
+                } else if grace > 0 {
+                    grace -= 1; // let a kick's perturbation settle
+                } else {
+                    stalled += 1;
+                    // Runaway pass: restore the best snapshot rather than
+                    // digging deeper into a worse configuration.
+                    if overfill > best_overfill.saturating_mul(3) / 2 + 4 {
+                        state.restore(&best_chains);
+                    }
+                }
+                if std::env::var_os("QJO_EMBED_DEBUG").is_some() {
+                    let chain_total: usize = state.chains.iter().map(Vec::len).sum();
+                    eprintln!(
+                        "embed try {_try} pass {pass}: max_usage={} overfill={overfill} best={best_overfill} chain_qubits={chain_total}",
+                        state.max_usage()
+                    );
+                }
+            }
+            if state.max_usage() > 1 && best_overfill < overfill_of(&state) {
+                state.restore(&best_chains);
+            }
+            if state.max_usage() <= 1 {
+                let mut embedding = Embedding { chains: state.chains };
+                trim_chains(&mut embedding, &adjacency, target);
+                if embedding.validate(source_edges, target).is_ok() {
+                    return Some(embedding);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Removes unnecessary chain qubits: leaf vertices of a chain's induced
+/// subgraph are dropped while every logical adjacency stays covered.
+#[allow(clippy::needless_range_loop)] // v indexes two structures in lockstep
+fn trim_chains(embedding: &mut Embedding, adjacency: &[Vec<usize>], target: &Topology) {
+    let num_vars = embedding.chains.len();
+    for v in 0..num_vars {
+        loop {
+            let chain = &embedding.chains[v];
+            if chain.len() <= 1 {
+                break;
+            }
+            let inside: std::collections::HashSet<usize> = chain.iter().copied().collect();
+            // Chain-internal degree of each member.
+            let mut removable = None;
+            'candidates: for (idx, &q) in chain.iter().enumerate() {
+                let internal_degree =
+                    target.neighbors(q).iter().filter(|w| inside.contains(w)).count();
+                if internal_degree != 1 {
+                    continue; // only leaves keep the chain connected on removal
+                }
+                // Every neighbour chain must stay reachable without q.
+                for &u in &adjacency[v] {
+                    let other = &embedding.chains[u];
+                    if other.is_empty() {
+                        continue;
+                    }
+                    let covered_without_q = chain.iter().enumerate().any(|(j, &qa)| {
+                        j != idx
+                            && target.neighbors(qa).iter().any(|w| other.contains(w))
+                    });
+                    if !covered_without_q {
+                        continue 'candidates;
+                    }
+                }
+                removable = Some(idx);
+                break;
+            }
+            match removable {
+                Some(idx) => {
+                    embedding.chains[v].remove(idx);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::{chimera, pegasus_like};
+
+    fn complete_edges(n: usize) -> Vec<(usize, usize)> {
+        let mut e = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                e.push((a, b));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn identity_embedding_on_matching_graph() {
+        // Source = line of 4; target = line of 4 (plus slack).
+        let target = Topology::line(8);
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let e = Embedder::default().embed(4, &edges, &target).expect("line into line");
+        assert!(e.validate(&edges, &target).is_ok());
+        // A path embeds with all chains length 1 after trimming.
+        assert_eq!(e.max_chain_length(), 1, "chains: {:?}", e.chains);
+    }
+
+    #[test]
+    fn triangle_into_line_is_impossible() {
+        // K3 is not a minor of a path graph.
+        let target = Topology::line(10);
+        let edges = complete_edges(3);
+        assert!(Embedder::default().embed(3, &edges, &target).is_none());
+    }
+
+    #[test]
+    fn triangle_into_grid_uses_chains() {
+        let target = Topology::grid(4, 4);
+        let edges = complete_edges(3);
+        let e = Embedder::default().embed(3, &edges, &target).expect("K3 into grid");
+        assert!(e.validate(&edges, &target).is_ok());
+    }
+
+    #[test]
+    fn k6_embeds_into_chimera_with_chains() {
+        // Chimera has no K6 subgraph (max degree 6, bipartite cells), so
+        // chains are mandatory; minorminer-class heuristics find this easily.
+        let target = chimera(4);
+        let edges = complete_edges(6);
+        let e = Embedder::default().embed(6, &edges, &target).expect("K6 into C4");
+        assert!(e.validate(&edges, &target).is_ok());
+        assert!(e.max_chain_length() >= 2, "K6 needs chains on Chimera");
+    }
+
+    #[test]
+    fn larger_cliques_fit_pegasus_like() {
+        let target = pegasus_like(6);
+        let edges = complete_edges(10);
+        let e = Embedder { seed: 1, ..Default::default() }
+            .embed(10, &edges, &target)
+            .expect("K10 into Pegasus-like(6)");
+        assert!(e.validate(&edges, &target).is_ok());
+        // Clique embeddings on Pegasus need roughly n²/12-ish qubits; just
+        // sanity-bound the overhead.
+        assert!(e.num_physical_qubits() >= 10);
+        assert!(e.num_physical_qubits() < 200);
+    }
+
+    #[test]
+    fn pegasus_beats_chimera_on_clique_size() {
+        // Same physical-qubit budget: the denser graph needs fewer qubits
+        // for the same clique.
+        let n = 8;
+        let edges = complete_edges(n);
+        let ce = Embedder::default().embed(n, &edges, &chimera(5)).expect("K8 on chimera");
+        let pe = Embedder::default().embed(n, &edges, &pegasus_like(5)).expect("K8 on pegasus");
+        assert!(
+            pe.num_physical_qubits() <= ce.num_physical_qubits(),
+            "pegasus {} vs chimera {}",
+            pe.num_physical_qubits(),
+            ce.num_physical_qubits()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_broken_embeddings() {
+        let target = Topology::line(6);
+        let edges = vec![(0, 1)];
+        // Empty chain.
+        let e = Embedding { chains: vec![vec![], vec![0]] };
+        assert!(matches!(e.validate(&edges, &target), Err(EmbeddingError::EmptyChain(0))));
+        // Overlap.
+        let e = Embedding { chains: vec![vec![2], vec![2]] };
+        assert!(matches!(
+            e.validate(&edges, &target),
+            Err(EmbeddingError::Overlap { qubit: 2, .. })
+        ));
+        // Disconnected chain.
+        let e = Embedding { chains: vec![vec![0, 3], vec![1]] };
+        assert!(matches!(
+            e.validate(&edges, &target),
+            Err(EmbeddingError::DisconnectedChain(0))
+        ));
+        // Missing coupler.
+        let e = Embedding { chains: vec![vec![0], vec![4]] };
+        assert!(matches!(
+            e.validate(&edges, &target),
+            Err(EmbeddingError::MissingCoupler(0, 1))
+        ));
+        // And a correct one passes.
+        let e = Embedding { chains: vec![vec![0], vec![1]] };
+        assert!(e.validate(&edges, &target).is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let target = chimera(4);
+        let edges = complete_edges(5);
+        let a = Embedder { seed: 9, ..Default::default() }.embed(5, &edges, &target);
+        let b = Embedder { seed: 9, ..Default::default() }.embed(5, &edges, &target);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_trivial_sources() {
+        let target = Topology::line(4);
+        let e = Embedder::default().embed(0, &[], &target).expect("empty source");
+        assert_eq!(e.chains.len(), 0);
+        let e = Embedder::default().embed(2, &[], &target).expect("two isolated vars");
+        assert_eq!(e.chains.len(), 2);
+        assert!(e.validate(&[], &target).is_ok());
+    }
+
+    #[test]
+    fn chain_statistics() {
+        let e = Embedding { chains: vec![vec![0, 1, 2], vec![3]] };
+        assert_eq!(e.num_physical_qubits(), 4);
+        assert_eq!(e.max_chain_length(), 3);
+        assert!((e.mean_chain_length() - 2.0).abs() < 1e-12);
+    }
+}

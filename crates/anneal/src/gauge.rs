@@ -1,0 +1,168 @@
+//! Spin-reversal transforms (gauge averaging).
+//!
+//! A standard D-Wave error-mitigation technique: before programming, each
+//! qubit is independently assigned a gauge `g_i ∈ {−1, +1}` and the problem
+//! is transformed as `h_i ← g_i h_i`, `J_ij ← g_i g_j J_ij`; read spins are
+//! transformed back with `s_i ← g_i s_i`. The transformed problem has an
+//! identical energy landscape, but analogue asymmetries (ICE biases,
+//! coupler leakage) hit different configurations under different gauges —
+//! averaging over gauges washes systematic bias out of the sample
+//! statistics.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qjo_qubo::IsingModel;
+
+/// A spin-reversal gauge: one sign per spin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gauge {
+    signs: Vec<i8>,
+}
+
+impl Gauge {
+    /// The identity gauge (no reversal).
+    pub fn identity(n: usize) -> Gauge {
+        Gauge { signs: vec![1; n] }
+    }
+
+    /// A uniformly random gauge.
+    pub fn random(n: usize, rng: &mut StdRng) -> Gauge {
+        Gauge { signs: (0..n).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect() }
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// True for the empty gauge.
+    pub fn is_empty(&self) -> bool {
+        self.signs.is_empty()
+    }
+
+    /// The sign applied to spin `i`.
+    pub fn sign(&self, i: usize) -> i8 {
+        self.signs[i]
+    }
+
+    /// Applies the gauge to a problem: `h_i ← g_i h_i`, `J_ij ← g_i g_j J_ij`.
+    pub fn transform(&self, ising: &IsingModel) -> IsingModel {
+        assert_eq!(self.signs.len(), ising.num_spins(), "gauge size mismatch");
+        let mut out = IsingModel::new(ising.num_spins());
+        for (i, h) in ising.fields() {
+            if h != 0.0 {
+                out.add_field(i, h * f64::from(self.signs[i]));
+            }
+        }
+        for (i, j, v) in ising.couplings() {
+            if v != 0.0 {
+                out.add_coupling(i, j, v * f64::from(self.signs[i]) * f64::from(self.signs[j]));
+            }
+        }
+        out
+    }
+
+    /// Maps a spin configuration of the transformed problem back to the
+    /// original problem's frame.
+    pub fn untransform_spins(&self, spins: &[i8]) -> Vec<i8> {
+        assert_eq!(self.signs.len(), spins.len(), "gauge size mismatch");
+        spins.iter().zip(&self.signs).map(|(&s, &g)| s * g).collect()
+    }
+}
+
+/// Generates `count` gauges: the identity first, then random ones.
+pub fn gauge_set(n: usize, count: usize, seed: u64) -> Vec<Gauge> {
+    assert!(count >= 1, "need at least one gauge");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![Gauge::identity(n)];
+    while out.len() < count {
+        out.push(Gauge::random(n, &mut rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> IsingModel {
+        let mut m = IsingModel::new(3);
+        m.add_field(0, 0.7);
+        m.add_field(2, -0.3);
+        m.add_coupling(0, 1, 0.5);
+        m.add_coupling(1, 2, -0.9);
+        m
+    }
+
+    #[test]
+    fn gauge_preserves_the_energy_landscape() {
+        let m = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = Gauge::random(3, &mut rng);
+            let t = g.transform(&m);
+            for bits in 0..8u8 {
+                let s: Vec<i8> =
+                    (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+                // Energy of s under the original = energy of the gauged
+                // configuration under the transformed problem.
+                let gauged: Vec<i8> = s.iter().zip(0..3).map(|(&v, i)| v * g.sign(i)).collect();
+                assert!((m.energy(&s) - t.energy(&gauged)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn untransform_inverts_the_gauge() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Gauge::random(5, &mut rng);
+        let spins = vec![1, -1, 1, 1, -1];
+        // Transform forward (multiply) then back: identity.
+        let forward: Vec<i8> = spins.iter().zip(0..5).map(|(&s, i)| s * g.sign(i)).collect();
+        assert_eq!(g.untransform_spins(&forward), spins);
+    }
+
+    #[test]
+    fn identity_gauge_is_a_no_op() {
+        let m = toy();
+        let g = Gauge::identity(3);
+        let t = g.transform(&m);
+        assert_eq!(t.field(0), m.field(0));
+        assert_eq!(t.coupling(1, 2), m.coupling(1, 2));
+        assert_eq!(g.untransform_spins(&[1, -1, 1]), vec![1, -1, 1]);
+    }
+
+    #[test]
+    fn ground_state_maps_through_the_gauge() {
+        let m = toy();
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Gauge::random(3, &mut rng);
+        let t = g.transform(&m);
+        // Brute-force both ground states; they must map onto each other.
+        let ground = |model: &IsingModel| -> (f64, Vec<i8>) {
+            let mut best = (f64::INFINITY, Vec::new());
+            for bits in 0..8u8 {
+                let s: Vec<i8> =
+                    (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+                let e = model.energy(&s);
+                if e < best.0 {
+                    best = (e, s);
+                }
+            }
+            best
+        };
+        let (e_orig, _) = ground(&m);
+        let (e_gauged, s_gauged) = ground(&t);
+        assert!((e_orig - e_gauged).abs() < 1e-12, "spectra differ");
+        assert!((m.energy(&g.untransform_spins(&s_gauged)) - e_orig).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_set_leads_with_identity() {
+        let gs = gauge_set(4, 3, 0);
+        assert_eq!(gs.len(), 3);
+        assert_eq!(gs[0], Gauge::identity(4));
+        assert_ne!(gs[1], gs[2], "random gauges should differ");
+    }
+}

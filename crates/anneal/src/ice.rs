@@ -1,0 +1,168 @@
+//! Integrated control errors (ICE): analogue imperfections of annealers.
+//!
+//! Programmed fields and couplings are realised by analogue electronics
+//! with limited precision. D-Wave documents this as ICE: each `h_i` / `J_ij`
+//! is perturbed by Gaussian noise, and the programmable range is quantised
+//! by the DAC resolution. Both effects distort the energy landscape the
+//! hardware actually minimises, which is one driver of the solution-quality
+//! collapse the paper observes for growing problem sizes.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use qjo_qubo::IsingModel;
+
+/// ICE noise parameters (in units of the normalised coefficient range
+/// `[−1, 1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct IceNoise {
+    /// Standard deviation of the Gaussian perturbation on fields.
+    pub sigma_h: f64,
+    /// Standard deviation of the Gaussian perturbation on couplings.
+    pub sigma_j: f64,
+    /// Number of representable levels per coefficient (DAC resolution);
+    /// 0 disables quantisation.
+    pub quantisation_levels: u32,
+}
+
+impl IceNoise {
+    /// Values representative of the D-Wave Advantage documentation.
+    pub fn advantage() -> Self {
+        IceNoise { sigma_h: 0.02, sigma_j: 0.015, quantisation_levels: 256 }
+    }
+
+    /// No analogue error (ideal annealer).
+    pub fn none() -> Self {
+        IceNoise { sigma_h: 0.0, sigma_j: 0.0, quantisation_levels: 0 }
+    }
+
+    /// Applies the noise model to a *normalised* Ising problem (call
+    /// [`normalize`] first), returning the distorted problem the hardware
+    /// effectively anneals.
+    pub fn apply(&self, ising: &IsingModel, rng: &mut StdRng) -> IsingModel {
+        let mut out = IsingModel::new(ising.num_spins());
+        for (i, h) in ising.fields() {
+            if h != 0.0 || self.sigma_h > 0.0 {
+                let v = self.quantise(h + self.sigma_h * gaussian(rng));
+                if v != 0.0 {
+                    out.add_field(i, v);
+                }
+            }
+        }
+        for (i, j, jij) in ising.couplings() {
+            let v = self.quantise(jij + self.sigma_j * gaussian(rng));
+            if v != 0.0 {
+                out.add_coupling(i, j, v);
+            }
+        }
+        out
+    }
+
+    fn quantise(&self, v: f64) -> f64 {
+        let clamped = v.clamp(-1.0, 1.0);
+        if self.quantisation_levels < 2 {
+            return clamped;
+        }
+        let half = (self.quantisation_levels / 2) as f64;
+        (clamped * half).round() / half
+    }
+}
+
+/// Rescales an Ising model so all coefficients fit the programmable range
+/// `[−1, 1]`, returning the scale factor applied (energies of the
+/// normalised problem are `scale ×` the original, offset aside).
+pub fn normalize(ising: &mut IsingModel) -> f64 {
+    let max = ising.max_abs_coefficient();
+    if max <= 1.0 || max == 0.0 {
+        return 1.0;
+    }
+    let scale = 1.0 / max;
+    ising.scale(scale);
+    scale
+}
+
+/// Standard normal variate via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_has_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normalize_caps_range_and_reports_scale() {
+        let mut m = IsingModel::new(2);
+        m.add_field(0, 4.0);
+        m.add_coupling(0, 1, -8.0);
+        let scale = normalize(&mut m);
+        assert!((scale - 0.125).abs() < 1e-12);
+        assert!((m.coupling(0, 1) + 1.0).abs() < 1e-12);
+        assert!((m.field(0) - 0.5).abs() < 1e-12);
+        // Already-normalised problems are untouched.
+        let mut small = IsingModel::new(1);
+        small.add_field(0, 0.5);
+        assert_eq!(normalize(&mut small), 1.0);
+    }
+
+    #[test]
+    fn noiseless_ice_is_identity_up_to_clamping() {
+        let mut m = IsingModel::new(2);
+        m.add_field(0, 0.5);
+        m.add_coupling(0, 1, -0.75);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = IceNoise::none().apply(&m, &mut rng);
+        assert_eq!(out.field(0), 0.5);
+        assert_eq!(out.coupling(0, 1), -0.75);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_structure() {
+        let mut m = IsingModel::new(3);
+        m.add_coupling(0, 1, 0.8);
+        m.add_coupling(1, 2, -0.6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = IceNoise::advantage().apply(&m, &mut rng);
+        // Couplings move, but not far.
+        let d01 = (out.coupling(0, 1) - 0.8).abs();
+        let d12 = (out.coupling(1, 2) + 0.6).abs();
+        assert!(d01 > 0.0 && d01 < 0.1, "Δ01 = {d01}");
+        assert!(d12 > 0.0 && d12 < 0.1, "Δ12 = {d12}");
+        // No new couplings invented.
+        assert_eq!(out.coupling(0, 2), 0.0);
+    }
+
+    #[test]
+    fn quantisation_snaps_to_grid() {
+        let ice = IceNoise { sigma_h: 0.0, sigma_j: 0.0, quantisation_levels: 4 };
+        let mut m = IsingModel::new(2);
+        m.add_coupling(0, 1, 0.3); // grid of 1/2 → snaps to 0.5
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = ice.apply(&m, &mut rng);
+        assert!((out.coupling(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_beyond_range_are_clamped() {
+        let ice = IceNoise::none();
+        let mut m = IsingModel::new(2);
+        m.add_coupling(0, 1, 3.0); // caller forgot to normalise
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = ice.apply(&m, &mut rng);
+        assert_eq!(out.coupling(0, 1), 1.0);
+    }
+}

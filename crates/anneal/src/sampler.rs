@@ -1,0 +1,383 @@
+//! The end-to-end annealer pipeline: embed → program → anneal → unembed.
+//!
+//! [`AnnealerSampler`] plays the role of D-Wave's cloud sampler in the
+//! paper's experiments: a QUBO is converted to Ising form, minor-embedded
+//! onto the hardware graph, programmed with chain couplings, distorted by
+//! ICE noise, annealed by the path-integral SQA engine, and read back with
+//! majority-vote chain repair.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qjo_qubo::{ising, IsingModel, Qubo, SampleSet};
+use qjo_transpile::Topology;
+
+use crate::chain::{chain_break_fraction, uniform_torque_compensation, unembed_majority};
+use crate::embed::{Embedder, Embedding};
+use crate::ice::{normalize, IceNoise};
+use crate::sqa::{anneal_once, SqaConfig};
+
+/// Errors of the annealing pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnealError {
+    /// The embedder could not fit the problem onto the hardware graph —
+    /// the paper's hard feasibility limit (Fig. 3).
+    EmbeddingFailed {
+        /// Number of logical variables that did not fit.
+        num_vars: usize,
+        /// Size of the hardware graph.
+        num_qubits: usize,
+    },
+}
+
+impl std::fmt::Display for AnnealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnealError::EmbeddingFailed { num_vars, num_qubits } => write!(
+                f,
+                "could not embed {num_vars} logical variables onto {num_qubits} physical qubits"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnealError {}
+
+/// Everything one sampling job returns.
+#[derive(Debug, Clone)]
+pub struct AnnealOutcome {
+    /// Aggregated logical-space samples; energies are evaluated against the
+    /// *original* QUBO (not the noisy embedded problem).
+    pub samples: SampleSet,
+    /// The embedding used.
+    pub embedding: Embedding,
+    /// Fraction of chains broken across all reads.
+    pub chain_break_fraction: f64,
+    /// Physical qubits consumed (Fig. 3's metric).
+    pub physical_qubits: usize,
+    /// Chain strength that was programmed.
+    pub chain_strength: f64,
+}
+
+/// A simulated quantum annealer with a fixed hardware graph.
+#[derive(Debug, Clone)]
+pub struct AnnealerSampler {
+    /// Hardware connectivity.
+    pub topology: Topology,
+    /// Embedding heuristic configuration.
+    pub embedder: Embedder,
+    /// Explicit chain strength; `None` selects uniform torque compensation.
+    pub chain_strength: Option<f64>,
+    /// Prefactor for the torque-compensation heuristic.
+    pub chain_strength_prefactor: f64,
+    /// Analogue noise model.
+    pub ice: IceNoise,
+    /// Annealing dynamics parameters.
+    pub sqa: SqaConfig,
+    /// Reads (anneal repetitions) per job.
+    pub num_reads: usize,
+    /// Spin-reversal transforms to rotate through (1 = gauge averaging
+    /// off; D-Wave practice is a handful of gauges per job).
+    pub num_gauges: usize,
+    /// Annealing time per read, microseconds.
+    pub annealing_time_us: f64,
+}
+
+impl AnnealerSampler {
+    /// A sampler with Advantage-like defaults on the given hardware graph.
+    pub fn new(topology: Topology) -> Self {
+        AnnealerSampler {
+            topology,
+            embedder: Embedder::default(),
+            chain_strength: None,
+            chain_strength_prefactor: 1.414,
+            ice: IceNoise::advantage(),
+            sqa: SqaConfig::default(),
+            num_reads: 100,
+            num_gauges: 4,
+            annealing_time_us: 20.0,
+        }
+    }
+
+    /// Runs the full pipeline on a QUBO, embedding it first.
+    pub fn sample_qubo(&self, qubo: &Qubo) -> Result<AnnealOutcome, AnnealError> {
+        let embedding = self.embed(qubo)?;
+        Ok(self.sample_qubo_with_embedding(qubo, embedding))
+    }
+
+    /// Finds a minor embedding for a QUBO's interaction graph.
+    pub fn embed(&self, qubo: &Qubo) -> Result<Embedding, AnnealError> {
+        let logical = qubo.to_ising();
+        let source_edges: Vec<(usize, usize)> = logical
+            .couplings()
+            .filter(|&(_, _, j)| j != 0.0)
+            .map(|(i, j, _)| (i, j))
+            .collect();
+        self.embedder
+            .embed(qubo.num_vars(), &source_edges, &self.topology)
+            .ok_or(AnnealError::EmbeddingFailed {
+                num_vars: qubo.num_vars(),
+                num_qubits: self.topology.num_qubits(),
+            })
+    }
+
+    /// Runs the annealing pipeline with a previously computed embedding
+    /// (e.g. to sweep annealing times without re-embedding).
+    pub fn sample_qubo_with_embedding(
+        &self,
+        qubo: &Qubo,
+        embedding: Embedding,
+    ) -> AnnealOutcome {
+        let logical = qubo.to_ising();
+        let chain_strength = self.chain_strength.unwrap_or_else(|| {
+            uniform_torque_compensation(&logical, self.chain_strength_prefactor)
+        });
+        // Compact the problem onto the qubits the embedding actually uses:
+        // SQA sweeps every spin of its model, and a 5000-qubit hardware
+        // graph with a 300-qubit embedding would waste 94% of each sweep.
+        let used: Vec<usize> = {
+            let mut v: Vec<usize> = embedding.chains.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut dense_of = vec![usize::MAX; self.topology.num_qubits()];
+        for (dense, &q) in used.iter().enumerate() {
+            dense_of[q] = dense;
+        }
+        let dense_embedding = Embedding {
+            chains: embedding
+                .chains
+                .iter()
+                .map(|chain| chain.iter().map(|&q| dense_of[q]).collect())
+                .collect(),
+        };
+        let mut programmed =
+            self.program(&logical, &embedding, chain_strength, &dense_of, used.len());
+        normalize(&mut programmed);
+
+        let mut rng = StdRng::seed_from_u64(self.sqa.seed);
+        let gauges = crate::gauge::gauge_set(
+            programmed.num_spins(),
+            self.num_gauges.max(1),
+            self.sqa.seed ^ 0x9e37_79b9,
+        );
+        let mut reads = Vec::with_capacity(self.num_reads);
+        let mut unembedded = Vec::with_capacity(self.num_reads);
+        for read_idx in 0..self.num_reads {
+            // Spin-reversal transform: rotate through the gauge set so
+            // analogue asymmetries average out across reads.
+            let gauge = &gauges[read_idx % gauges.len()];
+            let gauged = gauge.transform(&programmed);
+            let noisy = self.ice.apply(&gauged, &mut rng);
+            let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, &mut rng);
+            let dense_spins = gauge.untransform_spins(&dense_spins);
+            let read = unembed_majority(&dense_embedding, &dense_spins);
+            reads.push(ising::spins_to_bits(&read.spins));
+            unembedded.push(read);
+        }
+
+        let cbf = chain_break_fraction(&unembedded, embedding.chains.len());
+        let physical_qubits = embedding.num_physical_qubits();
+        let samples = SampleSet::from_reads(reads, |x| {
+            qubo.energy(x).expect("reads have model length")
+        });
+        AnnealOutcome {
+            samples,
+            embedding,
+            chain_break_fraction: cbf,
+            physical_qubits,
+            chain_strength,
+        }
+    }
+
+    /// Builds the physical Ising problem over the *dense* (used-qubit)
+    /// index space: fields split across chain members, couplings split
+    /// across available inter-chain couplers, ferromagnetic intra-chain
+    /// couplings of `-chain_strength`.
+    fn program(
+        &self,
+        logical: &IsingModel,
+        embedding: &Embedding,
+        chain_strength: f64,
+        dense_of: &[usize],
+        num_used: usize,
+    ) -> IsingModel {
+        let mut phys = IsingModel::new(num_used);
+        for (i, h) in logical.fields() {
+            if h == 0.0 {
+                continue;
+            }
+            let chain = &embedding.chains[i];
+            let share = h / chain.len() as f64;
+            for &q in chain {
+                phys.add_field(dense_of[q], share);
+            }
+        }
+        for (i, j, jij) in logical.couplings() {
+            if jij == 0.0 {
+                continue;
+            }
+            let couplers: Vec<(usize, usize)> = embedding.chains[i]
+                .iter()
+                .flat_map(|&qa| {
+                    embedding.chains[j]
+                        .iter()
+                        .filter(move |&&qb| self.topology.has_edge(qa, qb))
+                        .map(move |&qb| (qa, qb))
+                })
+                .collect();
+            assert!(!couplers.is_empty(), "validated embedding covers every edge");
+            let share = jij / couplers.len() as f64;
+            for (qa, qb) in couplers {
+                phys.add_coupling(dense_of[qa], dense_of[qb], share);
+            }
+        }
+        for chain in &embedding.chains {
+            for (idx, &qa) in chain.iter().enumerate() {
+                for &qb in &chain[idx + 1..] {
+                    if self.topology.has_edge(qa, qb) {
+                        phys.add_coupling(dense_of[qa], dense_of[qb], -chain_strength);
+                    }
+                }
+            }
+        }
+        phys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::chimera;
+    use qjo_qubo::solve::ExactSolver;
+
+    fn antiferro_pair() -> Qubo {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, 2.0);
+        q
+    }
+
+    fn random_qubo(seed: u64, n: usize) -> Qubo {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.random_range(-1.0..1.0));
+            for j in i + 1..n {
+                if rng.random_bool(0.6) {
+                    q.add_quadratic(i, j, rng.random_range(-1.0..1.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn solves_tiny_problem_to_optimality() {
+        let sampler = AnnealerSampler::new(chimera(2));
+        let out = sampler.sample_qubo(&antiferro_pair()).expect("fits easily");
+        let best = out.samples.best().expect("reads exist");
+        assert_eq!(best.energy, -1.0);
+        assert_ne!(best.assignment[0], best.assignment[1]);
+        assert_eq!(out.samples.total_reads(), 100);
+    }
+
+    #[test]
+    fn matches_exact_solver_on_random_problems() {
+        for seed in 0..3 {
+            let q = random_qubo(seed, 8);
+            let exact = ExactSolver::new().min_energy(&q).unwrap();
+            let sampler = AnnealerSampler {
+                num_reads: 60,
+                ..AnnealerSampler::new(chimera(4))
+            };
+            let out = sampler.sample_qubo(&q).expect("K8-ish fits C4");
+            let best = out.samples.best().unwrap().energy;
+            assert!(
+                best <= exact + 1e-9 + 0.15 * exact.abs().max(1.0),
+                "seed {seed}: annealer {best} far from exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_failure_is_reported() {
+        // A 3-clique cannot embed in a 2-qubit "hardware" graph.
+        let sampler = AnnealerSampler::new(Topology::line(2));
+        let mut q = Qubo::new(3);
+        for a in 0..3 {
+            for b in a + 1..3 {
+                q.add_quadratic(a, b, 1.0);
+            }
+        }
+        let err = sampler.sample_qubo(&q).unwrap_err();
+        assert_eq!(err, AnnealError::EmbeddingFailed { num_vars: 3, num_qubits: 2 });
+    }
+
+    #[test]
+    fn outcome_reports_embedding_statistics() {
+        let q = random_qubo(1, 6);
+        let sampler = AnnealerSampler { num_reads: 20, ..AnnealerSampler::new(chimera(3)) };
+        let out = sampler.sample_qubo(&q).unwrap();
+        assert!(out.physical_qubits >= 6);
+        assert_eq!(out.physical_qubits, out.embedding.num_physical_qubits());
+        assert!((0.0..=1.0).contains(&out.chain_break_fraction));
+        assert!(out.chain_strength > 0.0);
+    }
+
+    #[test]
+    fn explicit_chain_strength_is_respected() {
+        let q = antiferro_pair();
+        let sampler = AnnealerSampler {
+            chain_strength: Some(3.5),
+            num_reads: 10,
+            ..AnnealerSampler::new(chimera(2))
+        };
+        let out = sampler.sample_qubo(&q).unwrap();
+        assert_eq!(out.chain_strength, 3.5);
+    }
+
+    #[test]
+    fn weak_chains_break_more_often() {
+        // Force long chains by embedding a K6 on Chimera, then compare
+        // break rates at absurdly weak vs. solid chain strength.
+        let mut q = Qubo::new(6);
+        for a in 0..6 {
+            for b in a + 1..6 {
+                q.add_quadratic(a, b, if (a + b) % 2 == 0 { 1.0 } else { -1.0 });
+            }
+        }
+        let base = AnnealerSampler::new(chimera(4));
+        let weak = AnnealerSampler {
+            chain_strength: Some(0.05),
+            num_reads: 40,
+            ..base.clone()
+        };
+        let solid = AnnealerSampler {
+            chain_strength: Some(4.0),
+            num_reads: 40,
+            ..base
+        };
+        let weak_out = weak.sample_qubo(&q).unwrap();
+        let solid_out = solid.sample_qubo(&q).unwrap();
+        assert!(
+            weak_out.chain_break_fraction > solid_out.chain_break_fraction,
+            "weak {} vs solid {}",
+            weak_out.chain_break_fraction,
+            solid_out.chain_break_fraction
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let q = random_qubo(4, 5);
+        let sampler = AnnealerSampler { num_reads: 15, ..AnnealerSampler::new(chimera(3)) };
+        let a = sampler.sample_qubo(&q).unwrap();
+        let b = sampler.sample_qubo(&q).unwrap();
+        assert_eq!(a.samples.samples(), b.samples.samples());
+        assert_eq!(a.chain_break_fraction, b.chain_break_fraction);
+    }
+}

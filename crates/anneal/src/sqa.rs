@@ -1,0 +1,348 @@
+//! Path-integral Monte-Carlo simulated quantum annealing (SQA).
+//!
+//! The transverse-field Ising Hamiltonian
+//! `H(s) = −Γ(s) Σ σ^x_i + B(s) H_problem` is simulated through the
+//! Suzuki–Trotter mapping onto `P` coupled classical replicas ("imaginary
+//! time slices"): the quantum kinetic term becomes a ferromagnetic coupling
+//!
+//! ```text
+//! J_⊥(Γ) = −(P·T / 2) · ln tanh(Γ / (P·T))
+//! ```
+//!
+//! between corresponding spins of adjacent slices (periodic). Annealing
+//! lowers Γ from `gamma0` to ~0 over the sweep schedule; quantum
+//! fluctuations (weak inter-slice coupling early on) let the state tunnel
+//! between classical configurations, which is the mechanism quantum
+//! annealers exploit. The annealing *time* maps linearly onto Monte-Carlo
+//! sweeps.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use qjo_qubo::IsingModel;
+
+/// SQA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SqaConfig {
+    /// Number of Trotter slices `P`.
+    pub trotter_slices: usize,
+    /// Simulation temperature (in problem-energy units). Annealers operate
+    /// cold relative to the programmed problem scale.
+    pub temperature: f64,
+    /// Initial transverse field Γ(0) (in problem-energy units).
+    pub gamma0: f64,
+    /// Monte-Carlo sweeps executed per microsecond of annealing time.
+    pub sweeps_per_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SqaConfig {
+    fn default() -> Self {
+        SqaConfig {
+            trotter_slices: 4,
+            temperature: 0.08,
+            gamma0: 3.0,
+            sweeps_per_us: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The inter-slice coupling strength at transverse field `gamma`.
+pub fn trotter_coupling(gamma: f64, slices: usize, temperature: f64) -> f64 {
+    let pt = slices as f64 * temperature;
+    let g = (gamma / pt).max(1e-12);
+    -(pt / 2.0) * g.tanh().ln()
+}
+
+/// Runs one SQA anneal and returns the best slice's spin configuration.
+pub fn anneal_once(
+    ising: &IsingModel,
+    config: &SqaConfig,
+    annealing_time_us: f64,
+    rng: &mut StdRng,
+) -> Vec<i8> {
+    let n = ising.num_spins();
+    let p = config.trotter_slices.max(2);
+    let sweeps = ((annealing_time_us * config.sweeps_per_us).ceil() as usize).max(2);
+
+    // Adjacency in CSR-ish form for fast local fields.
+    let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, j, jij) in ising.couplings() {
+        if jij != 0.0 {
+            neighbors[i].push((j, jij));
+            neighbors[j].push((i, jij));
+        }
+    }
+    let fields: Vec<f64> = ising.fields().map(|(_, h)| h).collect();
+
+    // spins[k][i]: slice k, spin i.
+    let mut spins: Vec<Vec<i8>> =
+        (0..p).map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1i8 } else { -1 }).collect())
+            .collect();
+    let mut order: Vec<(usize, usize)> =
+        (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
+
+    let inv_p = 1.0 / p as f64;
+    let temp = config.temperature.max(1e-9);
+
+    for sweep in 0..sweeps {
+        let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
+        let gamma = config.gamma0 * (1.0 - s_frac);
+        let j_perp = trotter_coupling(gamma, p, temp);
+        order.shuffle(rng);
+        for &(k, i) in &order {
+            let s = f64::from(spins[k][i]);
+            // Problem part of the local field (scaled by 1/P per slice).
+            let mut local = fields[i];
+            for &(j, jij) in &neighbors[i] {
+                local += jij * f64::from(spins[k][j]);
+            }
+            let up = spins[(k + 1) % p][i];
+            let down = spins[(k + p - 1) % p][i];
+            // ΔE of flipping spin (k, i): the problem term s·local flips
+            // sign (−2·s·local per slice weight), and the ferromagnetic
+            // inter-slice term −J_⊥·s·(up+down) flips likewise (+2·s·J_⊥·…).
+            let delta = -2.0 * s * (inv_p * local)
+                + 2.0 * s * j_perp * f64::from(up + down);
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                spins[k][i] = -spins[k][i];
+            }
+        }
+    }
+
+    // Γ ≈ 0 at the end: slices have (mostly) collapsed; report the best.
+    spins
+        .into_iter()
+        .min_by(|a, b| {
+            ising
+                .energy(a)
+                .partial_cmp(&ising.energy(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least two slices")
+}
+
+/// Runs `num_reads` independent anneals.
+pub fn sample(
+    ising: &IsingModel,
+    config: &SqaConfig,
+    annealing_time_us: f64,
+    num_reads: usize,
+) -> Vec<Vec<i8>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..num_reads)
+        .map(|_| anneal_once(ising, config, annealing_time_us, &mut rng))
+        .collect()
+}
+
+/// Reverse annealing (Venturelli & Kondratyev — the paper's ref \[81\]):
+/// starts from a known classical state, ramps the transverse field up to
+/// `reversal_gamma` (partially "melting" the state), pauses, and anneals
+/// back down. Refines a good classical solution by quantum-style local
+/// exploration instead of searching from scratch.
+pub fn reverse_anneal_once(
+    ising: &IsingModel,
+    config: &SqaConfig,
+    initial: &[i8],
+    reversal_gamma: f64,
+    annealing_time_us: f64,
+    rng: &mut StdRng,
+) -> Vec<i8> {
+    let n = ising.num_spins();
+    assert_eq!(initial.len(), n, "initial state must cover every spin");
+    assert!(reversal_gamma > 0.0, "reversal point must re-introduce fluctuations");
+    let p = config.trotter_slices.max(2);
+    let sweeps = ((annealing_time_us * config.sweeps_per_us).ceil() as usize).max(4);
+
+    let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (i, j, jij) in ising.couplings() {
+        if jij != 0.0 {
+            neighbors[i].push((j, jij));
+            neighbors[j].push((i, jij));
+        }
+    }
+    let fields: Vec<f64> = ising.fields().map(|(_, h)| h).collect();
+
+    // All slices start in the given classical state.
+    let mut spins: Vec<Vec<i8>> = (0..p).map(|_| initial.to_vec()).collect();
+    let mut order: Vec<(usize, usize)> =
+        (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
+    let inv_p = 1.0 / p as f64;
+    let temp = config.temperature.max(1e-9);
+    // Track the best configuration visited (the refinement semantics: the
+    // walk may wander past the reversal point; what matters is the best
+    // point it touched in the initial state's neighbourhood).
+    let mut best = initial.to_vec();
+    let mut best_energy = ising.energy(initial);
+
+    for sweep in 0..sweeps {
+        // Triangle schedule: Γ rises to `reversal_gamma` at the midpoint,
+        // then falls back to ~0.
+        let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
+        let gamma = if s_frac < 0.5 {
+            reversal_gamma * (s_frac * 2.0)
+        } else {
+            reversal_gamma * (2.0 - s_frac * 2.0)
+        }
+        .max(1e-9);
+        let j_perp = trotter_coupling(gamma, p, temp);
+        order.shuffle(rng);
+        for &(k, i) in &order {
+            let s = f64::from(spins[k][i]);
+            let mut local = fields[i];
+            for &(j, jij) in &neighbors[i] {
+                local += jij * f64::from(spins[k][j]);
+            }
+            let up = spins[(k + 1) % p][i];
+            let down = spins[(k + p - 1) % p][i];
+            let delta = -2.0 * s * (inv_p * local)
+                + 2.0 * s * j_perp * f64::from(up + down);
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                spins[k][i] = -spins[k][i];
+            }
+        }
+        for slice in &spins {
+            let e = ising.energy(slice);
+            if e < best_energy {
+                best_energy = e;
+                best.copy_from_slice(slice);
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ferromagnetic_ring(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 0..n {
+            m.add_coupling(i, (i + 1) % n, -1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn trotter_coupling_diverges_as_gamma_vanishes() {
+        let strong = trotter_coupling(1e-9, 8, 0.1);
+        let weak = trotter_coupling(3.0, 8, 0.1);
+        assert!(strong > weak, "{strong} vs {weak}");
+        assert!(strong > 5.0, "slices must lock when Γ → 0: {strong}");
+        assert!(weak >= 0.0);
+    }
+
+    #[test]
+    fn finds_ground_state_of_ferromagnet() {
+        let m = ferromagnetic_ring(12);
+        let reads = sample(&m, &SqaConfig::default(), 100.0, 10);
+        let best = reads
+            .iter()
+            .map(|s| m.energy(s))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best, -12.0, "ferromagnetic ring ground energy");
+    }
+
+    #[test]
+    fn finds_ground_state_with_fields() {
+        // Fields pin each spin individually: trivially solvable, catches
+        // sign errors in the local-field computation.
+        let mut m = IsingModel::new(6);
+        for i in 0..6 {
+            m.add_field(i, if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let reads = sample(&m, &SqaConfig::default(), 50.0, 5);
+        let best = reads.iter().map(|s| m.energy(s)).fold(f64::INFINITY, f64::min);
+        assert_eq!(best, -6.0);
+    }
+
+    #[test]
+    fn frustrated_triangle_reaches_degenerate_ground_state() {
+        // Antiferromagnetic triangle: ground energy -1 (one unhappy bond).
+        let mut m = IsingModel::new(3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            m.add_coupling(a, b, 1.0);
+        }
+        let reads = sample(&m, &SqaConfig::default(), 50.0, 10);
+        let best = reads.iter().map(|s| m.energy(s)).fold(f64::INFINITY, f64::min);
+        assert_eq!(best, -1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = ferromagnetic_ring(8);
+        let a = sample(&m, &SqaConfig { seed: 5, ..Default::default() }, 20.0, 3);
+        let b = sample(&m, &SqaConfig { seed: 5, ..Default::default() }, 20.0, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn annealing_time_controls_sweeps_but_saturates() {
+        // Success probability on an easy instance should be high for both
+        // short and long anneals (the paper's observation that annealing
+        // time barely matters in the 20–100 µs regime).
+        let m = ferromagnetic_ring(10);
+        let hit_rate = |t_us: f64| {
+            let reads = sample(&m, &SqaConfig { seed: 2, ..Default::default() }, t_us, 20);
+            reads.iter().filter(|s| m.energy(s) == -10.0).count() as f64 / 20.0
+        };
+        let short = hit_rate(20.0);
+        let long = hit_rate(100.0);
+        assert!(short > 0.3, "20µs hit rate {short}");
+        assert!(long > 0.3, "100µs hit rate {long}");
+        assert!((long - short).abs() < 0.5, "time impact should be modest");
+    }
+
+    #[test]
+    fn reverse_annealing_refines_a_near_optimal_state() {
+        // Start one flip away from the ferromagnetic ground state: reverse
+        // annealing must repair it.
+        let m = ferromagnetic_ring(10);
+        let mut initial = vec![1i8; 10];
+        initial[3] = -1;
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SqaConfig::default();
+        let refined = reverse_anneal_once(&m, &cfg, &initial, 1.0, 60.0, &mut rng);
+        assert_eq!(m.energy(&refined), -10.0, "one flip should be repaired");
+        assert!(m.energy(&refined) <= m.energy(&initial));
+    }
+
+    #[test]
+    fn reverse_annealing_with_tiny_gamma_stays_local() {
+        // A negligible reversal point re-introduces almost no fluctuation:
+        // the state should stay at (or improve on) the initial energy, not
+        // scramble to random.
+        let m = ferromagnetic_ring(8);
+        let initial = vec![1i8; 8]; // already the ground state
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = SqaConfig { temperature: 0.02, ..Default::default() };
+        let out = reverse_anneal_once(&m, &cfg, &initial, 0.05, 40.0, &mut rng);
+        assert_eq!(m.energy(&out), -8.0, "ground state must survive a gentle reversal");
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state must cover")]
+    fn reverse_annealing_rejects_wrong_length() {
+        let m = ferromagnetic_ring(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        reverse_anneal_once(&m, &SqaConfig::default(), &[1, 1], 1.0, 20.0, &mut rng);
+    }
+
+    #[test]
+    fn reads_are_independent_samples() {
+        let m = ferromagnetic_ring(6);
+        let reads = sample(&m, &SqaConfig::default(), 50.0, 8);
+        assert_eq!(reads.len(), 8);
+        // Both ferromagnetic ground states (+1…+1 and −1…−1) appear over
+        // enough reads.
+        let ups = reads.iter().filter(|s| s[0] == 1 && m.energy(s) == -6.0).count();
+        let downs = reads.iter().filter(|s| s[0] == -1 && m.energy(s) == -6.0).count();
+        assert!(ups + downs >= 6, "most reads should reach the ground state");
+        assert!(ups > 0 && downs > 0, "degenerate states should both occur");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the annealing substrate (Fig. 3 / Table 3
+//! machinery): minor embedding and path-integral SQA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qjo_anneal::hardware::{chimera, pegasus_like};
+use qjo_anneal::sqa::{sample, SqaConfig};
+use qjo_anneal::{pegasus_clique_embedding, AnnealerSampler, Embedder};
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_qubo::IsingModel;
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(10);
+    for &t in &[3usize, 4] {
+        let query = QueryGenerator::paper_defaults(QueryGraph::Chain, t).generate(0);
+        let enc = JoEncoder::default().encode(&query);
+        let edges: Vec<(usize, usize)> =
+            enc.qubo.quadratic_iter().map(|(i, j, _)| (i, j)).collect();
+        let target = pegasus_like(10);
+        group.bench_with_input(BenchmarkId::new("jo_on_pegasus", t), &t, |b, _| {
+            let embedder = Embedder::default();
+            b.iter(|| {
+                embedder
+                    .embed(black_box(enc.num_qubits()), &edges, &target)
+                    .expect("small problems embed")
+            });
+        });
+    }
+    group.bench_function("clique_template_k32", |b| {
+        b.iter(|| pegasus_clique_embedding(32, 8).expect("fits"));
+    });
+    group.bench_function("k6_on_chimera", |b| {
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for bb in a + 1..6 {
+                edges.push((a, bb));
+            }
+        }
+        let target = chimera(4);
+        let embedder = Embedder::default();
+        b.iter(|| embedder.embed(6, black_box(&edges), &target).expect("K6 fits"));
+    });
+    group.finish();
+}
+
+fn bench_sqa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqa");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        // Ferromagnetic ring of n spins.
+        let mut ising = IsingModel::new(n);
+        for i in 0..n {
+            ising.add_coupling(i, (i + 1) % n, -1.0);
+        }
+        group.bench_with_input(BenchmarkId::new("ring_20us", n), &n, |b, _| {
+            let cfg = SqaConfig::default();
+            b.iter(|| sample(black_box(&ising), &cfg, 20.0, 5));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("annealer_pipeline");
+    group.sample_size(10);
+    let query = QueryGenerator::paper_defaults(QueryGraph::Chain, 3).generate(0);
+    let enc = JoEncoder::default().encode(&query);
+    group.bench_function("end_to_end_50_reads", |b| {
+        let sampler = AnnealerSampler { num_reads: 50, ..AnnealerSampler::new(pegasus_like(6)) };
+        b.iter(|| sampler.sample_qubo(black_box(&enc.qubo)).expect("embeds"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_sqa);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the formulation chain (Table 1 / Fig. 4
+//! machinery): MILP construction, BILP conversion, QUBO encoding, and the
+//! closed-form qubit bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qjo_core::bounds::qubit_upper_bound_raw;
+use qjo_core::formulate::{bilp_to_qubo, build_milp, milp_to_bilp, JoMilpConfig, QuboEncodeConfig};
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+
+fn bench_formulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formulation");
+    for &t in &[3usize, 6, 10, 15] {
+        let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, t).generate(0);
+        group.bench_with_input(BenchmarkId::new("milp_build", t), &t, |b, _| {
+            let cfg = JoMilpConfig::minimal(&query);
+            b.iter(|| build_milp(black_box(&query), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("full_encode", t), &t, |b, _| {
+            let enc = JoEncoder::default();
+            b.iter(|| enc.encode(black_box(&query)));
+        });
+        group.bench_with_input(BenchmarkId::new("bilp_and_qubo", t), &t, |b, _| {
+            let milp = build_milp(&query, &JoMilpConfig::minimal(&query));
+            b.iter(|| {
+                let bilp = milp_to_bilp(black_box(&milp));
+                bilp_to_qubo(&bilp, &QuboEncodeConfig::paper_default(1.0))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("qubit_bound");
+    for &t in &[16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let logs = vec![3.0; t];
+            b.iter(|| qubit_upper_bound_raw(t, t - 1, t, 20, black_box(0.0001), &logs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulation);
+criterion_main!(benches);

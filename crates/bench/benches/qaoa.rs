@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the gate-based substrate (Table 2 machinery):
+//! state-vector gate application, QAOA expectation evaluation, sampling,
+//! and noisy trajectory execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_gatesim::{
+    qaoa_circuit, Gate, NoiseModel, NoisySimulator, QaoaParams, QaoaSimulator, StateVector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for &n in &[12usize, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("h_layer", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = StateVector::zero(n);
+                for q in 0..n {
+                    s.apply(Gate::H(q));
+                }
+                black_box(s)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rzz_chain", n), &n, |b, &n| {
+            let mut s = StateVector::plus(n);
+            b.iter(|| {
+                for q in 0..n - 1 {
+                    s.apply(Gate::Rzz(q, q + 1, 0.3));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qaoa(c: &mut Criterion) {
+    let query = QueryGenerator {
+        log_card_range: (1.0, 1.0),
+        ..QueryGenerator::paper_defaults(QueryGraph::Cycle, 3)
+    }
+    .with_predicate_count(0, 0);
+    let enc = JoEncoder::default().encode(&query);
+    let sim = QaoaSimulator::new(&enc.qubo);
+    let params = QaoaParams { gammas: vec![0.4], betas: vec![0.3] };
+
+    let mut group = c.benchmark_group("qaoa");
+    group.sample_size(10);
+    group.bench_function("expectation_p1", |b| {
+        b.iter(|| sim.expectation(black_box(&params)));
+    });
+    group.bench_function("sample_256_shots", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| sim.sample(black_box(&params), 256, &mut rng));
+    });
+    group.bench_function("noisy_sample_128_shots", |b| {
+        let circuit = qaoa_circuit(&enc.qubo.to_ising(), &params);
+        let noisy = NoisySimulator { trajectories: 4, ..NoisySimulator::new(NoiseModel::ibm_auckland(), 0) };
+        b.iter(|| noisy.sample(black_box(&circuit), 128));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_qaoa);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the classical solvers: join-ordering DP,
+//! exhaustive search, QUBO exact enumeration, simulated annealing, tabu
+//! search, and the BILP branch-and-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qjo_core::classical::{dp_optimal, greedy_min_cost};
+use qjo_core::formulate::BilpSolver;
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_qubo::fix_variables;
+use qjo_qubo::solve::{ExactSolver, SimulatedAnnealing, TabuSearch};
+
+fn bench_classical_jo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_jo");
+    for &t in &[6usize, 10, 14, 18] {
+        let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, t).generate(0);
+        group.bench_with_input(BenchmarkId::new("dp_optimal", t), &t, |b, _| {
+            b.iter(|| dp_optimal(black_box(&query)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", t), &t, |b, _| {
+            b.iter(|| greedy_min_cost(black_box(&query)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qubo_solvers(c: &mut Criterion) {
+    let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, 3).generate(0);
+    let enc = JoEncoder::default().encode(&query);
+    let mut group = c.benchmark_group("qubo_solvers");
+    group.sample_size(10);
+    if enc.num_qubits() <= 24 {
+        group.bench_function("exact_gray_code", |b| {
+            let solver = ExactSolver::new();
+            b.iter(|| solver.solve(black_box(&enc.qubo)).unwrap());
+        });
+    }
+    group.bench_function("simulated_annealing", |b| {
+        let solver = SimulatedAnnealing { restarts: 10, sweeps: 200, ..Default::default() };
+        b.iter(|| solver.solve(black_box(&enc.qubo)).unwrap());
+    });
+    group.bench_function("tabu_search", |b| {
+        let solver = TabuSearch { restarts: 5, iterations: 1000, ..Default::default() };
+        b.iter(|| solver.solve(black_box(&enc.qubo)).unwrap());
+    });
+    group.bench_function("bilp_branch_and_bound", |b| {
+        let solver = BilpSolver::default();
+        b.iter(|| solver.solve(black_box(&enc.bilp)).unwrap());
+    });
+    group.bench_function("preprocess_fix_variables", |b| {
+        b.iter(|| fix_variables(black_box(&enc.qubo)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classical_jo, bench_qubo_solvers);
+criterion_main!(benches);

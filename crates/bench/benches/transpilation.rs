@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the transpilation pipeline (Figs. 2 and 5
+//! machinery): layout, routing, decomposition, and density extrapolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_gatesim::{qaoa_circuit, QaoaParams};
+use qjo_transpile::density::densify;
+use qjo_transpile::{Device, NativeGateSet, Strategy, Transpiler};
+
+fn workload(t: usize) -> qjo_gatesim::Circuit {
+    // Cardinality 10 keeps the 3-relation encoding at the paper's
+    // 18-qubit base case (must fit the 27-qubit Auckland device).
+    let gen = QueryGenerator {
+        log_card_range: (1.0, 1.0),
+        ..QueryGenerator::paper_defaults(QueryGraph::Cycle, t)
+    };
+    let query = gen.generate(0);
+    let enc = JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }
+        .encode(&query);
+    qaoa_circuit(&enc.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] })
+}
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile");
+    group.sample_size(20);
+    let circuit = workload(3);
+    for (label, strategy) in [
+        ("qiskit_like", Strategy::QiskitLike),
+        ("tket_like", Strategy::TketLike),
+        ("sabre", Strategy::Sabre),
+    ] {
+        group.bench_function(BenchmarkId::new("auckland", label), |b| {
+            let device = Device::ibm_auckland();
+            let t = Transpiler::new(strategy, 0);
+            b.iter(|| t.transpile(black_box(&circuit), &device.topology, device.gate_set));
+        });
+    }
+    for (label, gate_set) in [
+        ("ibm_native", NativeGateSet::Ibm),
+        ("unrestricted", NativeGateSet::Unrestricted),
+    ] {
+        group.bench_function(BenchmarkId::new("gate_set", label), |b| {
+            let device = Device::ibm_auckland();
+            let t = Transpiler::new(Strategy::QiskitLike, 0);
+            b.iter(|| t.transpile(black_box(&circuit), &device.topology, gate_set));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("density_extrapolation");
+    group.sample_size(20);
+    let base = Device::ibm_extrapolated(60).topology;
+    for &d in &[0.05f64, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| densify(black_box(&base), d, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all] [--full] [--csv DIR]
+//! ```
+//!
+//! Defaults are scaled to simulator throughput; `--full` raises the knobs
+//! toward the paper's exact parameters (slower). `--csv DIR` additionally
+//! writes each result as CSV into `DIR`.
+
+use std::path::PathBuf;
+
+use qjo_bench::report::Table;
+use qjo_bench::{ablation, fig2, fig3, fig4, fig5, scaling, table1, table2, table3, timing};
+
+struct Options {
+    which: Vec<String>,
+    full: bool,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut which = Vec::new();
+    let mut full = false;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    args.next().expect("--csv requires a directory"),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]... [--full] [--csv DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = ["table1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "timing", "ablation", "scaling"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    Options { which, full, csv_dir }
+}
+
+fn emit(options: &Options, name: &str, title: &str, table: Table) {
+    println!("== {title} ==\n");
+    println!("{}", table.render());
+    if let Some(dir) = &options.csv_dir {
+        let path = dir.join(format!("{name}.csv"));
+        match table.write_csv(&path) {
+            Ok(()) => println!("(wrote {})\n", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    for which in options.which.clone() {
+        let start = std::time::Instant::now();
+        match which.as_str() {
+            "table1" => {
+                let cfg = table1::Table1Config::default();
+                emit(&options, "table1", "Table 1: original vs pruned MILP model", table1::render(&table1::run(&cfg)));
+            }
+            "fig2" => {
+                let cfg = fig2::Fig2Config {
+                    repetitions: if options.full { 20 } else { 10 },
+                    ..Default::default()
+                };
+                emit(&options, "fig2", "Figure 2: transpiled QAOA circuit depths on IBM Q", fig2::render(&fig2::run(&cfg)));
+            }
+            "table2" => {
+                let cfg = table2::Table2Config {
+                    max_predicates: if options.full { 3 } else { 1 },
+                    trajectories: if options.full { 16 } else { 8 },
+                    ..Default::default()
+                };
+                emit(&options, "table2", "Table 2: QAOA solution quality under the Auckland noise model", table2::render(&table2::run(&cfg)));
+            }
+            "fig3" => {
+                let cfg = fig3::Fig3Config {
+                    relations: if options.full { (3..=10).collect() } else { (3..=6).collect() },
+                    pegasus_m: if options.full { 26 } else { 16 },
+                    threshold_counts: if options.full {
+                        vec![1, 2, 4, 6, 10, 20]
+                    } else {
+                        vec![1, 2, 4, 6]
+                    },
+                    ..Default::default()
+                };
+                emit(&options, "fig3", "Figure 3: physical qubits to embed JO on the Pegasus-like annealer", fig3::render(&fig3::run(&cfg)));
+            }
+            "table3" => {
+                let cfg = table3::Table3Config {
+                    instances: if options.full { 20 } else { 5 },
+                    num_reads: if options.full { 1000 } else { 200 },
+                    ..Default::default()
+                };
+                emit(&options, "table3", "Table 3: annealing solution quality (SQA + ICE noise)", table3::render(&table3::run(&cfg)));
+            }
+            "fig4" => {
+                let cfg = fig4::Fig4Config::default();
+                emit(&options, "fig4", "Figure 4: Theorem 5.3 logical-qubit upper bounds", fig4::render(&fig4::run(&cfg)));
+            }
+            "fig5" => {
+                let cfg = fig5::Fig5Config {
+                    relations: if options.full { vec![3, 4, 5, 6] } else { vec![3, 4, 5] },
+                    seeds: if options.full { 5 } else { 3 },
+                    ..Default::default()
+                };
+                emit(&options, "fig5", "Figure 5: circuit depths on hypothetical co-designed QPUs", fig5::render(&fig5::run(&cfg)));
+            }
+            "ablation" => {
+                let cfg = ablation::AblationConfig::default();
+                emit(&options, "ablation_penalty", "Ablation: penalty weight A vs annealed quality", ablation::render_penalty(&ablation::run_penalty(&cfg)));
+                emit(&options, "ablation_pruning", "Ablation: pruned vs original model, end to end", ablation::render_pruning(&ablation::run_pruning(&cfg)));
+                emit(&options, "ablation_noise", "Ablation: gate-noise scale vs QAOA quality", ablation::render_noise(&ablation::run_noise(&[0.0, 0.5, 1.0, 2.0, 4.0], 1024, 0)));
+            }
+            "scaling" => {
+                let cfg = scaling::ClassicalScalingConfig::default();
+                emit(&options, "scaling_classical", "Scaling: classical join-ordering optimisers", scaling::render_classical(&scaling::run_classical(&cfg)));
+                emit(&options, "scaling_generations", "Scaling: annealer hardware generations (equal 2048-qubit budgets)", scaling::render_generations(&scaling::run_hardware_generations(&[3, 4, 5], 0, 16)));
+                emit(&options, "scaling_qaoa_depth", "Scaling: QAOA quality vs depth p (noiseless)", scaling::render_qaoa_depth(&scaling::run_qaoa_depth(if options.full { 3 } else { 2 }, 0)));
+            }
+            "timing" => {
+                let cfg = timing::TimingConfig::default();
+                emit(&options, "timing", "Section 4.2.1: sampling vs total QPU time", timing::render(&timing::run(&cfg)));
+            }
+            other => {
+                eprintln!("unknown experiment '{other}' (see --help)");
+                std::process::exit(1);
+            }
+        }
+        println!("[{which} took {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,200 @@
+//! Figure 2: QAOA circuit depths after transpilation onto IBM Q devices.
+//!
+//! Left panel: 3-relation problems at 18/21/24/27 qubits, reached either by
+//! raising the discretisation precision (0–3 decimal places) or by adding
+//! predicates (0–3), transpiled onto IBM Q Auckland. Right panel: the
+//! predicate sweep on Auckland (Falcon, 27q) vs. Washington (Eagle, 127q).
+//! 20 transpilation repetitions per scenario give the depth distributions.
+
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_gatesim::{qaoa_circuit, QaoaParams};
+use qjo_transpile::{DepthStats, Device, Strategy, Transpiler};
+
+use crate::report::{num, Table};
+
+/// Which knob produced the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knob {
+    /// Decimal places of discretisation precision (ω = 10^−d).
+    Precision(usize),
+    /// Number of predicates kept.
+    Predicates(usize),
+}
+
+/// One measured scenario.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Device name.
+    pub device: String,
+    /// The varied knob.
+    pub knob: Knob,
+    /// Logical qubits of the encoding.
+    pub qubits: usize,
+    /// Depth distribution over the transpilation repetitions.
+    pub depth: DepthStats,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Transpilation repetitions per scenario (paper: 20).
+    pub repetitions: usize,
+    /// Query seed.
+    pub seed: u64,
+    /// Maximum knob value (paper: 3).
+    pub max_knob: usize,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Fig2Config { repetitions: 20, seed: 0, max_knob: 3 }
+    }
+}
+
+fn encode_scenario(seed: u64, knob: Knob) -> qjo_core::JoQubo {
+    // Cardinality 10 for every relation gives c_max = 2, which lands the
+    // base case at exactly 18 qubits and each knob step at +3 — the
+    // 18/21/24/27 progression of the paper's Section 4.1.
+    let gen = QueryGenerator {
+        log_card_range: (1.0, 1.0),
+        ..QueryGenerator::paper_defaults(QueryGraph::Cycle, 3)
+    };
+    let (query, omega) = match knob {
+        Knob::Precision(decimals) => {
+            (gen.with_predicate_count(seed, 0), 10f64.powi(-(decimals as i32)))
+        }
+        Knob::Predicates(p) => (gen.with_predicate_count(seed, p), 1.0),
+    };
+    JoEncoder { thresholds: ThresholdSpec::Auto(1), omega, ..Default::default() }
+        .encode(&query)
+}
+
+fn measure(device: &Device, encoded: &qjo_core::JoQubo, repetitions: usize) -> DepthStats {
+    let params = QaoaParams { gammas: vec![0.4], betas: vec![0.3] };
+    let circuit = qaoa_circuit(&encoded.qubo.to_ising(), &params);
+    let depths = Transpiler::new(Strategy::QiskitLike, 0).depth_distribution(
+        &circuit,
+        &device.topology,
+        device.gate_set,
+        repetitions,
+    );
+    DepthStats::from_samples(&depths)
+}
+
+/// Runs both panels.
+pub fn run(config: &Fig2Config) -> Vec<Fig2Row> {
+    let auckland = Device::ibm_auckland();
+    let washington = Device::ibm_washington();
+    let mut rows = Vec::new();
+
+    // Left panel on Auckland: precision sweep, then predicate sweep.
+    for d in 0..=config.max_knob {
+        let knob = Knob::Precision(d);
+        let enc = encode_scenario(config.seed, knob);
+        rows.push(Fig2Row {
+            device: auckland.name.clone(),
+            knob,
+            qubits: enc.num_qubits(),
+            depth: measure(&auckland, &enc, config.repetitions),
+        });
+    }
+    for p in 0..=config.max_knob {
+        let knob = Knob::Predicates(p);
+        let enc = encode_scenario(config.seed, knob);
+        rows.push(Fig2Row {
+            device: auckland.name.clone(),
+            knob,
+            qubits: enc.num_qubits(),
+            depth: measure(&auckland, &enc, config.repetitions),
+        });
+    }
+    // Right panel: predicate sweep on Washington.
+    for p in 0..=config.max_knob {
+        let knob = Knob::Predicates(p);
+        let enc = encode_scenario(config.seed, knob);
+        rows.push(Fig2Row {
+            device: washington.name.clone(),
+            knob,
+            qubits: enc.num_qubits(),
+            depth: measure(&washington, &enc, config.repetitions),
+        });
+    }
+    rows
+}
+
+/// Renders the rows.
+pub fn render(rows: &[Fig2Row]) -> Table {
+    let mut t = Table::new(vec![
+        "device", "knob", "value", "qubits", "depth min", "median", "max", "mean",
+    ]);
+    for r in rows {
+        let (kind, value) = match r.knob {
+            Knob::Precision(d) => ("precision (decimals)", d),
+            Knob::Predicates(p) => ("predicates", p),
+        };
+        t.push_row(vec![
+            r.device.clone(),
+            kind.to_string(),
+            value.to_string(),
+            r.qubits.to_string(),
+            r.depth.min.to_string(),
+            r.depth.median.to_string(),
+            r.depth.max.to_string(),
+            num(r.depth.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig2Config {
+        Fig2Config { repetitions: 5, seed: 0, max_knob: 2 }
+    }
+
+    #[test]
+    fn produces_all_panel_rows() {
+        let rows = run(&small());
+        // 3 precision + 3 predicate rows on Auckland, 3 on Washington.
+        assert_eq!(rows.len(), 9);
+        assert_eq!(render(&rows).num_rows(), 9);
+    }
+
+    #[test]
+    fn qubit_counts_increase_along_each_knob() {
+        let rows = run(&small());
+        let precision: Vec<usize> = rows
+            .iter()
+            .filter(|r| matches!(r.knob, Knob::Precision(_)))
+            .map(|r| r.qubits)
+            .collect();
+        assert!(precision.windows(2).all(|w| w[0] < w[1]), "{precision:?}");
+        let preds: Vec<usize> = rows
+            .iter()
+            .filter(|r| matches!(r.knob, Knob::Predicates(_)) && r.device.contains("auckland"))
+            .map(|r| r.qubits)
+            .collect();
+        assert!(preds.windows(2).all(|w| w[0] < w[1]), "{preds:?}");
+    }
+
+    #[test]
+    fn depth_grows_with_precision_faster_than_with_predicates() {
+        // The paper's key Fig. 2 observation, compared at the same qubit
+        // growth (knob value 0 → 2).
+        let rows = run(&Fig2Config { repetitions: 8, seed: 0, max_knob: 2 });
+        let median_of = |knob: Knob| {
+            rows.iter()
+                .find(|r| r.knob == knob && r.device.contains("auckland"))
+                .map(|r| r.depth.median as f64)
+                .expect("row exists")
+        };
+        let precision_growth = median_of(Knob::Precision(2)) / median_of(Knob::Precision(0));
+        let predicate_growth = median_of(Knob::Predicates(2)) / median_of(Knob::Predicates(0));
+        assert!(
+            precision_growth > predicate_growth * 0.9,
+            "precision {precision_growth:.2} vs predicates {predicate_growth:.2}"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Figure 3: physical qubits needed to embed JO QUBOs onto the annealer.
+//!
+//! Top panel: relations swept per query-graph type (chain/star/cycle) at
+//! minimal precision (ω = 1, one threshold). Bottom panel: threshold count
+//! swept at a fixed relation count for several discretisation precisions.
+//! The reported quantity is the total physical qubits of the minor
+//! embedding onto the Pegasus-like hardware graph; a missing value means
+//! the embedding heuristic failed (the feasibility frontier).
+
+use qjo_anneal::hardware::pegasus_like;
+use qjo_anneal::Embedder;
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_transpile::Topology;
+
+use crate::report::Table;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Relation counts for the top panel.
+    pub relations: Vec<usize>,
+    /// Graph types for the top panel.
+    pub graphs: Vec<QueryGraph>,
+    /// Relation count for the bottom panel (paper: 8; smaller default —
+    /// see the embedder frontier note in DESIGN.md).
+    pub bottom_relations: usize,
+    /// Threshold counts for the bottom panel.
+    pub threshold_counts: Vec<usize>,
+    /// Discretisation precisions for the bottom panel.
+    pub omegas: Vec<f64>,
+    /// Pegasus-like tile-grid size `m` (26 ≈ Advantage scale; smaller is
+    /// faster and suffices for small problems).
+    pub pegasus_m: usize,
+    /// Query seed.
+    pub seed: u64,
+    /// Embedding attempts (keep low: failures are expensive).
+    pub embed_tries: usize,
+    /// Improvement passes per embedding attempt.
+    pub embed_passes: usize,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            relations: (3..=6).collect(),
+            graphs: vec![QueryGraph::Chain, QueryGraph::Star, QueryGraph::Cycle],
+            bottom_relations: 4,
+            threshold_counts: vec![1, 2, 3, 4],
+            omegas: vec![1.0, 0.01],
+            pegasus_m: 16,
+            seed: 0,
+            embed_tries: 2,
+            embed_passes: 100,
+        }
+    }
+}
+
+/// One embedding measurement.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Panel label: "relations" (top) or "thresholds" (bottom).
+    pub panel: &'static str,
+    /// Graph type.
+    pub graph: QueryGraph,
+    /// Relations.
+    pub relations: usize,
+    /// Threshold count.
+    pub thresholds: usize,
+    /// Discretisation precision.
+    pub omega: f64,
+    /// Logical qubits (QUBO variables).
+    pub logical_qubits: usize,
+    /// Physical qubits of the embedding; `None` when embedding failed.
+    pub physical_qubits: Option<usize>,
+    /// Longest chain, when embedded.
+    pub max_chain: Option<usize>,
+}
+
+#[allow(clippy::too_many_arguments)] // experiment knobs, called twice
+fn embed_one(
+    graph: QueryGraph,
+    relations: usize,
+    thresholds: usize,
+    omega: f64,
+    target: &Topology,
+    seed: u64,
+    tries: usize,
+    passes: usize,
+) -> Fig3Row {
+    let query = QueryGenerator::paper_defaults(graph, relations).generate(seed);
+    let enc = JoEncoder {
+        thresholds: ThresholdSpec::Auto(thresholds),
+        omega,
+        ..Default::default()
+    }
+    .encode(&query);
+    let edges: Vec<(usize, usize)> = enc.qubo.quadratic_iter().map(|(i, j, _)| (i, j)).collect();
+    let embedder = Embedder {
+        max_tries: tries,
+        improvement_passes: passes,
+        time_budget_secs: Some(30.0),
+        seed,
+        ..Default::default()
+    };
+    let embedding = embedder.embed(enc.num_qubits(), &edges, target);
+    Fig3Row {
+        panel: "",
+        graph,
+        relations,
+        thresholds,
+        omega,
+        logical_qubits: enc.num_qubits(),
+        physical_qubits: embedding.as_ref().map(|e| e.num_physical_qubits()),
+        max_chain: embedding.as_ref().map(|e| e.max_chain_length()),
+    }
+}
+
+/// Runs both panels.
+pub fn run(config: &Fig3Config) -> Vec<Fig3Row> {
+    let target = pegasus_like(config.pegasus_m);
+    let mut rows = Vec::new();
+    for &graph in &config.graphs {
+        for &t in &config.relations {
+            if graph == QueryGraph::Cycle && t < 3 {
+                continue;
+            }
+            let mut row = embed_one(
+                graph,
+                t,
+                1,
+                1.0,
+                &target,
+                config.seed,
+                config.embed_tries,
+                config.embed_passes,
+            );
+            row.panel = "relations";
+            rows.push(row);
+        }
+    }
+    for &omega in &config.omegas {
+        for &r in &config.threshold_counts {
+            let mut row = embed_one(
+                QueryGraph::Chain,
+                config.bottom_relations,
+                r,
+                omega,
+                &target,
+                config.seed,
+                config.embed_tries,
+                config.embed_passes,
+            );
+            row.panel = "thresholds";
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders the rows.
+pub fn render(rows: &[Fig3Row]) -> Table {
+    let mut t = Table::new(vec![
+        "panel", "graph", "relations", "thresholds", "omega", "logical", "physical", "max chain",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.panel.to_string(),
+            format!("{:?}", r.graph),
+            r.relations.to_string(),
+            r.thresholds.to_string(),
+            format!("{}", r.omega),
+            r.logical_qubits.to_string(),
+            r.physical_qubits.map_or("FAIL".into(), |v| v.to_string()),
+            r.max_chain.map_or("-".into(), |v| v.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig3Config {
+        Fig3Config {
+            relations: vec![3, 4],
+            graphs: vec![QueryGraph::Chain, QueryGraph::Cycle],
+            bottom_relations: 4,
+            threshold_counts: vec![1, 3],
+            omegas: vec![1.0],
+            pegasus_m: 12,
+            seed: 0,
+            embed_tries: 4,
+            embed_passes: 80,
+        }
+    }
+
+    #[test]
+    fn small_instances_embed_successfully() {
+        let rows = run(&tiny());
+        for r in &rows {
+            assert!(
+                r.physical_qubits.is_some(),
+                "{:?} T={} R={} failed to embed",
+                r.graph,
+                r.relations,
+                r.thresholds
+            );
+            // Embedding overhead is at least 1 physical per logical qubit.
+            assert!(r.physical_qubits.unwrap() >= r.logical_qubits);
+        }
+    }
+
+    #[test]
+    fn physical_qubits_grow_with_relations() {
+        let rows = run(&tiny());
+        let chain: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.panel == "relations" && r.graph == QueryGraph::Chain)
+            .map(|r| r.physical_qubits.expect("embedded"))
+            .collect();
+        assert!(chain.windows(2).all(|w| w[0] < w[1]), "{chain:?}");
+    }
+
+    #[test]
+    fn more_thresholds_cost_more_physical_qubits() {
+        // Embedding heuristics have run-to-run noise, so compare a wide
+        // threshold gap (R = 1 vs R = 4) where logical growth dominates.
+        let rows = run(&tiny());
+        let bottom: Vec<(usize, usize)> = rows
+            .iter()
+            .filter(|r| r.panel == "thresholds")
+            .map(|r| (r.logical_qubits, r.physical_qubits.expect("embedded")))
+            .collect();
+        assert_eq!(bottom.len(), 2);
+        assert!(bottom[1].0 > bottom[0].0, "logical counts must grow: {bottom:?}");
+        assert!(bottom[1].1 > bottom[0].1, "physical counts should follow: {bottom:?}");
+    }
+
+    #[test]
+    fn cycle_needs_at_least_as_much_as_chain() {
+        // The paper: cycle queries are slightly larger (one extra predicate).
+        let rows = run(&tiny());
+        let get = |graph: QueryGraph, t: usize| {
+            rows.iter()
+                .find(|r| r.panel == "relations" && r.graph == graph && r.relations == t)
+                .and_then(|r| r.physical_qubits)
+                .expect("embedded")
+        };
+        for t in [3, 4] {
+            assert!(
+                get(QueryGraph::Cycle, t) + 8 >= get(QueryGraph::Chain, t),
+                "cycle much smaller than chain at T={t}"
+            );
+        }
+    }
+}

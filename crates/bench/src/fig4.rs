@@ -1,0 +1,140 @@
+//! Figure 4: logical-qubit upper bounds (Theorem 5.3) across problem sizes.
+//!
+//! Pure closed-form evaluation: cyclic query graphs (the worst case — one
+//! more predicate than chains) with up to 64 relations, swept over
+//! threshold counts and discretisation precisions.
+
+use qjo_core::bounds::qubit_upper_bound_raw;
+
+use crate::report::Table;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// Relation counts to sweep.
+    pub relations: Vec<usize>,
+    /// Threshold counts `R`.
+    pub threshold_counts: Vec<usize>,
+    /// Discretisation precisions ω.
+    pub omegas: Vec<f64>,
+    /// Log cardinality assumed for every relation.
+    pub log_card: f64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            relations: vec![4, 8, 13, 16, 24, 32, 48, 60, 64],
+            threshold_counts: vec![1, 2, 5, 10, 20],
+            omegas: vec![1.0, 0.1, 0.01, 0.0001],
+            log_card: 3.0,
+        }
+    }
+}
+
+/// One bound evaluation.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Relations `T`.
+    pub relations: usize,
+    /// Threshold count `R`.
+    pub thresholds: usize,
+    /// Precision ω.
+    pub omega: f64,
+    /// The Theorem 5.3 bound.
+    pub qubits: usize,
+}
+
+/// Runs the sweep (cyclic graphs: `P = T`).
+pub fn run(config: &Fig4Config) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for &t in &config.relations {
+        let logs = vec![config.log_card; t];
+        for &r in &config.threshold_counts {
+            for &omega in &config.omegas {
+                let bound = qubit_upper_bound_raw(t, t - 1, t, r, omega, &logs);
+                rows.push(Fig4Row { relations: t, thresholds: r, omega, qubits: bound.total() });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the rows.
+pub fn render(rows: &[Fig4Row]) -> Table {
+    let mut t = Table::new(vec!["relations", "thresholds", "omega", "qubit bound"]);
+    for r in rows {
+        t.push_row(vec![
+            r.relations.to_string(),
+            r.thresholds.to_string(),
+            format!("{}", r.omega),
+            r.qubits.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_full_grid() {
+        let cfg = Fig4Config::default();
+        let rows = run(&cfg);
+        assert_eq!(
+            rows.len(),
+            cfg.relations.len() * cfg.threshold_counts.len() * cfg.omegas.len()
+        );
+    }
+
+    #[test]
+    fn relations_dominate_scaling() {
+        let rows = run(&Fig4Config::default());
+        let get = |t: usize, r: usize, omega: f64| {
+            rows.iter()
+                .find(|x| x.relations == t && x.thresholds == r && x.omega == omega)
+                .expect("cell")
+                .qubits as f64
+        };
+        // Doubling relations roughly quadruples the bound…
+        let rel_ratio = get(32, 2, 1.0) / get(16, 2, 1.0);
+        assert!((3.0..=5.0).contains(&rel_ratio), "relations ratio {rel_ratio}");
+        // …while four decimal digits of precision stay under ~2×
+        // ("comparatively little impact", though >50% in some scenarios).
+        let prec_ratio = get(32, 2, 0.0001) / get(32, 2, 1.0);
+        assert!((1.05..=2.0).contains(&prec_ratio), "precision ratio {prec_ratio}");
+    }
+
+    #[test]
+    fn headline_numbers_match_section_6_1() {
+        let rows = run(&Fig4Config::default());
+        // 13 relations fits a 1,000-qubit QPU at modest precision.
+        let t13 = rows
+            .iter()
+            .find(|x| x.relations == 13 && x.thresholds == 1 && x.omega == 1.0)
+            .expect("cell");
+        assert!(t13.qubits <= 1000, "13 relations needs {}", t13.qubits);
+        // 60 relations exceeds 20,000 qubits at high precision.
+        let t60 = rows
+            .iter()
+            .find(|x| x.relations == 60 && x.thresholds == 20 && x.omega == 0.0001)
+            .expect("cell");
+        assert!(t60.qubits > 20_000, "60 relations bound {}", t60.qubits);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_every_knob() {
+        let cfg = Fig4Config::default();
+        let rows = run(&cfg);
+        let get = |t: usize, r: usize, omega: f64| {
+            rows.iter()
+                .find(|x| x.relations == t && x.thresholds == r && x.omega == omega)
+                .expect("cell")
+                .qubits
+        };
+        assert!(get(24, 2, 1.0) < get(48, 2, 1.0));
+        assert!(get(24, 1, 1.0) < get(24, 10, 1.0));
+        assert!(get(24, 2, 1.0) < get(24, 2, 0.01));
+    }
+}

@@ -1,0 +1,239 @@
+//! Figure 5: circuit depths on hypothetical future QPUs (co-design study).
+//!
+//! For each relation count, the QAOA circuit (two thresholds, ω = 1) is
+//! transpiled onto size-extrapolated IBM heavy-hex and Rigetti octagonal
+//! devices — augmented to a range of extended-connectivity densities — and
+//! onto fully-connected IonQ devices, with both native and unrestricted
+//! gate sets and both transpiler pipelines (Qiskit-like and tket-like).
+
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_gatesim::{qaoa_circuit, QaoaParams};
+use qjo_transpile::{Device, NativeGateSet, Strategy, Transpiler};
+
+use crate::report::Table;
+
+/// Vendor families studied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vendor {
+    /// IBM heavy-hex (superconducting, CX basis).
+    Ibm,
+    /// Rigetti octagonal (superconducting, CZ basis).
+    Rigetti,
+    /// IonQ trapped-ion (complete mesh, MS basis).
+    Ionq,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Relation counts to sweep.
+    pub relations: Vec<usize>,
+    /// Extended-connectivity densities for the superconducting vendors.
+    pub densities: Vec<f64>,
+    /// Transpilation seeds averaged per point.
+    pub seeds: usize,
+    /// Query seed.
+    pub query_seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            relations: vec![3, 4, 5],
+            densities: vec![0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0],
+            seeds: 3,
+            query_seed: 0,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Vendor family.
+    pub vendor: Vendor,
+    /// Relations.
+    pub relations: usize,
+    /// Logical qubits of the problem.
+    pub qubits: usize,
+    /// Extended connectivity (0 for IonQ, which is already complete).
+    pub density: f64,
+    /// Native vs. unrestricted gates.
+    pub gate_set: &'static str,
+    /// Transpiler pipeline.
+    pub transpiler: &'static str,
+    /// Median circuit depth over the seeds.
+    pub depth: usize,
+}
+
+/// Runs the sweep, parallelised over relation counts (the transpilation
+/// workload per relation count is independent).
+pub fn run(config: &Fig5Config) -> Vec<Fig5Row> {
+    let per_relation = crate::par::par_map(config.relations.clone(), 2, |t| {
+        run_for_relations(config, t)
+    });
+    per_relation.into_iter().flatten().collect()
+}
+
+fn run_for_relations(config: &Fig5Config, t: usize) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    {
+        let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, t)
+            .generate(config.query_seed);
+        let enc = JoEncoder {
+            thresholds: ThresholdSpec::Auto(2),
+            omega: 1.0,
+            ..Default::default()
+        }
+        .encode(&query);
+        let n = enc.num_qubits();
+        let circuit = qaoa_circuit(
+            &enc.qubo.to_ising(),
+            &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
+        );
+
+        for vendor in [Vendor::Ibm, Vendor::Rigetti, Vendor::Ionq] {
+            let base = match vendor {
+                Vendor::Ibm => Device::ibm_extrapolated(n),
+                Vendor::Rigetti => Device::rigetti_extrapolated(n),
+                Vendor::Ionq => Device::ionq(n),
+            };
+            let densities: &[f64] =
+                if vendor == Vendor::Ionq { &[0.0] } else { &config.densities };
+            for &density in densities {
+                let device = if density == 0.0 {
+                    base.clone()
+                } else {
+                    base.with_density(density, 17)
+                };
+                for (gate_label, gate_set) in [
+                    ("native", base.gate_set),
+                    ("unrestricted", NativeGateSet::Unrestricted),
+                ] {
+                    for (tr_label, strategy) in [
+                        ("qiskit-like", Strategy::QiskitLike),
+                        ("tket-like", Strategy::TketLike),
+                    ] {
+                        let depths = Transpiler::new(strategy, 0).depth_distribution(
+                            &circuit,
+                            &device.topology,
+                            gate_set,
+                            config.seeds,
+                        );
+                        let mut sorted = depths;
+                        sorted.sort_unstable();
+                        rows.push(Fig5Row {
+                            vendor,
+                            relations: t,
+                            qubits: n,
+                            density,
+                            gate_set: gate_label,
+                            transpiler: tr_label,
+                            depth: sorted[sorted.len() / 2],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+
+/// Renders the rows.
+pub fn render(rows: &[Fig5Row]) -> Table {
+    let mut t = Table::new(vec![
+        "vendor", "relations", "qubits", "density", "gates", "transpiler", "median depth",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            format!("{:?}", r.vendor),
+            r.relations.to_string(),
+            r.qubits.to_string(),
+            format!("{:.2}", r.density),
+            r.gate_set.to_string(),
+            r.transpiler.to_string(),
+            r.depth.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig5Config {
+        Fig5Config {
+            relations: vec![3],
+            densities: vec![0.0, 0.1, 1.0],
+            seeds: 2,
+            query_seed: 0,
+        }
+    }
+
+    fn find<'a>(
+        rows: &'a [Fig5Row],
+        vendor: Vendor,
+        density: f64,
+        gates: &str,
+        transpiler: &str,
+    ) -> &'a Fig5Row {
+        rows.iter()
+            .find(|r| {
+                r.vendor == vendor
+                    && (r.density - density).abs() < 1e-9
+                    && r.gate_set == gates
+                    && r.transpiler == transpiler
+            })
+            .expect("row exists")
+    }
+
+    #[test]
+    fn covers_the_grid() {
+        let rows = run(&tiny());
+        // IBM & Rigetti: 3 densities × 2 gates × 2 transpilers = 12 each;
+        // IonQ: 1 × 2 × 2 = 4.
+        assert_eq!(rows.len(), 12 + 12 + 4);
+        assert_eq!(render(&rows).num_rows(), rows.len());
+    }
+
+    #[test]
+    fn density_reduces_depth() {
+        let rows = run(&tiny());
+        for vendor in [Vendor::Ibm, Vendor::Rigetti] {
+            let sparse = find(&rows, vendor, 0.0, "native", "qiskit-like").depth;
+            let denser = find(&rows, vendor, 0.1, "native", "qiskit-like").depth;
+            let mesh = find(&rows, vendor, 1.0, "native", "qiskit-like").depth;
+            assert!(denser < sparse, "{vendor:?}: d=0.1 {denser} vs d=0 {sparse}");
+            assert!(mesh <= denser, "{vendor:?}: mesh {mesh} vs d=0.1 {denser}");
+        }
+    }
+
+    #[test]
+    fn ionq_baseline_is_competitive_with_densified_superconductors() {
+        let rows = run(&tiny());
+        let ionq = find(&rows, Vendor::Ionq, 0.0, "native", "qiskit-like").depth;
+        let ibm_sparse = find(&rows, Vendor::Ibm, 0.0, "native", "qiskit-like").depth;
+        assert!(ionq < ibm_sparse, "IonQ {ionq} vs sparse IBM {ibm_sparse}");
+    }
+
+    #[test]
+    fn native_gates_cost_depth_on_rigetti() {
+        // The paper: native-vs-unrestricted matters on Rigetti (CZ + RX
+        // synthesis) more than on IBM.
+        let rows = run(&tiny());
+        let native = find(&rows, Vendor::Rigetti, 0.0, "native", "qiskit-like").depth;
+        let unrestricted =
+            find(&rows, Vendor::Rigetti, 0.0, "unrestricted", "qiskit-like").depth;
+        assert!(native > unrestricted, "native {native} vs unrestricted {unrestricted}");
+    }
+
+    #[test]
+    fn tket_like_overhead_appears_on_sparse_superconductors() {
+        let rows = run(&tiny());
+        let qk = find(&rows, Vendor::Ibm, 0.0, "native", "qiskit-like").depth;
+        let tk = find(&rows, Vendor::Ibm, 0.0, "native", "tket-like").depth;
+        assert!(tk > qk, "tket-like {tk} vs qiskit-like {qk}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Tiny scoped-thread parallel map for embarrassingly parallel experiment
+//! sweeps (crossbeam scoped threads; results returned in input order).
+
+/// Applies `f` to every item on `threads` worker threads, preserving order.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || n == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                match job {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        results.lock().expect("results lock").push((idx, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut results = results.into_inner().expect("results lock");
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..100).collect(), 4, |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        assert_eq!(par_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(par_map(Vec::<i32>::new(), 4, |x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(vec![7], 8, |x| x * 2), vec![14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        par_map(vec![0, 1], 2, |x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! Table 1: variables and constraints in the original vs. pruned MILP.
+//!
+//! The paper's Table 1 gives closed-form counts; this experiment builds
+//! both models for concrete queries and reports the realised counts per
+//! category, confirming the formulas.
+
+use qjo_core::formulate::{build_milp, ConstraintKind, JoMilpConfig};
+use qjo_core::{QueryGraph, QueryGenerator};
+
+use crate::report::Table;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Relation counts to sweep.
+    pub relations: Vec<usize>,
+    /// Number of thresholds `R`.
+    pub thresholds: usize,
+    /// Query graph shape.
+    pub graph: QueryGraph,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            relations: vec![3, 5, 8, 12, 16, 20],
+            thresholds: 2,
+            graph: QueryGraph::Cycle,
+            seed: 0,
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Relations `T`.
+    pub relations: usize,
+    /// Predicates `P`.
+    pub predicates: usize,
+    /// `pao` variables: (original, pruned).
+    pub pao_vars: (usize, usize),
+    /// `cto` variables: (original, pruned).
+    pub cto_vars: (usize, usize),
+    /// Operand-disjointness constraints: (original, pruned).
+    pub disjoint_constraints: (usize, usize),
+    /// Predicate-applicability constraints: (original, pruned).
+    pub pred_constraints: (usize, usize),
+    /// Cardinality-threshold constraints: (original, pruned).
+    pub card_constraints: (usize, usize),
+    /// Total binary variables incl. slack after BILP conversion:
+    /// (original, pruned).
+    pub total_qubits: (usize, usize),
+}
+
+/// Runs the experiment.
+pub fn run(config: &Table1Config) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for &t in &config.relations {
+        let query = QueryGenerator::paper_defaults(config.graph, t).generate(config.seed);
+        let thresholds = qjo_core::formulate::auto_thresholds(&query, config.thresholds);
+        let build = |prune: bool| {
+            let milp = build_milp(
+                &query,
+                &JoMilpConfig { log_thresholds: thresholds.clone(), omega: 1.0, prune },
+            );
+            let counts = milp.constraint_counts();
+            let get = |k| counts.get(&k).copied().unwrap_or(0);
+            let (_, _, pao, cto, _) = milp.registry.counts();
+            let bilp = qjo_core::formulate::milp_to_bilp(&milp);
+            (
+                pao,
+                cto,
+                get(ConstraintKind::OperandDisjoint),
+                get(ConstraintKind::PredApplicable),
+                get(ConstraintKind::CardThreshold),
+                bilp.num_vars(),
+            )
+        };
+        let o = build(false);
+        let p = build(true);
+        rows.push(Table1Row {
+            relations: t,
+            predicates: query.num_predicates(),
+            pao_vars: (o.0, p.0),
+            cto_vars: (o.1, p.1),
+            disjoint_constraints: (o.2, p.2),
+            pred_constraints: (o.3, p.3),
+            card_constraints: (o.4, p.4),
+            total_qubits: (o.5, p.5),
+        });
+    }
+    rows
+}
+
+/// Renders the rows as a text table.
+pub fn render(rows: &[Table1Row]) -> Table {
+    let mut t = Table::new(vec![
+        "T", "P", "pao o/p", "cto o/p", "disj o/p", "pred o/p", "card o/p", "qubits o/p",
+    ]);
+    for r in rows {
+        let pair = |(a, b): (usize, usize)| format!("{a}/{b}");
+        t.push_row(vec![
+            r.relations.to_string(),
+            r.predicates.to_string(),
+            pair(r.pao_vars),
+            pair(r.cto_vars),
+            pair(r.disjoint_constraints),
+            pair(r.pred_constraints),
+            pair(r.card_constraints),
+            pair(r.total_qubits),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table_1_formulas() {
+        let rows = run(&Table1Config {
+            relations: vec![4, 6],
+            thresholds: 2,
+            graph: QueryGraph::Cycle,
+            seed: 1,
+        });
+        for r in &rows {
+            let t = r.relations;
+            let j = t - 1;
+            let p = r.predicates;
+            assert_eq!(p, t, "cycle graph has T predicates");
+            // Variables: pao PJ vs P(J−1); cto RJ vs ≤ R(J−1).
+            assert_eq!(r.pao_vars.0, p * j);
+            assert_eq!(r.pao_vars.1, p * (j - 1));
+            assert_eq!(r.cto_vars.0, 2 * j);
+            assert!(r.cto_vars.1 <= 2 * (j - 1));
+            // Constraints: disjoint TJ vs T; pred 2PJ vs 2P(J−1).
+            assert_eq!(r.disjoint_constraints.0, t * j);
+            assert_eq!(r.disjoint_constraints.1, t);
+            assert_eq!(r.pred_constraints.0, 2 * p * j);
+            assert_eq!(r.pred_constraints.1, 2 * p * (j - 1));
+            assert_eq!(r.card_constraints.0, 2 * j);
+            assert!(r.card_constraints.1 <= 2 * (j - 1));
+            // Pruning strictly shrinks the qubit count.
+            assert!(r.total_qubits.1 < r.total_qubits.0);
+        }
+    }
+
+    #[test]
+    fn render_emits_one_line_per_row() {
+        let rows = run(&Table1Config {
+            relations: vec![3, 4, 5],
+            ..Default::default()
+        });
+        let table = render(&rows);
+        assert_eq!(table.num_rows(), 3);
+        assert!(table.render().contains("qubits o/p"));
+    }
+}

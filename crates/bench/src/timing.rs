@@ -1,0 +1,112 @@
+//! Section 4.2.1's timing decomposition: sampling time `t_s` vs. total QPU
+//! time `t_qpu`, and the local-coprocessor comparison motivating Figure 1.
+
+use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_gatesim::{qaoa_circuit, NoiseModel, QaoaParams, QpuTimingModel};
+
+use crate::report::Table;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Predicate counts swept at 3 relations (paper reports 0 and 3).
+    pub predicate_counts: Vec<usize>,
+    /// Shots per job (paper: 1024).
+    pub shots: usize,
+    /// Query seed.
+    pub seed: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { predicate_counts: vec![0, 1, 2, 3], shots: 1024, seed: 0 }
+    }
+}
+
+/// One timing row.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Number of predicates.
+    pub predicates: usize,
+    /// Logical qubits.
+    pub qubits: usize,
+    /// Sampling time `t_s`, seconds (cloud model).
+    pub t_sampling: f64,
+    /// Total QPU time `t_qpu`, seconds (cloud model).
+    pub t_qpu: f64,
+    /// Total time on a hypothetical local coprocessor, seconds.
+    pub t_local: f64,
+}
+
+/// Runs the decomposition.
+pub fn run(config: &TimingConfig) -> Vec<TimingRow> {
+    let gen = QueryGenerator {
+        log_card_range: (1.0, 1.0),
+        ..QueryGenerator::paper_defaults(QueryGraph::Cycle, 3)
+    };
+    let cloud = QpuTimingModel::ibm_cloud();
+    let local = QpuTimingModel::local_coprocessor();
+    let noise = NoiseModel::ibm_auckland();
+    let mut rows = Vec::new();
+    for &p in &config.predicate_counts {
+        let query = gen.with_predicate_count(config.seed, p);
+        let enc = JoEncoder::default().encode(&query);
+        let circuit = qaoa_circuit(
+            &enc.qubo.to_ising(),
+            &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
+        );
+        rows.push(TimingRow {
+            predicates: p,
+            qubits: enc.num_qubits(),
+            t_sampling: cloud.sampling_time(&circuit, &noise, config.shots),
+            t_qpu: cloud.total_qpu_time(&circuit, &noise, config.shots),
+            t_local: local.total_qpu_time(&circuit, &noise, config.shots),
+        });
+    }
+    rows
+}
+
+/// Renders the rows.
+pub fn render(rows: &[TimingRow]) -> Table {
+    let mut t = Table::new(vec![
+        "predicates", "qubits", "t_s [ms]", "t_qpu [s]", "local [ms]", "overhead ×",
+    ]);
+    for r in rows {
+        t.push_row(vec![
+            r.predicates.to_string(),
+            r.qubits.to_string(),
+            format!("{:.1}", r.t_sampling * 1e3),
+            format!("{:.2}", r.t_qpu),
+            format!("{:.1}", r.t_local * 1e3),
+            format!("{:.0}", r.t_qpu / r.t_sampling),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_orders_of_magnitude() {
+        let rows = run(&TimingConfig::default());
+        for r in &rows {
+            // t_s tens of milliseconds, t_qpu ~10 s.
+            assert!(r.t_sampling > 0.01 && r.t_sampling < 0.5, "t_s = {}", r.t_sampling);
+            assert!(r.t_qpu > 5.0 && r.t_qpu < 15.0, "t_qpu = {}", r.t_qpu);
+            // Local execution eliminates the overhead.
+            assert!(r.t_local < 2.0 * r.t_sampling);
+        }
+    }
+
+    #[test]
+    fn problem_size_barely_moves_total_time() {
+        let rows = run(&TimingConfig::default());
+        let small = rows.first().expect("rows").t_qpu;
+        let large = rows.last().expect("rows").t_qpu;
+        assert!((large - small).abs() / small < 0.05);
+        // But sampling time does grow with the circuit.
+        assert!(rows.last().unwrap().t_sampling >= rows.first().unwrap().t_sampling);
+    }
+}

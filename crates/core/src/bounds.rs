@@ -1,0 +1,196 @@
+//! Qubit-resource bounds (Section 5 of the paper).
+//!
+//! Theorem 5.3: for `T` relations, `J = T − 1` joins, `P` predicates and
+//! `R` thresholds at discretisation precision ω,
+//!
+//! ```text
+//! n ≤ 2TJ + (3P + R)(J − 1) + T + R Σ_{j=1}^{J−1} (⌊log₂(c_j_max / ω)⌋ + 1)
+//! ```
+//!
+//! where `c_j_max` (Lemma 5.2) is the sum of the `j + 1` largest log
+//! cardinalities. These closed forms drive Figure 4's scaling study and the
+//! co-design capacity estimates ("1,000 logical qubits ≈ 13 relations").
+
+use crate::query::Query;
+
+/// Breakdown of the Theorem 5.3 upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QubitBound {
+    /// `2TJ` — table-operand variables.
+    pub table_vars: usize,
+    /// `P(J−1)` — predicate-applicability variables.
+    pub pao_vars: usize,
+    /// `R(J−1)` — threshold variables (upper bound, before Lemma pruning).
+    pub cto_vars: usize,
+    /// `T + 2P(J−1)` — single-bit slack for the simple inequalities.
+    pub unit_slack: usize,
+    /// `R Σ_j (⌊log₂(c_j_max/ω)⌋ + 1)` — discretised cardinality slack.
+    pub card_slack: usize,
+}
+
+impl QubitBound {
+    /// The total bound `n`.
+    pub fn total(&self) -> usize {
+        self.table_vars + self.pao_vars + self.cto_vars + self.unit_slack + self.card_slack
+    }
+}
+
+/// Computes the Theorem 5.3 bound for a concrete query.
+pub fn qubit_upper_bound(query: &Query, thresholds: usize, omega: f64) -> QubitBound {
+    let t = query.num_relations();
+    let j = query.num_joins();
+    let p = query.num_predicates();
+    qubit_upper_bound_raw(t, j, p, thresholds, omega, &{
+        let mut logs = query.log_cards().to_vec();
+        logs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        logs
+    })
+}
+
+/// The bound from raw parameters; `sorted_log_cards` must be descending.
+/// Useful for hypothetical instances (Fig. 4 sweeps to 64 relations).
+pub fn qubit_upper_bound_raw(
+    t: usize,
+    j: usize,
+    p: usize,
+    r: usize,
+    omega: f64,
+    sorted_log_cards: &[f64],
+) -> QubitBound {
+    assert!(omega > 0.0, "ω must be positive");
+    assert_eq!(sorted_log_cards.len(), t, "need one log cardinality per relation");
+    assert!(
+        sorted_log_cards.windows(2).all(|w| w[0] >= w[1]),
+        "log cardinalities must be sorted descending"
+    );
+    let mut card_slack = 0usize;
+    let mut prefix: f64 = sorted_log_cards.first().copied().unwrap_or(0.0);
+    // c_j_max for join j = sum of the (j + 1) largest log cardinalities.
+    for &log_card in sorted_log_cards.iter().take(j).skip(1) {
+        prefix += log_card;
+        card_slack += r * crate::formulate::slack_bits(prefix, omega);
+    }
+    QubitBound {
+        table_vars: 2 * t * j,
+        pao_vars: p * j.saturating_sub(1),
+        cto_vars: r * j.saturating_sub(1),
+        unit_slack: t + 2 * p * j.saturating_sub(1),
+        card_slack,
+    }
+}
+
+/// The largest number of relations whose bound fits within `budget` logical
+/// qubits, for cyclic query graphs (P = T, the paper's worst case) with all
+/// log cardinalities equal to `log_card`.
+pub fn max_relations_for_budget(
+    budget: usize,
+    thresholds: usize,
+    omega: f64,
+    log_card: f64,
+) -> usize {
+    let mut t = 2;
+    loop {
+        let logs = vec![log_card; t + 1];
+        let bound =
+            qubit_upper_bound_raw(t + 1, t, t + 1, thresholds, omega, &logs).total();
+        if bound > budget {
+            return t;
+        }
+        t += 1;
+        if t > 10_000 {
+            return t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::{build_milp, milp_to_bilp, JoMilpConfig};
+    use crate::query::QueryGraph;
+    use crate::querygen::QueryGenerator;
+
+    #[test]
+    fn bound_dominates_constructed_model_size() {
+        for graph in [QueryGraph::Chain, QueryGraph::Star, QueryGraph::Cycle] {
+            for t in 3..=7 {
+                for r in 1..=3 {
+                    for &omega in &[1.0, 0.1] {
+                        let q = QueryGenerator::paper_defaults(graph, t).generate(7);
+                        let thresholds =
+                            crate::formulate::auto_thresholds(&q, r);
+                        let cfg = JoMilpConfig {
+                            log_thresholds: thresholds,
+                            omega,
+                            prune: true,
+                        };
+                        let bilp = milp_to_bilp(&build_milp(&q, &cfg));
+                        let bound = qubit_upper_bound(&q, r, omega).total();
+                        assert!(
+                            bilp.num_vars() <= bound,
+                            "{graph:?} T={t} R={r} ω={omega}: {} > {bound}",
+                            bilp.num_vars()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_matches_closed_form_for_uniform_cards() {
+        // T = 3, J = 2, P = 1, R = 1, ω = 1, all log cards 2:
+        // 2TJ = 12; (3P+R)(J−1) = 4; T = 3;
+        // card slack: j = 1, c_max = 4 → ⌊log₂ 4⌋+1 = 3.
+        let b = qubit_upper_bound_raw(3, 2, 1, 1, 1.0, &[2.0, 2.0, 2.0]);
+        assert_eq!(b.table_vars, 12);
+        assert_eq!(b.pao_vars, 1);
+        assert_eq!(b.cto_vars, 1);
+        assert_eq!(b.unit_slack, 5);
+        assert_eq!(b.card_slack, 3);
+        assert_eq!(b.total(), 22);
+    }
+
+    #[test]
+    fn scaling_is_quadratic_in_relations() {
+        // The dominant 2TJ term: bound(2T)/bound(T) → ≈4 for large T.
+        let bound_at = |t: usize| {
+            let logs = vec![3.0; t];
+            qubit_upper_bound_raw(t, t - 1, t, 2, 1.0, &logs).total() as f64
+        };
+        let ratio = bound_at(60) / bound_at(30);
+        assert!((3.2..=4.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn precision_increases_only_the_slack_term() {
+        let logs = vec![3.0; 8];
+        let coarse = qubit_upper_bound_raw(8, 7, 8, 2, 1.0, &logs);
+        let fine = qubit_upper_bound_raw(8, 7, 8, 2, 0.0001, &logs);
+        assert_eq!(coarse.table_vars, fine.table_vars);
+        assert_eq!(coarse.pao_vars, fine.pao_vars);
+        assert!(fine.card_slack > coarse.card_slack);
+        // Fig. 4's observation: precision matters but relations dominate —
+        // four decimal digits of precision stay within ~2× of the total.
+        assert!((fine.total() as f64) < 2.0 * coarse.total() as f64);
+    }
+
+    #[test]
+    fn thousand_qubits_cover_about_thirteen_relations() {
+        // Section 6.1's headline: a 1,000-qubit QPU handles ~13 relations
+        // (depending on precision). Accept the paper's ballpark.
+        let t = max_relations_for_budget(1000, 2, 1.0, 3.0);
+        assert!((11..=16).contains(&t), "1000 qubits -> {t} relations");
+        // And 60-relation queries need >20,000 qubits.
+        let logs = vec![3.0; 60];
+        let bound = qubit_upper_bound_raw(60, 59, 60, 20, 0.01, &logs).total();
+        assert!(bound > 20_000, "60 relations bound {bound}");
+    }
+
+    #[test]
+    fn budget_search_is_monotone_in_budget() {
+        let small = max_relations_for_budget(200, 1, 1.0, 3.0);
+        let large = max_relations_for_budget(2000, 1, 1.0, 3.0);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,215 @@
+//! Randomised join-ordering heuristics after Steinbrunn, Moerkotte &
+//! Kemper (VLDB Journal 1997) — the paper the query generator comes from.
+//!
+//! Both operate on the space of left-deep orders (permutations) with the
+//! classic *move set*: swap two positions, or relocate ("3-cycle") one
+//! relation to another position.
+//!
+//! * [`iterative_improvement`]: repeated greedy descent from random starts.
+//! * [`simulated_annealing_jo`]: Metropolis walk with geometric cooling.
+//!
+//! These are the classical competitors quantum approaches must eventually
+//! beat; they also serve as strong upper bounds when exhaustive DP is out
+//! of reach (T > 28).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::jointree::JoinOrder;
+use crate::query::Query;
+
+/// A random neighbour move on a permutation.
+fn random_move(order: &mut Vec<usize>, rng: &mut StdRng) -> (usize, usize, bool) {
+    let n = order.len();
+    let i = rng.random_range(0..n);
+    let mut j = rng.random_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    if rng.random_bool(0.5) {
+        order.swap(i, j);
+        (i, j, true)
+    } else {
+        let rel = order.remove(i);
+        order.insert(j.min(order.len()), rel);
+        (i, j, false)
+    }
+}
+
+fn undo_move(order: &mut Vec<usize>, mv: (usize, usize, bool)) {
+    let (i, j, was_swap) = mv;
+    if was_swap {
+        order.swap(i, j);
+    } else {
+        let rel = order.remove(j.min(order.len() - 1));
+        order.insert(i, rel);
+    }
+}
+
+fn random_order(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut v: Vec<usize> = (0..n).collect();
+    v.shuffle(rng);
+    v
+}
+
+/// Iterative improvement: from each random start, keep applying improving
+/// random moves until `patience` consecutive moves fail, then restart.
+pub fn iterative_improvement(
+    query: &Query,
+    restarts: usize,
+    patience: usize,
+    seed: u64,
+) -> (JoinOrder, f64) {
+    assert!(restarts >= 1, "need at least one restart");
+    let n = query.num_relations();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for _ in 0..restarts {
+        let mut order = random_order(n, &mut rng);
+        let mut cost = JoinOrder { order: order.clone() }.cost(query);
+        let mut failures = 0usize;
+        while failures < patience {
+            let mv = random_move(&mut order, &mut rng);
+            let new_cost = JoinOrder { order: order.clone() }.cost(query);
+            if new_cost < cost {
+                cost = new_cost;
+                failures = 0;
+            } else {
+                undo_move(&mut order, mv);
+                failures += 1;
+            }
+        }
+        match &best {
+            Some((_, c)) if *c <= cost => {}
+            _ => best = Some((order, cost)),
+        }
+    }
+    let (order, cost) = best.expect("restarts >= 1");
+    (JoinOrder::new(order, n).expect("moves preserve permutations"), cost)
+}
+
+/// Simulated annealing over join orders with geometric cooling.
+pub fn simulated_annealing_jo(
+    query: &Query,
+    sweeps: usize,
+    seed: u64,
+) -> (JoinOrder, f64) {
+    assert!(sweeps >= 1, "need at least one sweep");
+    let n = query.num_relations();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order = random_order(n, &mut rng);
+    let mut cost = JoinOrder { order: order.clone() }.cost(query);
+    let mut best = (order.clone(), cost);
+
+    // Initial temperature: a fraction of the starting cost, so early moves
+    // are mostly accepted; geometric decay to a freezing floor.
+    let mut temp = (cost * 0.1).max(1e-9);
+    let moves_per_sweep = n.max(4) * 4;
+    for _ in 0..sweeps {
+        for _ in 0..moves_per_sweep {
+            let mv = random_move(&mut order, &mut rng);
+            let new_cost = JoinOrder { order: order.clone() }.cost(query);
+            let delta = new_cost - cost;
+            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
+                cost = new_cost;
+                if cost < best.1 {
+                    best = (order.clone(), cost);
+                }
+            } else {
+                undo_move(&mut order, mv);
+            }
+        }
+        temp *= 0.9;
+    }
+    let (order, cost) = best;
+    (JoinOrder::new(order, n).expect("moves preserve permutations"), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::dp_optimal;
+    use crate::query::QueryGraph;
+    use crate::querygen::QueryGenerator;
+
+    #[test]
+    fn moves_preserve_permutations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut order: Vec<usize> = (0..7).collect();
+        for _ in 0..200 {
+            random_move(&mut order, &mut rng);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn undo_inverts_every_move() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let mut order = random_order(6, &mut rng);
+            let before = order.clone();
+            let mv = random_move(&mut order, &mut rng);
+            undo_move(&mut order, mv);
+            assert_eq!(order, before);
+        }
+    }
+
+    #[test]
+    fn ii_reaches_optimum_on_small_queries() {
+        for graph in [QueryGraph::Chain, QueryGraph::Star, QueryGraph::Cycle] {
+            let q = QueryGenerator::paper_defaults(graph, 6).generate(2);
+            let (_, opt) = dp_optimal(&q);
+            let (_, ii) = iterative_improvement(&q, 20, 60, 7);
+            let rel = (ii - opt) / opt;
+            assert!(rel < 1e-9, "{graph:?}: II {ii} vs DP {opt}");
+        }
+    }
+
+    #[test]
+    fn sa_reaches_optimum_on_small_queries() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Chain, 7).generate(3);
+        let (_, opt) = dp_optimal(&q);
+        let (_, sa) = simulated_annealing_jo(&q, 120, 5);
+        let rel = (sa - opt) / opt;
+        assert!(rel < 1e-9, "SA {sa} vs DP {opt}");
+    }
+
+    #[test]
+    fn heuristics_never_beat_dp() {
+        for seed in 0..5 {
+            let q = QueryGenerator::paper_defaults(QueryGraph::Cycle, 8).generate(seed);
+            let (_, opt) = dp_optimal(&q);
+            let (o1, c1) = iterative_improvement(&q, 5, 30, seed);
+            let (o2, c2) = simulated_annealing_jo(&q, 50, seed);
+            assert!(c1 >= opt - 1e-6);
+            assert!(c2 >= opt - 1e-6);
+            // Reported costs re-evaluate to themselves.
+            assert!((o1.cost(&q) - c1).abs() < 1e-9);
+            assert!((o2.cost(&q) - c2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Star, 9).generate(1);
+        let a = iterative_improvement(&q, 3, 20, 11);
+        let b = iterative_improvement(&q, 3, 20, 11);
+        assert_eq!(a.0.order, b.0.order);
+        let a = simulated_annealing_jo(&q, 30, 11);
+        let b = simulated_annealing_jo(&q, 30, 11);
+        assert_eq!(a.0.order, b.0.order);
+    }
+
+    #[test]
+    fn scales_beyond_dp_reach() {
+        // 30 relations: DP (2^30 states) is impractical; the randomised
+        // heuristics still return valid orders.
+        let q = QueryGenerator::paper_defaults(QueryGraph::Chain, 30).generate(0);
+        let (order, cost) = iterative_improvement(&q, 2, 40, 0);
+        assert_eq!(order.order.len(), 30);
+        assert!(cost.is_finite());
+    }
+}

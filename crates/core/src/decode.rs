@@ -1,0 +1,208 @@
+//! Postprocessing: mapping QPU samples back to join orders (Section 3.5).
+//!
+//! NISQ samples routinely violate BILP constraints, so validity is *not*
+//! judged by the penalty value. Instead, only the `tii` assignments are
+//! read: a sample is valid when every join's inner operand is represented
+//! by exactly one relation, all inner relations are distinct, and exactly
+//! one relation remains for the outer operand of the first join (recovered
+//! by elimination).
+
+use qjo_qubo::SampleSet;
+
+use crate::formulate::vars::{JoVar, VarRegistry};
+use crate::jointree::JoinOrder;
+use crate::query::Query;
+
+/// Decodes one binary assignment into a join order, or `None` when the
+/// `tii` variables do not describe an unambiguous left-deep tree.
+pub fn decode_assignment(
+    x: &[bool],
+    registry: &VarRegistry,
+    query: &Query,
+) -> Option<JoinOrder> {
+    let t_count = query.num_relations();
+    let j_count = query.num_joins();
+    let mut used = vec![false; t_count];
+    let mut inners = Vec::with_capacity(j_count);
+    for j in 0..j_count {
+        let mut inner = None;
+        for t in 0..t_count {
+            let idx = registry.get(JoVar::Tii { t, j })?;
+            if *x.get(idx)? {
+                if inner.is_some() {
+                    return None; // ambiguous inner operand
+                }
+                inner = Some(t);
+            }
+        }
+        let t = inner?; // no inner operand at all
+        if used[t] {
+            return None; // relation joined twice
+        }
+        used[t] = true;
+        inners.push(t);
+    }
+    // Exactly one relation remains: the outer operand of join 0.
+    let mut remaining = (0..t_count).filter(|&t| !used[t]);
+    let outer = remaining.next()?;
+    if remaining.next().is_some() {
+        return None;
+    }
+    let mut order = Vec::with_capacity(t_count);
+    order.push(outer);
+    order.extend(inners);
+    JoinOrder::new(order, t_count)
+}
+
+/// Quality statistics of a sample set, in the terms of Tables 2 and 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleQuality {
+    /// Fraction of reads decoding to a valid join order.
+    pub valid_fraction: f64,
+    /// Fraction of reads decoding to a cost-optimal join order.
+    pub optimal_fraction: f64,
+    /// The cheapest valid decoded order and its `C_out` cost, if any read
+    /// was valid.
+    pub best: Option<(JoinOrder, f64)>,
+}
+
+/// Assesses every sample against the query and a known optimal cost.
+///
+/// `optimal_cost` should come from [`crate::classical::dp_optimal`];
+/// optimality is cost equality within relative tolerance `1e-9` (join
+/// orders are typically degenerate, so comparing orders would undercount).
+pub fn assess_samples(
+    samples: &SampleSet,
+    registry: &VarRegistry,
+    query: &Query,
+    optimal_cost: f64,
+) -> SampleQuality {
+    let mut valid_reads = 0u64;
+    let mut optimal_reads = 0u64;
+    let mut best: Option<(JoinOrder, f64)> = None;
+    for s in samples.samples() {
+        let Some(order) = decode_assignment(&s.assignment, registry, query) else {
+            continue;
+        };
+        let cost = order.cost(query);
+        valid_reads += u64::from(s.occurrences);
+        if (cost - optimal_cost).abs() <= 1e-9 * optimal_cost.max(1.0) {
+            optimal_reads += u64::from(s.occurrences);
+        }
+        match &best {
+            Some((_, c)) if *c <= cost => {}
+            _ => best = Some((order, cost)),
+        }
+    }
+    let total = samples.total_reads().max(1) as f64;
+    SampleQuality {
+        valid_fraction: valid_reads as f64 / total,
+        optimal_fraction: optimal_reads as f64 / total,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::jo_milp::{build_milp, JoMilpConfig};
+    use crate::query::Predicate;
+
+    fn setup() -> (Query, VarRegistry) {
+        let q = Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        );
+        let milp = build_milp(&q, &JoMilpConfig::minimal(&q));
+        (q, milp.registry)
+    }
+
+    fn with_tii(registry: &VarRegistry, pairs: &[(usize, usize)]) -> Vec<bool> {
+        let mut x = vec![false; registry.len()];
+        for &(t, j) in pairs {
+            x[registry.get(JoVar::Tii { t, j }).unwrap()] = true;
+        }
+        x
+    }
+
+    #[test]
+    fn decodes_valid_assignment() {
+        let (q, reg) = setup();
+        // inners: join0 = R1, join1 = R2 → order [R0, R1, R2].
+        let x = with_tii(&reg, &[(1, 0), (2, 1)]);
+        let order = decode_assignment(&x, &reg, &q).expect("valid");
+        assert_eq!(order.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn outer_relation_found_by_elimination() {
+        let (q, reg) = setup();
+        let x = with_tii(&reg, &[(0, 0), (1, 1)]);
+        let order = decode_assignment(&x, &reg, &q).expect("valid");
+        assert_eq!(order.order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_ambiguous_inner_operand() {
+        let (q, reg) = setup();
+        let x = with_tii(&reg, &[(0, 0), (1, 0), (2, 1)]);
+        assert!(decode_assignment(&x, &reg, &q).is_none());
+    }
+
+    #[test]
+    fn rejects_missing_inner_operand() {
+        let (q, reg) = setup();
+        let x = with_tii(&reg, &[(1, 0)]); // join 1 has no inner
+        assert!(decode_assignment(&x, &reg, &q).is_none());
+    }
+
+    #[test]
+    fn rejects_repeated_relation() {
+        let (q, reg) = setup();
+        let x = with_tii(&reg, &[(1, 0), (1, 1)]);
+        assert!(decode_assignment(&x, &reg, &q).is_none());
+    }
+
+    #[test]
+    fn constraint_violations_elsewhere_do_not_invalidate() {
+        // Section 3.5: validity is judged on tii alone; flip a random cto
+        // or pao bit and the decode must still succeed.
+        let (q, reg) = setup();
+        let mut x = with_tii(&reg, &[(1, 0), (2, 1)]);
+        if let Some(i) = reg.get(JoVar::Cto { r: 0, j: 1 }) {
+            x[i] = true;
+        }
+        assert!(decode_assignment(&x, &reg, &q).is_some());
+    }
+
+    #[test]
+    fn assess_counts_weighted_fractions() {
+        let (q, reg) = setup();
+        let valid_opt = with_tii(&reg, &[(1, 0), (2, 1)]); // cost 101000 (optimal)
+        let valid_subopt = with_tii(&reg, &[(1, 1), (2, 0)]); // [0,2,1]: cross product first
+        let invalid = with_tii(&reg, &[(0, 0), (1, 0)]);
+        let reads = vec![
+            valid_opt.clone(),
+            valid_opt.clone(),
+            valid_subopt,
+            invalid.clone(),
+            invalid,
+        ];
+        let set = SampleSet::from_reads(reads, |_| 0.0);
+        let quality = assess_samples(&set, &reg, &q, 101_000.0);
+        assert!((quality.valid_fraction - 0.6).abs() < 1e-12);
+        assert!((quality.optimal_fraction - 0.4).abs() < 1e-12);
+        let (best, cost) = quality.best.expect("valid reads exist");
+        assert_eq!(cost, 101_000.0);
+        assert_eq!(best.order[2], 2);
+    }
+
+    #[test]
+    fn empty_sample_set_scores_zero() {
+        let (q, reg) = setup();
+        let quality = assess_samples(&SampleSet::new(), &reg, &q, 1.0);
+        assert_eq!(quality.valid_fraction, 0.0);
+        assert_eq!(quality.optimal_fraction, 0.0);
+        assert!(quality.best.is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! MILP → BILP conversion (Section 3.3).
+//!
+//! Inequalities become equalities by adding slack; continuous slack is
+//! approximated by `n = ⌊log₂(C/ω)⌋ + 1` binary variables at precision ω
+//! (Equation 9), where `C` is the slack bound carried by each constraint
+//! (Lemma 5.1 supplies `c_j_max` for the cardinality constraints). The
+//! result is a pure binary program with equality constraints only, ready
+//! for the Lucas-style QUBO transformation.
+
+use crate::formulate::milp::{Milp, Sense};
+use crate::formulate::vars::{JoVar, VarRegistry};
+
+/// One equality row `Σ terms = rhs` of the BILP system `S x = b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BilpRow {
+    /// `(variable index, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl BilpRow {
+    /// Residual `lhs − rhs` at a binary assignment.
+    pub fn residual(&self, x: &[bool]) -> f64 {
+        let lhs: f64 = self.terms.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum();
+        lhs - self.rhs
+    }
+}
+
+/// A binary integer linear program with equality constraints.
+#[derive(Debug, Clone)]
+pub struct Bilp {
+    /// Variable registry (original variables plus slack bits).
+    pub registry: VarRegistry,
+    /// Equality rows.
+    pub rows: Vec<BilpRow>,
+    /// Linear objective to minimise.
+    pub objective: Vec<(usize, f64)>,
+}
+
+impl Bilp {
+    /// Number of binary variables (= logical qubits).
+    pub fn num_vars(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Objective value at an assignment.
+    pub fn objective_value(&self, x: &[bool]) -> f64 {
+        self.objective.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum()
+    }
+
+    /// True when every row holds within `tol`.
+    pub fn feasible(&self, x: &[bool], tol: f64) -> bool {
+        self.rows.iter().all(|r| r.residual(x).abs() <= tol)
+    }
+}
+
+/// Number of binary slack bits for a slack bounded by `bound` at
+/// precision `omega` (Equation 9). At least one bit is always emitted so
+/// the inequality keeps a degree of freedom.
+pub fn slack_bits(bound: f64, omega: f64) -> usize {
+    assert!(omega > 0.0, "precision must be positive");
+    if bound <= omega {
+        return 1;
+    }
+    ((bound / omega).log2().floor() as usize) + 1
+}
+
+/// Converts a (binary-variable) MILP into a BILP.
+pub fn milp_to_bilp(milp: &Milp) -> Bilp {
+    let mut registry = milp.registry.clone();
+    let mut rows = Vec::with_capacity(milp.constraints.len());
+    for (cidx, c) in milp.constraints.iter().enumerate() {
+        let mut terms = c.terms.clone();
+        if c.sense == Sense::Le {
+            let bits = slack_bits(c.slack_bound, c.slack_precision);
+            for bit in 0..bits {
+                let var = registry.intern(JoVar::Slack { constraint: cidx, bit });
+                terms.push((var, c.slack_precision * 2f64.powi(bit as i32)));
+            }
+        }
+        rows.push(BilpRow { terms, rhs: c.rhs });
+    }
+    Bilp { registry, rows, objective: milp.objective.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::jo_milp::{build_milp, JoMilpConfig};
+    use crate::formulate::milp::{Constraint, ConstraintKind};
+    use crate::query::{Predicate, Query};
+
+    fn paper_example() -> Query {
+        Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        )
+    }
+
+    #[test]
+    fn slack_bit_formula_matches_equation_9() {
+        // Integer slack of bound 1 → 1 bit (paper: Eqns (4), (5)).
+        assert_eq!(slack_bits(1.0, 1.0), 1);
+        // Bound 4 at ω = 1 → ⌊log₂ 4⌋ + 1 = 3.
+        assert_eq!(slack_bits(4.0, 1.0), 3);
+        // Same bound at ω = 0.1 → ⌊log₂ 40⌋ + 1 = 6.
+        assert_eq!(slack_bits(4.0, 0.1), 6);
+        // Degenerate bound still emits one bit.
+        assert_eq!(slack_bits(0.0, 1.0), 1);
+        assert_eq!(slack_bits(0.5, 1.0), 1);
+    }
+
+    #[test]
+    fn equalities_pass_through_without_slack() {
+        let milp = Milp {
+            registry: {
+                let mut r = VarRegistry::new();
+                r.intern(JoVar::Tio { t: 0, j: 0 });
+                r.intern(JoVar::Tio { t: 1, j: 0 });
+                r
+            },
+            constraints: vec![Constraint::eq(
+                ConstraintKind::OuterOnce,
+                vec![(0, 1.0), (1, 1.0)],
+                1.0,
+            )],
+            objective: vec![],
+        };
+        let bilp = milp_to_bilp(&milp);
+        assert_eq!(bilp.num_vars(), 2);
+        assert_eq!(bilp.rows[0].terms.len(), 2);
+    }
+
+    #[test]
+    fn inequalities_gain_weighted_slack_bits() {
+        let milp = Milp {
+            registry: {
+                let mut r = VarRegistry::new();
+                r.intern(JoVar::Tio { t: 0, j: 0 });
+                r
+            },
+            constraints: vec![Constraint::le(
+                ConstraintKind::CardThreshold,
+                vec![(0, 3.0)],
+                4.0,
+                4.0,
+                1.0,
+            )],
+            objective: vec![],
+        };
+        let bilp = milp_to_bilp(&milp);
+        // 1 original + 3 slack bits with weights 1, 2, 4.
+        assert_eq!(bilp.num_vars(), 4);
+        let weights: Vec<f64> = bilp.rows[0].terms[1..].iter().map(|&(_, w)| w).collect();
+        assert_eq!(weights, vec![1.0, 2.0, 4.0]);
+        // x = 0 → slack must make up rhs = 4: bits 4 set.
+        assert!(bilp.feasible(&[false, false, false, true], 1e-9));
+        // x = 1 → remaining 1: bit 1 set.
+        assert!(bilp.feasible(&[true, true, false, false], 1e-9));
+        assert!(!bilp.feasible(&[true, true, true, false], 1e-9));
+    }
+
+    #[test]
+    fn feasible_milp_solutions_extend_to_feasible_bilp_solutions() {
+        let q = paper_example();
+        let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
+        let milp = build_milp(&q, &cfg);
+        let bilp = milp_to_bilp(&milp);
+        assert!(bilp.num_vars() > milp.registry.len(), "slack bits were added");
+
+        // Build the known-feasible assignment from the MILP test and search
+        // slack bits by brute force over the (few) added bits.
+        let mut x = vec![false; bilp.num_vars()];
+        for v in [
+            JoVar::Tio { t: 0, j: 0 },
+            JoVar::Tii { t: 1, j: 0 },
+            JoVar::Tio { t: 0, j: 1 },
+            JoVar::Tio { t: 1, j: 1 },
+            JoVar::Tii { t: 2, j: 1 },
+            JoVar::Pao { p: 0, j: 1 },
+            JoVar::Cto { r: 0, j: 1 },
+        ] {
+            x[bilp.registry.get(v).expect("var")] = true;
+        }
+        let slack_indices: Vec<usize> = (0..bilp.num_vars())
+            .filter(|&i| matches!(bilp.registry.var(i), JoVar::Slack { .. }))
+            .collect();
+        let found = (0..1u32 << slack_indices.len()).any(|bits| {
+            let mut y = x.clone();
+            for (k, &i) in slack_indices.iter().enumerate() {
+                y[i] = bits >> k & 1 == 1;
+            }
+            bilp.feasible(&y, 1e-9)
+        });
+        assert!(found, "no slack assignment satisfies the BILP rows");
+    }
+
+    #[test]
+    fn qubit_counts_grow_with_precision() {
+        let q = paper_example();
+        let n_at = |omega: f64| {
+            let cfg = JoMilpConfig { log_thresholds: vec![2.0], omega, prune: true };
+            milp_to_bilp(&build_milp(&q, &cfg)).num_vars()
+        };
+        // Each decimal place of precision adds ⌈log₂ 10⌉-ish bits per
+        // cardinality constraint — the paper's "+3 qubits per decimal".
+        let coarse = n_at(1.0);
+        let fine = n_at(0.1);
+        let finer = n_at(0.01);
+        assert!(fine > coarse, "{fine} vs {coarse}");
+        assert!((3..=4).contains(&(fine - coarse)), "step {}", fine - coarse);
+        assert!((3..=4).contains(&(finer - fine)), "step {}", finer - fine);
+    }
+}

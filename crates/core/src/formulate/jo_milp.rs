@@ -1,0 +1,482 @@
+//! The join-ordering MILP models: Trummer & Koch's original formulation and
+//! the paper's pruned variant (Section 3.2, Table 1).
+//!
+//! Both models optimise left-deep join trees with cross products under the
+//! `C_out` cost function, approximating intermediate cardinalities by
+//! threshold variables in the logarithmic domain. The pruned model removes
+//! the variables and constraints that are redundant for QPU execution:
+//! `pao(p,0)` (the first outer operand is a single relation), `cto(r,0)`
+//! (only intermediates are costed), operand-disjointness constraints for
+//! all but the final join, and any `cto(r,j)` whose threshold can never be
+//! exceeded (`c_j_max ≤ log θ_r`).
+
+use crate::formulate::milp::{Constraint, ConstraintKind, Milp};
+use crate::formulate::vars::{JoVar, VarRegistry};
+use crate::query::Query;
+
+/// Configuration of the MILP construction.
+#[derive(Debug, Clone)]
+pub struct JoMilpConfig {
+    /// Ascending `log10 θ_r` threshold values.
+    pub log_thresholds: Vec<f64>,
+    /// Discretisation precision ω for continuous slack variables.
+    pub omega: f64,
+    /// Build the pruned (paper) model instead of the original one.
+    pub prune: bool,
+}
+
+impl JoMilpConfig {
+    /// The paper's minimal evaluation setting: one auto-placed threshold,
+    /// ω = 1 (zero decimal places), pruning on.
+    pub fn minimal(query: &Query) -> Self {
+        JoMilpConfig {
+            log_thresholds: auto_thresholds(query, 1),
+            omega: 1.0,
+            prune: true,
+        }
+    }
+}
+
+/// Evenly spaces `count` threshold values over the reachable range of
+/// intermediate log cardinalities, rounding to integers for integer-log
+/// queries (which keeps ω = 1 exact).
+pub fn auto_thresholds(query: &Query, count: usize) -> Vec<f64> {
+    assert!(count >= 1, "need at least one threshold");
+    let j_last = query.num_joins() - 1;
+    let c_max = query.max_outer_log_card(j_last);
+    let mut out = Vec::with_capacity(count);
+    for r in 0..count {
+        let mut v = c_max * (r + 1) as f64 / (count + 1) as f64;
+        if query.is_integer_log() {
+            v = v.round().max(1.0);
+        }
+        // Keep thresholds strictly increasing even after rounding.
+        if let Some(&prev) = out.last() {
+            if v <= prev {
+                v = prev + 1.0;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Places `count` thresholds at quantiles of the *actual* distribution of
+/// intermediate log cardinalities, estimated by sampling random join
+/// orders. Spends the same qubit budget as [`auto_thresholds`] but
+/// concentrates resolution where join orders actually differ, improving
+/// the staircase's ranking fidelity — an encoding-level extension beyond
+/// the paper's even spacing.
+pub fn quantile_thresholds(query: &Query, count: usize, samples: usize, seed: u64) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(count >= 1, "need at least one threshold");
+    assert!(samples >= 1, "need at least one sampled order");
+    let t = query.num_relations();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut observed = Vec::with_capacity(samples * t.saturating_sub(2));
+    let mut order: Vec<usize> = (0..t).collect();
+    for _ in 0..samples {
+        order.shuffle(&mut rng);
+        let mut prefix: u64 = 1 << order[0];
+        // Intermediates: outer operands of joins 1..J (prefix sizes 2..T−1).
+        for &rel in &order[1..t - 1] {
+            prefix |= 1 << rel;
+            observed.push(query.log_card_of_set(prefix));
+        }
+    }
+    if observed.is_empty() {
+        return auto_thresholds(query, count);
+    }
+    observed.sort_by(|a, b| a.partial_cmp(b).expect("finite logs"));
+    let mut out: Vec<f64> = Vec::with_capacity(count);
+    for r in 0..count {
+        let q = (r + 1) as f64 / (count + 1) as f64;
+        let idx = ((observed.len() - 1) as f64 * q).round() as usize;
+        let mut v = observed[idx];
+        if query.is_integer_log() {
+            v = v.round().max(1.0);
+        }
+        if let Some(&prev) = out.last() {
+            if v <= prev {
+                v = prev + 1.0;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Builds the join-ordering MILP.
+pub fn build_milp(query: &Query, config: &JoMilpConfig) -> Milp {
+    let t_count = query.num_relations();
+    let j_count = query.num_joins();
+    let p_count = query.num_predicates();
+    let r_count = config.log_thresholds.len();
+    assert!(config.omega > 0.0, "ω must be positive");
+    assert!(
+        config.log_thresholds.windows(2).all(|w| w[0] < w[1]),
+        "thresholds must be strictly ascending"
+    );
+
+    let mut reg = VarRegistry::new();
+    for j in 0..j_count {
+        for t in 0..t_count {
+            reg.intern(JoVar::Tio { t, j });
+            reg.intern(JoVar::Tii { t, j });
+        }
+    }
+    let pao_j_start = usize::from(config.prune);
+    for j in pao_j_start..j_count {
+        for p in 0..p_count {
+            reg.intern(JoVar::Pao { p, j });
+        }
+    }
+    for j in pao_j_start..j_count {
+        let c_j_max = query.max_outer_log_card(j);
+        for (r, &log_theta) in config.log_thresholds.iter().enumerate() {
+            if config.prune && c_j_max <= log_theta + 1e-12 {
+                continue; // Lemma 5.2 pruning: threshold unreachable.
+            }
+            reg.intern(JoVar::Cto { r, j });
+        }
+    }
+
+    let tio = |reg: &VarRegistry, t: usize, j: usize| {
+        reg.get(JoVar::Tio { t, j }).expect("tio interned for all t, j")
+    };
+    let tii = |reg: &VarRegistry, t: usize, j: usize| {
+        reg.get(JoVar::Tii { t, j }).expect("tii interned for all t, j")
+    };
+
+    let mut constraints = Vec::new();
+
+    // Each join has exactly one inner relation.
+    for j in 0..j_count {
+        let terms = (0..t_count).map(|t| (tii(&reg, t, j), 1.0)).collect();
+        constraints.push(Constraint::eq(ConstraintKind::InnerOnce, terms, 1.0));
+    }
+    // The first join has exactly one outer relation.
+    let terms = (0..t_count).map(|t| (tio(&reg, t, 0), 1.0)).collect();
+    constraints.push(Constraint::eq(ConstraintKind::OuterOnce, terms, 1.0));
+    // Once joined, always in the outer operand (Eq. 3).
+    for j in 1..j_count {
+        for t in 0..t_count {
+            constraints.push(Constraint::eq(
+                ConstraintKind::Propagate,
+                vec![
+                    (tio(&reg, t, j), 1.0),
+                    (tii(&reg, t, j - 1), -1.0),
+                    (tio(&reg, t, j - 1), -1.0),
+                ],
+                0.0,
+            ));
+        }
+    }
+    // Operand disjointness (Eq. 4): pruned model needs only the final join.
+    let disjoint_joins: Vec<usize> =
+        if config.prune { vec![j_count - 1] } else { (0..j_count).collect() };
+    for &j in &disjoint_joins {
+        for t in 0..t_count {
+            constraints.push(Constraint::le(
+                ConstraintKind::OperandDisjoint,
+                vec![(tio(&reg, t, j), 1.0), (tii(&reg, t, j), 1.0)],
+                1.0,
+                1.0,
+                1.0,
+            ));
+        }
+    }
+    // Predicate applicability (Eq. 5).
+    for j in pao_j_start..j_count {
+        for (p, pred) in query.predicates().iter().enumerate() {
+            let pao = reg.get(JoVar::Pao { p, j }).expect("pao interned");
+            for rel in [pred.rel_a, pred.rel_b] {
+                constraints.push(Constraint::le(
+                    ConstraintKind::PredApplicable,
+                    vec![(pao, 1.0), (tio(&reg, rel, j), -1.0)],
+                    0.0,
+                    1.0,
+                    1.0,
+                ));
+            }
+        }
+    }
+    // Cardinality threshold activation (Eq. 7): `c_j − cto·∞ ≤ log θ_r`,
+    // with ∞ at its Lemma-5.1 lower bound and slack bounded by c_j_max.
+    let mut objective = Vec::new();
+    for j in pao_j_start..j_count {
+        let c_j_max = query.max_outer_log_card(j);
+        for (r, &log_theta) in config.log_thresholds.iter().enumerate() {
+            let Some(cto) = reg.get(JoVar::Cto { r, j }) else {
+                continue; // pruned away
+            };
+            let infinity = (c_j_max - log_theta).max(config.omega);
+            let mut terms: Vec<(usize, f64)> = (0..t_count)
+                .filter(|&t| query.log_card(t) != 0.0)
+                .map(|t| (tio(&reg, t, j), query.log_card(t)))
+                .collect();
+            for (p, pred) in query.predicates().iter().enumerate() {
+                if pred.log_sel != 0.0 {
+                    let pao = reg.get(JoVar::Pao { p, j }).expect("pao interned");
+                    terms.push((pao, pred.log_sel));
+                }
+            }
+            terms.push((cto, -infinity));
+            constraints.push(Constraint::le(
+                ConstraintKind::CardThreshold,
+                terms,
+                log_theta,
+                c_j_max,
+                config.omega,
+            ));
+            objective.push((cto, 10f64.powf(log_theta)));
+        }
+    }
+
+    let _ = r_count;
+    Milp { registry: reg, constraints, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Predicate, QueryGraph};
+    use crate::querygen::QueryGenerator;
+
+    fn paper_example() -> Query {
+        Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        )
+    }
+
+    fn counts(m: &Milp, kind: ConstraintKind) -> usize {
+        m.constraint_counts().get(&kind).copied().unwrap_or(0)
+    }
+
+    #[test]
+    fn pruned_variable_counts_match_table_1() {
+        // T = 3, J = 2, P = 1, R = 2 (thresholds log 2 and log 3).
+        let q = paper_example();
+        let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
+        let m = build_milp(&q, &cfg);
+        let (tio, tii, pao, cto, _) = m.registry.counts();
+        assert_eq!(tio, 6); // T·J
+        assert_eq!(tii, 6);
+        assert_eq!(pao, 1); // P(J−1)
+        // c_1_max = 4 > both thresholds → both cto survive.
+        assert_eq!(cto, 2);
+        assert_eq!(counts(&m, ConstraintKind::OperandDisjoint), 3); // T
+        assert_eq!(counts(&m, ConstraintKind::PredApplicable), 2); // 2P(J−1)
+        assert_eq!(counts(&m, ConstraintKind::CardThreshold), 2);
+        assert_eq!(counts(&m, ConstraintKind::InnerOnce), 2); // J
+        assert_eq!(counts(&m, ConstraintKind::OuterOnce), 1);
+        assert_eq!(counts(&m, ConstraintKind::Propagate), 3); // T(J−1)
+    }
+
+    #[test]
+    fn original_model_is_strictly_larger() {
+        let q = paper_example();
+        let thresholds = vec![2.0, 3.0];
+        let pruned = build_milp(
+            &q,
+            &JoMilpConfig { log_thresholds: thresholds.clone(), omega: 1.0, prune: true },
+        );
+        let original = build_milp(
+            &q,
+            &JoMilpConfig { log_thresholds: thresholds, omega: 1.0, prune: false },
+        );
+        // Table 1's accounting: pao PJ vs P(J−1); cto RJ vs ≤R(J−1);
+        // disjointness TJ vs T; predicate constraints 2PJ vs 2P(J−1).
+        let (_, _, pao_o, cto_o, _) = original.registry.counts();
+        let (_, _, pao_p, cto_p, _) = pruned.registry.counts();
+        assert_eq!(pao_o, 2); // P·J
+        assert_eq!(pao_p, 1);
+        assert_eq!(cto_o, 4); // R·J
+        assert_eq!(cto_p, 2);
+        assert_eq!(counts(&original, ConstraintKind::OperandDisjoint), 6); // T·J
+        assert_eq!(counts(&original, ConstraintKind::PredApplicable), 4); // 2PJ
+        assert_eq!(counts(&original, ConstraintKind::CardThreshold), 4); // RJ
+    }
+
+    #[test]
+    fn cto_pruning_drops_unreachable_thresholds() {
+        // Threshold at log 10 can never be exceeded (c_1_max = 4).
+        let q = paper_example();
+        let cfg = JoMilpConfig { log_thresholds: vec![2.0, 10.0], omega: 1.0, prune: true };
+        let m = build_milp(&q, &cfg);
+        let (_, _, _, cto, _) = m.registry.counts();
+        assert_eq!(cto, 1);
+        assert_eq!(counts(&m, ConstraintKind::CardThreshold), 1);
+    }
+
+    #[test]
+    fn valid_join_order_assignment_is_feasible() {
+        // Encode (R0 ⋈ R1) ⋈ R2 by hand and check feasibility + objective.
+        let q = paper_example();
+        let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
+        let m = build_milp(&q, &cfg);
+        let mut x = vec![false; m.registry.len()];
+        let set = |x: &mut Vec<bool>, v: JoVar| x[m.registry.get(v).expect("var")] = true;
+        set(&mut x, JoVar::Tio { t: 0, j: 0 }); // outer of join 0 = R0
+        set(&mut x, JoVar::Tii { t: 1, j: 0 }); // inner of join 0 = R1
+        set(&mut x, JoVar::Tio { t: 0, j: 1 });
+        set(&mut x, JoVar::Tio { t: 1, j: 1 });
+        set(&mut x, JoVar::Tii { t: 2, j: 1 }); // inner of join 1 = R2
+        set(&mut x, JoVar::Pao { p: 0, j: 1 }); // predicate applies
+        set(&mut x, JoVar::Cto { r: 0, j: 1 }); // c_1 = 3 > log θ0 = 2
+        assert!(m.feasible(&x), "hand-built optimal assignment must be feasible");
+        // Example 3.3: only θ0 = 100 is charged.
+        assert_eq!(m.objective_value(&x), 100.0);
+
+        // Without cto(0,1) the cardinality constraint is violated.
+        x[m.registry.get(JoVar::Cto { r: 0, j: 1 }).unwrap()] = false;
+        assert!(!m.feasible(&x));
+    }
+
+    #[test]
+    fn invalid_assignments_are_infeasible() {
+        let q = paper_example();
+        let m = build_milp(&q, &JoMilpConfig::minimal(&q));
+        // All-zero violates the "exactly one" constraints.
+        let x = vec![false; m.registry.len()];
+        assert!(!m.feasible(&x));
+        // Two inner relations for join 0.
+        let mut x = vec![false; m.registry.len()];
+        x[m.registry.get(JoVar::Tii { t: 0, j: 0 }).unwrap()] = true;
+        x[m.registry.get(JoVar::Tii { t: 1, j: 0 }).unwrap()] = true;
+        assert!(!m.feasible(&x));
+    }
+
+    #[test]
+    fn auto_thresholds_are_ascending_and_integral_for_integer_logs() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Cycle, 5).generate(1);
+        for count in 1..=5 {
+            let th = auto_thresholds(&q, count);
+            assert_eq!(th.len(), count);
+            assert!(th.windows(2).all(|w| w[0] < w[1]), "{th:?}");
+            assert!(th.iter().all(|&v| (v - v.round()).abs() < 1e-9), "{th:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_thresholds_are_ascending_and_in_range() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Cycle, 6).generate(2);
+        let c_max = q.max_outer_log_card(q.num_joins() - 1);
+        for count in 1..=5 {
+            let th = quantile_thresholds(&q, count, 200, 1);
+            assert_eq!(th.len(), count);
+            assert!(th.windows(2).all(|w| w[0] < w[1]), "{th:?}");
+            assert!(th.iter().all(|&v| v >= 1.0 && v <= c_max + count as f64));
+        }
+    }
+
+    #[test]
+    fn quantile_thresholds_track_the_observed_distribution() {
+        // One huge relation among tiny ones: most random prefixes contain
+        // it, so intermediate log cardinalities cluster near the top and
+        // the middle quantile threshold must sit near the empirical median
+        // — not at the midpoint of [0, c_max] where even spacing puts it.
+        let q = Query::new(vec![1.0, 1.0, 1.0, 1.0, 8.0], vec![]);
+        let quant = quantile_thresholds(&q, 3, 400, 0);
+
+        // Empirical median of intermediates by enumeration: prefix sets of
+        // sizes 2..4, weighted by how many random orders realise them —
+        // approximate with a direct large sample.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut obs = Vec::new();
+        let mut order: Vec<usize> = (0..5).collect();
+        for _ in 0..2000 {
+            order.shuffle(&mut rng);
+            let mut prefix: u64 = 1 << order[0];
+            for &rel in &order[1..4] {
+                prefix |= 1 << rel;
+                obs.push(q.log_card_of_set(prefix));
+            }
+        }
+        obs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = obs[obs.len() / 2];
+        assert!(
+            (quant[1] - median).abs() <= 1.0,
+            "middle threshold {} far from empirical median {median}",
+            quant[1]
+        );
+        // And the even placement's midpoint (c_max/2 = 5.5) is far away,
+        // demonstrating the two strategies genuinely differ here.
+        assert!((5.5 - median).abs() > 1.5);
+    }
+
+    #[test]
+    fn quantile_thresholds_rank_orders_at_least_as_well() {
+        // Staircase ranking fidelity: fraction of order pairs whose true
+        // cost ordering the threshold cost preserves (strictly).
+        use crate::jointree::JoinOrder;
+        let q = Query::new(
+            vec![1.0, 2.0, 1.0, 3.0],
+            vec![
+                crate::query::Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 },
+                crate::query::Predicate { rel_a: 1, rel_b: 3, log_sel: -2.0 },
+            ],
+        );
+        let orders: Vec<JoinOrder> = {
+            let mut v = Vec::new();
+            let mut perm: Vec<usize> = (0..4).collect();
+            permute(&mut perm, 0, &mut |p| {
+                v.push(JoinOrder { order: p.to_vec() });
+            });
+            v
+        };
+        let fidelity = |thresholds: &[f64]| -> f64 {
+            let mut agree = 0usize;
+            let mut total = 0usize;
+            for a in 0..orders.len() {
+                for b in a + 1..orders.len() {
+                    let (ca, cb) = (orders[a].cost(&q), orders[b].cost(&q));
+                    if (ca - cb).abs() < 1e-9 {
+                        continue;
+                    }
+                    total += 1;
+                    let (ta, tb) = (
+                        orders[a].threshold_cost(&q, thresholds),
+                        orders[b].threshold_cost(&q, thresholds),
+                    );
+                    if (ca < cb) == (ta < tb) && (ta - tb).abs() > 1e-12 {
+                        agree += 1;
+                    }
+                }
+            }
+            agree as f64 / total.max(1) as f64
+        };
+        let even = fidelity(&auto_thresholds(&q, 2));
+        let quant = fidelity(&quantile_thresholds(&q, 2, 500, 3));
+        assert!(
+            quant >= even - 1e-9,
+            "quantile fidelity {quant:.3} below even {even:.3}"
+        );
+    }
+
+    fn permute<F: FnMut(&[usize])>(p: &mut Vec<usize>, k: usize, f: &mut F) {
+        if k == p.len() {
+            f(p);
+            return;
+        }
+        for i in k..p.len() {
+            p.swap(k, i);
+            permute(p, k + 1, f);
+            p.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn model_scales_with_query_size() {
+        let small = QueryGenerator::paper_defaults(QueryGraph::Chain, 3).generate(0);
+        let large = QueryGenerator::paper_defaults(QueryGraph::Chain, 8).generate(0);
+        let ms = build_milp(&small, &JoMilpConfig::minimal(&small));
+        let ml = build_milp(&large, &JoMilpConfig::minimal(&large));
+        assert!(ml.registry.len() > 3 * ms.registry.len());
+        assert!(ml.constraints.len() > 3 * ms.constraints.len());
+    }
+}

@@ -1,0 +1,165 @@
+//! The (binary-variable) MILP model representation.
+//!
+//! All decision variables of the join-ordering model are binary; the only
+//! continuous quantities are the slacks introduced when inequalities are
+//! converted to equalities, so each `≤` constraint carries the slack bound
+//! and discretisation precision the BILP conversion will use (per Lemma 5.1
+//! the paper bounds the cardinality-constraint slack by `c_j_max`).
+
+use crate::formulate::vars::VarRegistry;
+
+/// Constraint direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Equality (`= rhs`).
+    Eq,
+    /// Less-or-equal (`≤ rhs`).
+    Le,
+}
+
+/// What role a constraint plays in the model — used for the Table 1
+/// original-vs-pruned accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `Σ_t tii(t,j) = 1`: each join has exactly one inner relation.
+    InnerOnce,
+    /// `Σ_t tio(t,0) = 1`: the first join has exactly one outer relation.
+    OuterOnce,
+    /// `tio(t,j) = tii(t,j−1) + tio(t,j−1)`: relations stay joined.
+    Propagate,
+    /// `tio(t,j) + tii(t,j) ≤ 1`: a relation is not both operands.
+    OperandDisjoint,
+    /// `pao(p,j) ≤ tio(T_k(p), j)`: predicate applicability.
+    PredApplicable,
+    /// `c_j − cto(r,j)·∞ ≤ log θ_r`: cardinality threshold activation.
+    CardThreshold,
+}
+
+/// One linear constraint over binary variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Role in the model.
+    pub kind: ConstraintKind,
+    /// `(variable index, coefficient)` terms.
+    pub terms: Vec<(usize, f64)>,
+    /// Direction.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Upper bound on the slack value (only meaningful for `Le`).
+    pub slack_bound: f64,
+    /// Discretisation precision ω of the slack (1.0 when integral).
+    pub slack_precision: f64,
+}
+
+impl Constraint {
+    /// An equality constraint.
+    pub fn eq(kind: ConstraintKind, terms: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint { kind, terms, sense: Sense::Eq, rhs, slack_bound: 0.0, slack_precision: 1.0 }
+    }
+
+    /// A `≤` constraint with its slack metadata.
+    pub fn le(
+        kind: ConstraintKind,
+        terms: Vec<(usize, f64)>,
+        rhs: f64,
+        slack_bound: f64,
+        slack_precision: f64,
+    ) -> Self {
+        assert!(slack_bound >= 0.0, "slack bound must be non-negative");
+        assert!(slack_precision > 0.0, "slack precision must be positive");
+        Constraint { kind, terms, sense: Sense::Le, rhs, slack_bound, slack_precision }
+    }
+
+    /// Evaluates the left-hand side at a binary assignment.
+    pub fn lhs(&self, x: &[bool]) -> f64 {
+        self.terms.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum()
+    }
+
+    /// Whether the constraint holds at `x` (tolerance 1e-9 on equalities).
+    pub fn satisfied(&self, x: &[bool]) -> bool {
+        let v = self.lhs(x);
+        match self.sense {
+            Sense::Eq => (v - self.rhs).abs() < 1e-9,
+            Sense::Le => v <= self.rhs + 1e-9,
+        }
+    }
+}
+
+/// A complete MILP model over binary variables.
+#[derive(Debug, Clone)]
+pub struct Milp {
+    /// Variable registry (qubit accounting lives here).
+    pub registry: VarRegistry,
+    /// All constraints.
+    pub constraints: Vec<Constraint>,
+    /// Linear objective `(variable index, coefficient)`, to minimise.
+    pub objective: Vec<(usize, f64)>,
+}
+
+impl Milp {
+    /// Objective value at an assignment.
+    pub fn objective_value(&self, x: &[bool]) -> f64 {
+        self.objective.iter().map(|&(i, c)| if x[i] { c } else { 0.0 }).sum()
+    }
+
+    /// True when every constraint holds.
+    pub fn feasible(&self, x: &[bool]) -> bool {
+        self.constraints.iter().all(|c| c.satisfied(x))
+    }
+
+    /// Constraint count by kind.
+    pub fn constraint_counts(&self) -> std::collections::HashMap<ConstraintKind, usize> {
+        let mut m = std::collections::HashMap::new();
+        for c in &self.constraints {
+            *m.entry(c.kind).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::vars::JoVar;
+
+    #[test]
+    fn constraint_evaluation() {
+        let c = Constraint::eq(ConstraintKind::InnerOnce, vec![(0, 1.0), (1, 1.0)], 1.0);
+        assert!(c.satisfied(&[true, false]));
+        assert!(c.satisfied(&[false, true]));
+        assert!(!c.satisfied(&[true, true]));
+        assert!(!c.satisfied(&[false, false]));
+
+        let le = Constraint::le(ConstraintKind::OperandDisjoint, vec![(0, 1.0), (1, 1.0)], 1.0, 1.0, 1.0);
+        assert!(le.satisfied(&[true, false]));
+        assert!(!le.satisfied(&[true, true]));
+    }
+
+    #[test]
+    fn milp_feasibility_and_objective() {
+        let mut reg = VarRegistry::new();
+        let a = reg.intern(JoVar::Tio { t: 0, j: 0 });
+        let b = reg.intern(JoVar::Tio { t: 1, j: 0 });
+        let m = Milp {
+            registry: reg,
+            constraints: vec![Constraint::eq(
+                ConstraintKind::OuterOnce,
+                vec![(a, 1.0), (b, 1.0)],
+                1.0,
+            )],
+            objective: vec![(a, 5.0), (b, 3.0)],
+        };
+        assert!(m.feasible(&[true, false]));
+        assert!(!m.feasible(&[true, true]));
+        assert_eq!(m.objective_value(&[true, false]), 5.0);
+        assert_eq!(m.objective_value(&[false, true]), 3.0);
+        assert_eq!(m.constraint_counts()[&ConstraintKind::OuterOnce], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn le_rejects_negative_slack_bound() {
+        Constraint::le(ConstraintKind::CardThreshold, vec![], 0.0, -1.0, 1.0);
+    }
+}

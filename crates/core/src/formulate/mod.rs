@@ -1,0 +1,15 @@
+//! The paper's reformulation chain: JO → MILP → BILP → QUBO (Section 3).
+
+pub mod bilp;
+pub mod bilp_solve;
+pub mod jo_milp;
+pub mod milp;
+pub mod qubo_encode;
+pub mod vars;
+
+pub use bilp::{milp_to_bilp, slack_bits, Bilp, BilpRow};
+pub use bilp_solve::{BilpSolution, BilpSolver};
+pub use jo_milp::{auto_thresholds, build_milp, quantile_thresholds, JoMilpConfig};
+pub use milp::{Constraint, ConstraintKind, Milp, Sense};
+pub use qubo_encode::{bilp_to_qubo, EncodedQubo, QuboEncodeConfig};
+pub use vars::{JoVar, VarRegistry};

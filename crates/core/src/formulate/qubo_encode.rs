@@ -1,0 +1,211 @@
+//! BILP → QUBO transformation (Section 3.4).
+//!
+//! Following Lucas, the equality system `S x = b` becomes squared penalty
+//! terms and the linear objective rides along:
+//!
+//! ```text
+//! H = A Σ_m (b_m − Σ_i S_mi x_i)²  +  B Σ_i c_i x_i
+//! ```
+//!
+//! with `B = 1` and `A = C/ω² + ε`, `C = Σ_i |c_i|`: the smallest
+//! constraint violation a discretised model can exhibit is ω, so a single
+//! violation already outweighs every possible objective saving. All
+//! coefficients are rounded to multiples of ω first, which is what makes
+//! the squared terms of valid solutions *exactly* zero despite the
+//! discretisation of continuous slack.
+
+use qjo_qubo::Qubo;
+
+use crate::formulate::bilp::Bilp;
+
+/// Tuning of the penalty-term construction.
+#[derive(Debug, Clone, Copy)]
+pub struct QuboEncodeConfig {
+    /// Discretisation precision ω (must match the BILP conversion).
+    pub omega: f64,
+    /// Safety margin ε added to the penalty weight.
+    pub epsilon: f64,
+    /// Explicit penalty weight `A`, overriding the `C/ω² + ε` formula.
+    pub penalty_override: Option<f64>,
+}
+
+impl QuboEncodeConfig {
+    /// The paper's default: `A = C/ω² + ε`, `B = 1`, small ε.
+    pub fn paper_default(omega: f64) -> Self {
+        QuboEncodeConfig { omega, epsilon: 1.0, penalty_override: None }
+    }
+}
+
+/// The QUBO plus the bookkeeping needed to interpret its energies.
+#[derive(Debug, Clone)]
+pub struct EncodedQubo {
+    /// The penalty-encoded problem.
+    pub qubo: Qubo,
+    /// The penalty weight `A` that was used.
+    pub penalty_a: f64,
+    /// Sum of absolute objective coefficients `C`.
+    pub objective_magnitude: f64,
+}
+
+/// Rounds `v` to the nearest multiple of `omega`.
+fn round_to(v: f64, omega: f64) -> f64 {
+    (v / omega).round() * omega
+}
+
+/// Encodes a BILP as a QUBO.
+pub fn bilp_to_qubo(bilp: &Bilp, config: &QuboEncodeConfig) -> EncodedQubo {
+    assert!(config.omega > 0.0, "ω must be positive");
+    let n = bilp.num_vars();
+    let c_sum: f64 = bilp.objective.iter().map(|&(_, c)| c.abs()).sum();
+    let penalty_a = config
+        .penalty_override
+        .unwrap_or(c_sum / (config.omega * config.omega) + config.epsilon);
+    assert!(penalty_a > 0.0, "penalty must be positive");
+
+    let mut qubo = Qubo::new(n);
+    // Objective (B = 1).
+    for &(i, c) in &bilp.objective {
+        qubo.add_linear(i, c);
+    }
+    // Penalty terms A (b − Σ s_i x_i)² with ω-rounded coefficients.
+    for row in &bilp.rows {
+        let b = round_to(row.rhs, config.omega);
+        let terms: Vec<(usize, f64)> = row
+            .terms
+            .iter()
+            .map(|&(i, s)| (i, round_to(s, config.omega)))
+            .filter(|&(_, s)| s != 0.0)
+            .collect();
+        qubo.add_offset(penalty_a * b * b);
+        for &(i, s) in &terms {
+            // −2 b s x_i  +  s² x_i (diagonal of the square).
+            qubo.add_linear(i, penalty_a * (s * s - 2.0 * b * s));
+        }
+        for (k, &(i, si)) in terms.iter().enumerate() {
+            for &(j, sj) in &terms[k + 1..] {
+                qubo.add_quadratic(i, j, 2.0 * penalty_a * si * sj);
+            }
+        }
+    }
+    qubo.prune_zeros();
+    EncodedQubo { qubo, penalty_a, objective_magnitude: c_sum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulate::bilp::{milp_to_bilp, BilpRow};
+    use crate::formulate::bilp_solve::BilpSolver;
+    use crate::formulate::jo_milp::{build_milp, JoMilpConfig};
+    use crate::formulate::vars::{JoVar, VarRegistry};
+    use crate::query::{Predicate, Query};
+    use qjo_qubo::solve::ExactSolver;
+
+    fn tiny_bilp(rows: Vec<BilpRow>, n: usize, objective: Vec<(usize, f64)>) -> Bilp {
+        let mut registry = VarRegistry::new();
+        for i in 0..n {
+            registry.intern(JoVar::Slack { constraint: 999, bit: i });
+        }
+        Bilp { registry, rows, objective }
+    }
+
+    #[test]
+    fn penalty_energy_is_zero_exactly_on_feasible_points() {
+        // x0 + x1 = 1, no objective: feasible points at energy 0, the rest
+        // penalised by A.
+        let b = tiny_bilp(
+            vec![BilpRow { terms: vec![(0, 1.0), (1, 1.0)], rhs: 1.0 }],
+            2,
+            vec![],
+        );
+        let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
+        assert_eq!(e.qubo.energy(&[true, false]).unwrap(), 0.0);
+        assert_eq!(e.qubo.energy(&[false, true]).unwrap(), 0.0);
+        assert_eq!(e.qubo.energy(&[false, false]).unwrap(), e.penalty_a);
+        assert_eq!(e.qubo.energy(&[true, true]).unwrap(), e.penalty_a);
+    }
+
+    #[test]
+    fn qubo_energy_equals_objective_on_feasible_points() {
+        let b = tiny_bilp(
+            vec![BilpRow { terms: vec![(0, 1.0), (1, 1.0)], rhs: 1.0 }],
+            2,
+            vec![(0, 5.0), (1, 3.0)],
+        );
+        let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
+        assert_eq!(e.qubo.energy(&[true, false]).unwrap(), 5.0);
+        assert_eq!(e.qubo.energy(&[false, true]).unwrap(), 3.0);
+        // C = 8, ω = 1, ε = 1 → A = 9: one violation always loses.
+        assert_eq!(e.penalty_a, 9.0);
+        let worst_feasible = 5.0;
+        let best_infeasible = e.qubo.energy(&[false, false]).unwrap();
+        assert!(best_infeasible > worst_feasible);
+    }
+
+    #[test]
+    fn penalty_override_is_respected() {
+        let b = tiny_bilp(vec![BilpRow { terms: vec![(0, 1.0)], rhs: 1.0 }], 1, vec![]);
+        let cfg = QuboEncodeConfig { omega: 1.0, epsilon: 1.0, penalty_override: Some(42.0) };
+        let e = bilp_to_qubo(&b, &cfg);
+        assert_eq!(e.penalty_a, 42.0);
+        assert_eq!(e.qubo.energy(&[false]).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn omega_scales_penalty_quadratically() {
+        let b = tiny_bilp(vec![], 1, vec![(0, 2.0)]);
+        let coarse = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
+        let fine = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(0.1));
+        assert_eq!(coarse.penalty_a, 3.0); // 2/1 + 1
+        assert!((fine.penalty_a - 201.0).abs() < 1e-9); // 2/0.01 + 1
+    }
+
+    #[test]
+    fn qubo_minimum_matches_bilp_optimum_on_paper_example() {
+        let q = Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        );
+        let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
+        let bilp = milp_to_bilp(&build_milp(&q, &cfg));
+        let bilp_opt = BilpSolver::default().solve(&bilp).expect("feasible");
+
+        let encoded = bilp_to_qubo(&bilp, &QuboEncodeConfig::paper_default(1.0));
+        let qubo_opt = ExactSolver::new().solve(&encoded.qubo).expect("fits");
+
+        assert!(
+            (qubo_opt.energy - bilp_opt.objective).abs() < 1e-6,
+            "QUBO minimum {} vs BILP optimum {}",
+            qubo_opt.energy,
+            bilp_opt.objective
+        );
+        // The QUBO argmin is feasible for the BILP.
+        assert!(bilp.feasible(&qubo_opt.assignment, 1e-6));
+    }
+
+    #[test]
+    fn coefficient_rounding_keeps_valid_energies_exact() {
+        // A nearly-integral coefficient (2.0000004) must round so the
+        // feasible point's penalty is exactly zero.
+        let b = tiny_bilp(
+            vec![BilpRow { terms: vec![(0, 2.0000004), (1, 1.0)], rhs: 3.0 }],
+            2,
+            vec![],
+        );
+        let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
+        assert_eq!(e.qubo.energy(&[true, true]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_coefficient_terms_are_dropped() {
+        let b = tiny_bilp(
+            vec![BilpRow { terms: vec![(0, 0.2), (1, 1.0)], rhs: 1.0 }],
+            2,
+            vec![],
+        );
+        // ω = 1 rounds 0.2 → 0, so x0 must vanish from the penalty graph.
+        let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
+        assert_eq!(e.qubo.num_interactions(), 0);
+        assert_eq!(e.qubo.linear(0), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Typed formulation variables and the registry mapping them to dense
+//! indices (and therefore to qubits — each binary variable costs exactly
+//! one qubit, Section 3.4 of the paper).
+
+use std::collections::HashMap;
+
+/// A variable of the join-ordering formulation.
+///
+/// Names follow the paper (and Trummer & Koch): `tio`/`tii` mark a table as
+/// part of the outer/inner operand of a join, `pao` marks a predicate as
+/// applicable in an outer operand, `cto` marks a cardinality threshold as
+/// reached, and `Slack` bits discretise inequality slack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JoVar {
+    /// Table `t` is in the outer operand of join `j`.
+    Tio {
+        /// Relation index.
+        t: usize,
+        /// Join index.
+        j: usize,
+    },
+    /// Table `t` is the inner operand of join `j`.
+    Tii {
+        /// Relation index.
+        t: usize,
+        /// Join index.
+        j: usize,
+    },
+    /// Predicate `p` is applicable in the outer operand of join `j`.
+    Pao {
+        /// Predicate index.
+        p: usize,
+        /// Join index.
+        j: usize,
+    },
+    /// The outer operand of join `j` exceeds cardinality threshold `r`.
+    Cto {
+        /// Threshold index.
+        r: usize,
+        /// Join index.
+        j: usize,
+    },
+    /// Bit `bit` of the binary slack expansion of constraint `constraint`.
+    Slack {
+        /// Index of the inequality constraint the slack belongs to.
+        constraint: usize,
+        /// Bit position (value `ω · 2^bit`).
+        bit: usize,
+    },
+}
+
+impl std::fmt::Display for JoVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoVar::Tio { t, j } => write!(f, "tio[{t},{j}]"),
+            JoVar::Tii { t, j } => write!(f, "tii[{t},{j}]"),
+            JoVar::Pao { p, j } => write!(f, "pao[{p},{j}]"),
+            JoVar::Cto { r, j } => write!(f, "cto[{r},{j}]"),
+            JoVar::Slack { constraint, bit } => write!(f, "slack[{constraint}.{bit}]"),
+        }
+    }
+}
+
+/// Bidirectional map between [`JoVar`]s and dense variable indices.
+#[derive(Debug, Clone, Default)]
+pub struct VarRegistry {
+    vars: Vec<JoVar>,
+    index: HashMap<JoVar, usize>,
+}
+
+impl VarRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        VarRegistry::default()
+    }
+
+    /// Interns `var`, returning its (new or existing) index.
+    pub fn intern(&mut self, var: JoVar) -> usize {
+        if let Some(&i) = self.index.get(&var) {
+            return i;
+        }
+        let i = self.vars.len();
+        self.vars.push(var);
+        self.index.insert(var, i);
+        i
+    }
+
+    /// Index of `var` if present.
+    pub fn get(&self, var: JoVar) -> Option<usize> {
+        self.index.get(&var).copied()
+    }
+
+    /// The variable at index `i`.
+    pub fn var(&self, i: usize) -> JoVar {
+        self.vars[i]
+    }
+
+    /// Number of registered variables (= qubits).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variable is registered.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// All variables in index order.
+    pub fn vars(&self) -> &[JoVar] {
+        &self.vars
+    }
+
+    /// Counts variables by kind: `(tio, tii, pao, cto, slack)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for v in &self.vars {
+            match v {
+                JoVar::Tio { .. } => c.0 += 1,
+                JoVar::Tii { .. } => c.1 += 1,
+                JoVar::Pao { .. } => c.2 += 1,
+                JoVar::Cto { .. } => c.3 += 1,
+                JoVar::Slack { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut reg = VarRegistry::new();
+        let a = reg.intern(JoVar::Tio { t: 0, j: 1 });
+        let b = reg.intern(JoVar::Tii { t: 0, j: 1 });
+        let a2 = reg.intern(JoVar::Tio { t: 0, j: 1 });
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let mut reg = VarRegistry::new();
+        let v = JoVar::Pao { p: 2, j: 3 };
+        let i = reg.intern(v);
+        assert_eq!(reg.get(v), Some(i));
+        assert_eq!(reg.var(i), v);
+        assert_eq!(reg.get(JoVar::Cto { r: 0, j: 0 }), None);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut reg = VarRegistry::new();
+        reg.intern(JoVar::Tio { t: 0, j: 0 });
+        reg.intern(JoVar::Tio { t: 1, j: 0 });
+        reg.intern(JoVar::Tii { t: 0, j: 0 });
+        reg.intern(JoVar::Slack { constraint: 0, bit: 0 });
+        assert_eq!(reg.counts(), (2, 1, 0, 0, 1));
+    }
+
+    #[test]
+    fn display_names_match_paper_conventions() {
+        assert_eq!(JoVar::Tio { t: 1, j: 2 }.to_string(), "tio[1,2]");
+        assert_eq!(JoVar::Cto { r: 0, j: 1 }.to_string(), "cto[0,1]");
+        assert_eq!(JoVar::Slack { constraint: 3, bit: 1 }.to_string(), "slack[3.1]");
+    }
+}

@@ -1,0 +1,155 @@
+//! Left-deep join orders and the `C_out` cost function.
+//!
+//! The paper restricts plans to left-deep trees with cross products
+//! (NP-complete per Cluet & Moerkotte) and costs them with
+//! `C_out(n_i, n_j) = n_i · n_j · f_ij`: the total cost of an order
+//! `s_1 … s_n` is the sum of all intermediate result cardinalities
+//! (Equation 2).
+
+use crate::query::Query;
+
+/// A left-deep join order: `order[0]` is the outer relation of the first
+/// join, `order[i]` (i ≥ 1) the inner operand of join `i − 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOrder {
+    /// Permutation of relation indices.
+    pub order: Vec<usize>,
+}
+
+impl JoinOrder {
+    /// Builds and validates a join order for a query of `t` relations.
+    pub fn new(order: Vec<usize>, num_relations: usize) -> Option<JoinOrder> {
+        if order.len() != num_relations {
+            return None;
+        }
+        let mut seen = vec![false; num_relations];
+        for &r in &order {
+            if r >= num_relations || seen[r] {
+                return None;
+            }
+            seen[r] = true;
+        }
+        Some(JoinOrder { order })
+    }
+
+    /// The `C_out` cost (Equation 2): sum of intermediate result sizes
+    /// after each join. Computed through log cardinalities; saturates at
+    /// `f64::INFINITY` on overflow rather than panicking.
+    pub fn cost(&self, query: &Query) -> f64 {
+        let mut total = 0.0f64;
+        let mut prefix: u64 = 1 << self.order[0];
+        for &rel in &self.order[1..] {
+            prefix |= 1 << rel;
+            let log_intermediate = query.log_card_of_set(prefix);
+            total += 10f64.powf(log_intermediate);
+        }
+        total
+    }
+
+    /// Log10 of the largest intermediate result along the order.
+    pub fn max_intermediate_log(&self, query: &Query) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        let mut prefix: u64 = 1 << self.order[0];
+        for &rel in &self.order[1..] {
+            prefix |= 1 << rel;
+            max = max.max(query.log_card_of_set(prefix));
+        }
+        max
+    }
+
+    /// The staircase-approximated cost the MILP objective optimises
+    /// (Section 3.2): for each intermediate (outer operand of joins
+    /// `1..J`), every threshold its log cardinality strictly exceeds adds
+    /// that threshold's value.
+    ///
+    /// `log_thresholds` holds `log10 θ_r` values.
+    pub fn threshold_cost(&self, query: &Query, log_thresholds: &[f64]) -> f64 {
+        let mut total = 0.0f64;
+        let mut prefix: u64 = 1 << self.order[0];
+        for &rel in &self.order[1..self.order.len() - 1] {
+            prefix |= 1 << rel;
+            let c = query.log_card_of_set(prefix);
+            for &lt in log_thresholds {
+                if c > lt + 1e-9 {
+                    total += 10f64.powf(lt);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+
+    /// The running example of the paper (Example 3.3): three relations of
+    /// cardinality 100 and one predicate R⋈S with selectivity 0.1.
+    fn example_query() -> Query {
+        Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        )
+    }
+
+    #[test]
+    fn validation_rejects_bad_orders() {
+        assert!(JoinOrder::new(vec![0, 1, 2], 3).is_some());
+        assert!(JoinOrder::new(vec![0, 1], 3).is_none()); // too short
+        assert!(JoinOrder::new(vec![0, 1, 1], 3).is_none()); // duplicate
+        assert!(JoinOrder::new(vec![0, 1, 3], 3).is_none()); // out of range
+    }
+
+    #[test]
+    fn paper_example_costs() {
+        let q = example_query();
+        // (R ⋈ S) ⋈ T: intermediate 100·100·0.1 = 1000, final 1000·100 = 1e5.
+        let good = JoinOrder::new(vec![0, 1, 2], 3).unwrap();
+        assert_eq!(good.cost(&q), 1_000.0 + 100_000.0);
+        // (R × T) ⋈ S: intermediate 100·100 = 1e4, final 1e4·100·0.1 = 1e5.
+        let bad = JoinOrder::new(vec![0, 2, 1], 3).unwrap();
+        assert_eq!(bad.cost(&q), 10_000.0 + 100_000.0);
+        assert!(good.cost(&q) < bad.cost(&q));
+    }
+
+    #[test]
+    fn symmetric_prefix_orders_cost_the_same() {
+        let q = example_query();
+        let a = JoinOrder::new(vec![0, 1, 2], 3).unwrap();
+        let b = JoinOrder::new(vec![1, 0, 2], 3).unwrap();
+        assert_eq!(a.cost(&q), b.cost(&q));
+    }
+
+    #[test]
+    fn max_intermediate_tracks_peak() {
+        let q = example_query();
+        let good = JoinOrder::new(vec![0, 1, 2], 3).unwrap();
+        assert_eq!(good.max_intermediate_log(&q), 5.0);
+        let bad = JoinOrder::new(vec![0, 2, 1], 3).unwrap();
+        assert_eq!(bad.max_intermediate_log(&q), 5.0);
+    }
+
+    #[test]
+    fn threshold_cost_matches_paper_example() {
+        // Example 3.3: thresholds θ0 = 100, θ1 = 1000; order (R ⋈ S) ⋈ T has
+        // one intermediate (log 3), which exceeds log θ0 = 2 but not
+        // log θ1 = 3 → approximated cost = 100.
+        let q = example_query();
+        let order = JoinOrder::new(vec![0, 1, 2], 3).unwrap();
+        assert_eq!(order.threshold_cost(&q, &[2.0, 3.0]), 100.0);
+        // The cross-product order's intermediate has log 4 > both: 1100.
+        let bad = JoinOrder::new(vec![0, 2, 1], 3).unwrap();
+        assert_eq!(bad.threshold_cost(&q, &[2.0, 3.0]), 1_100.0);
+    }
+
+    #[test]
+    fn two_relation_queries_have_single_join() {
+        let q = Query::new(vec![1.0, 2.0], vec![]);
+        let o = JoinOrder::new(vec![0, 1], 2).unwrap();
+        // Only the final result counts: 10^3.
+        assert_eq!(o.cost(&q), 1_000.0);
+        // And no intermediates exist for the threshold cost.
+        assert_eq!(o.threshold_cost(&q, &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The join-ordering problem instance: relations, cardinalities, and join
+//! predicates.
+//!
+//! Cardinalities and selectivities are stored as base-10 logarithms, the
+//! representation both the MILP reformulation (Section 3 of the paper) and
+//! the qubit-bound analysis (Section 5) work in. The paper's evaluation
+//! restricts itself to *integer* logarithmic cardinalities and
+//! selectivities to sidestep discretisation error; [`Query::is_integer_log`]
+//! detects that regime.
+
+/// A binary join predicate between two relations with a selectivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// First referenced relation.
+    pub rel_a: usize,
+    /// Second referenced relation.
+    pub rel_b: usize,
+    /// Base-10 log of the selectivity; must satisfy `log_sel <= 0`
+    /// (selectivities are in `(0, 1]`).
+    pub log_sel: f64,
+}
+
+/// The shape of a query's join graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryGraph {
+    /// `R0 — R1 — … — R(n−1)`.
+    Chain,
+    /// `R0` joined to every other relation.
+    Star,
+    /// A chain closed into a ring (one extra predicate).
+    Cycle,
+    /// Every pair of relations joined.
+    Clique,
+}
+
+/// A join-ordering problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Base-10 log of each relation's cardinality (`log_card >= 0`).
+    log_cards: Vec<f64>,
+    /// Join predicates (uncorrelated, per the paper's footnote 3).
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Builds a query, validating ranges and predicate endpoints.
+    pub fn new(log_cards: Vec<f64>, predicates: Vec<Predicate>) -> Self {
+        let t = log_cards.len();
+        assert!(t >= 2, "a join-ordering problem needs at least two relations");
+        assert!(t <= 64, "relation sets are represented as u64 bitmasks");
+        assert!(
+            log_cards.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "log cardinalities must be finite and non-negative"
+        );
+        for p in &predicates {
+            assert!(p.rel_a < t && p.rel_b < t, "predicate references unknown relation");
+            assert_ne!(p.rel_a, p.rel_b, "self-join predicates are not supported");
+            assert!(
+                p.log_sel <= 0.0 && p.log_sel.is_finite(),
+                "selectivities must be in (0, 1]"
+            );
+        }
+        Query { log_cards, predicates }
+    }
+
+    /// Number of relations `T`.
+    pub fn num_relations(&self) -> usize {
+        self.log_cards.len()
+    }
+
+    /// Number of joins `J = T − 1` in a left-deep tree.
+    pub fn num_joins(&self) -> usize {
+        self.log_cards.len() - 1
+    }
+
+    /// Number of predicates `P`.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Log cardinality of relation `t`.
+    pub fn log_card(&self, t: usize) -> f64 {
+        self.log_cards[t]
+    }
+
+    /// All log cardinalities.
+    pub fn log_cards(&self) -> &[f64] {
+        &self.log_cards
+    }
+
+    /// The predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// True when every cardinality and selectivity has an integer log —
+    /// the paper's evaluation regime (discretisation-exact at ω = 1).
+    pub fn is_integer_log(&self) -> bool {
+        let is_int = |v: f64| (v - v.round()).abs() < 1e-9;
+        self.log_cards.iter().all(|&c| is_int(c))
+            && self.predicates.iter().all(|p| is_int(p.log_sel))
+    }
+
+    /// Log cardinality of joining the set of relations in `set` (bitmask):
+    /// `Σ log Card(t) + Σ log Sel(p)` over predicates with both endpoints
+    /// inside the set (uncorrelated-predicate model).
+    pub fn log_card_of_set(&self, set: u64) -> f64 {
+        let mut acc = 0.0;
+        for (t, &c) in self.log_cards.iter().enumerate() {
+            if set >> t & 1 == 1 {
+                acc += c;
+            }
+        }
+        for p in &self.predicates {
+            if set >> p.rel_a & 1 == 1 && set >> p.rel_b & 1 == 1 {
+                acc += p.log_sel;
+            }
+        }
+        acc
+    }
+
+    /// The paper's Lemma 5.2 quantity: the maximum possible log cardinality
+    /// of the outer operand of join `j` — the sum of the `j + 1` largest
+    /// log cardinalities, ignoring all predicates.
+    pub fn max_outer_log_card(&self, j: usize) -> f64 {
+        let mut sorted = self.log_cards.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        sorted.iter().take(j + 1).sum()
+    }
+
+    /// Predicates whose endpoints both lie within `set`, excluding those
+    /// already applicable within `subset` — i.e. the predicates newly
+    /// applied when `set \ subset` joins `subset`.
+    pub fn newly_applicable(&self, subset: u64, set: u64) -> impl Iterator<Item = &Predicate> {
+        self.predicates.iter().filter(move |p| {
+            let in_set = set >> p.rel_a & 1 == 1 && set >> p.rel_b & 1 == 1;
+            let in_subset = subset >> p.rel_a & 1 == 1 && subset >> p.rel_b & 1 == 1;
+            in_set && !in_subset
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_rel() -> Query {
+        // Cards 100, 100, 100; one predicate R0–R1 with selectivity 0.1.
+        Query::new(
+            vec![2.0, 2.0, 2.0],
+            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = three_rel();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.num_joins(), 2);
+        assert_eq!(q.num_predicates(), 1);
+        assert_eq!(q.log_card(1), 2.0);
+        assert!(q.is_integer_log());
+    }
+
+    #[test]
+    fn set_cardinality_applies_predicates() {
+        let q = three_rel();
+        // {R0} alone: 10^2.
+        assert_eq!(q.log_card_of_set(0b001), 2.0);
+        // {R0, R1}: 10^2 · 10^2 · 0.1 = 10^3.
+        assert_eq!(q.log_card_of_set(0b011), 3.0);
+        // {R0, R2}: cross product, no predicate: 10^4.
+        assert_eq!(q.log_card_of_set(0b101), 4.0);
+        // All three: 10^6 · 0.1 = 10^5.
+        assert_eq!(q.log_card_of_set(0b111), 5.0);
+        assert_eq!(q.log_card_of_set(0), 0.0);
+    }
+
+    #[test]
+    fn max_outer_log_card_uses_largest_relations() {
+        let q = Query::new(vec![1.0, 3.0, 2.0], vec![]);
+        // Outer of join 0 holds 1 relation; of join 1 holds 2; of join 2
+        // would hold all 3 (out of range here but the formula generalises).
+        assert_eq!(q.max_outer_log_card(0), 3.0);
+        assert_eq!(q.max_outer_log_card(1), 5.0);
+        assert_eq!(q.max_outer_log_card(2), 6.0);
+    }
+
+    #[test]
+    fn newly_applicable_predicates() {
+        let q = three_rel();
+        // Adding R1 to {R0}: predicate 0 becomes applicable.
+        let newly: Vec<_> = q.newly_applicable(0b001, 0b011).collect();
+        assert_eq!(newly.len(), 1);
+        // Adding R2 to {R0, R1}: nothing new.
+        assert_eq!(q.newly_applicable(0b011, 0b111).count(), 0);
+    }
+
+    #[test]
+    fn non_integer_logs_are_detected() {
+        let q = Query::new(vec![2.0, 2.5], vec![]);
+        assert!(!q.is_integer_log());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two relations")]
+    fn rejects_single_relation() {
+        Query::new(vec![2.0], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u64 bitmasks")]
+    fn rejects_more_than_64_relations() {
+        Query::new(vec![1.0; 65], vec![]);
+    }
+
+    #[test]
+    fn exactly_64_relations_is_supported() {
+        let q = Query::new(vec![1.0; 64], vec![]);
+        assert_eq!(q.num_relations(), 64);
+        // The full-set mask exercises the top bit.
+        assert_eq!(q.log_card_of_set(u64::MAX), 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-join")]
+    fn rejects_self_join() {
+        Query::new(vec![2.0, 2.0], vec![Predicate { rel_a: 1, rel_b: 1, log_sel: -1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn rejects_selectivity_above_one() {
+        Query::new(vec![2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: 0.5 }]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Random query generation following Steinbrunn et al.
+//!
+//! The paper generates join-ordering instances with controlled query-graph
+//! shapes (chain, star, cycle; we add clique) and randomised cardinalities
+//! and selectivities, using the generator of Steinbrunn et al. via
+//! Trummer's query-optimizer-lib. We reproduce the knobs that matter:
+//! graph type, cardinality range, selectivity range, and the *integer-log*
+//! mode the paper's QPU experiments rely on (Section 4.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::query::{Predicate, Query, QueryGraph};
+
+/// Configuration of the random query generator.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    /// Join-graph shape.
+    pub graph: QueryGraph,
+    /// Number of relations.
+    pub num_relations: usize,
+    /// Inclusive range of base-10 log cardinalities.
+    pub log_card_range: (f64, f64),
+    /// Inclusive range of base-10 log selectivities (non-positive).
+    pub log_sel_range: (f64, f64),
+    /// Round all logs to integers (the paper's evaluation setting, which
+    /// keeps QUBO coefficients exact at ω = 1).
+    pub integer_log: bool,
+}
+
+impl QueryGenerator {
+    /// The paper's evaluation defaults: integer logs, cardinalities in
+    /// `10^1..10^4`, selectivities in `10^−2..10^−1`.
+    pub fn paper_defaults(graph: QueryGraph, num_relations: usize) -> Self {
+        QueryGenerator {
+            graph,
+            num_relations,
+            log_card_range: (1.0, 4.0),
+            log_sel_range: (-2.0, -1.0),
+            integer_log: true,
+        }
+    }
+
+    /// Generates one query from the given seed.
+    pub fn generate(&self, seed: u64) -> Query {
+        assert!(self.num_relations >= 2, "need at least two relations");
+        assert!(
+            self.log_sel_range.1 <= 0.0,
+            "selectivity logs must be non-positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = self.num_relations;
+
+        let mut draw = |range: (f64, f64)| -> f64 {
+            let v = if range.0 == range.1 {
+                range.0
+            } else {
+                rng.random_range(range.0..=range.1)
+            };
+            if self.integer_log {
+                v.round()
+            } else {
+                v
+            }
+        };
+
+        let log_cards: Vec<f64> = (0..t).map(|_| draw(self.log_card_range)).collect();
+        let pairs: Vec<(usize, usize)> = match self.graph {
+            QueryGraph::Chain => (0..t - 1).map(|i| (i, i + 1)).collect(),
+            QueryGraph::Star => (1..t).map(|i| (0, i)).collect(),
+            QueryGraph::Cycle => {
+                assert!(t >= 3, "a cycle needs at least three relations");
+                let mut v: Vec<_> = (0..t - 1).map(|i| (i, i + 1)).collect();
+                v.push((t - 1, 0));
+                v
+            }
+            QueryGraph::Clique => {
+                let mut v = Vec::new();
+                for a in 0..t {
+                    for b in a + 1..t {
+                        v.push((a, b));
+                    }
+                }
+                v
+            }
+        };
+        let predicates = pairs
+            .into_iter()
+            .map(|(rel_a, rel_b)| Predicate {
+                rel_a,
+                rel_b,
+                log_sel: draw(self.log_sel_range).min(0.0),
+            })
+            .collect();
+        Query::new(log_cards, predicates)
+    }
+
+    /// Generates a batch of queries with consecutive seeds.
+    pub fn generate_many(&self, base_seed: u64, count: usize) -> Vec<Query> {
+        (0..count).map(|i| self.generate(base_seed + i as u64)).collect()
+    }
+
+    /// A query with `predicates` of the chain predicates kept and the rest
+    /// dropped — the paper's "vary the number of predicates at fixed
+    /// relations" scenario (0 predicates forces cross products everywhere).
+    pub fn with_predicate_count(&self, seed: u64, predicates: usize) -> Query {
+        let full = self.generate(seed);
+        let kept: Vec<Predicate> =
+            full.predicates().iter().copied().take(predicates).collect();
+        Query::new(full.log_cards().to_vec(), kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_shapes_have_expected_predicate_counts() {
+        for (graph, expected) in [
+            (QueryGraph::Chain, 4),
+            (QueryGraph::Star, 4),
+            (QueryGraph::Cycle, 5),
+            (QueryGraph::Clique, 10),
+        ] {
+            let q = QueryGenerator::paper_defaults(graph, 5).generate(1);
+            assert_eq!(q.num_predicates(), expected, "{graph:?}");
+            assert_eq!(q.num_relations(), 5);
+        }
+    }
+
+    #[test]
+    fn chain_touches_consecutive_relations() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Chain, 4).generate(0);
+        let pairs: Vec<(usize, usize)> =
+            q.predicates().iter().map(|p| (p.rel_a, p.rel_b)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn star_centres_on_relation_zero() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Star, 5).generate(0);
+        assert!(q.predicates().iter().all(|p| p.rel_a == 0));
+    }
+
+    #[test]
+    fn integer_log_mode_rounds_everything() {
+        let q = QueryGenerator::paper_defaults(QueryGraph::Cycle, 6).generate(3);
+        assert!(q.is_integer_log());
+    }
+
+    #[test]
+    fn continuous_mode_produces_fractional_logs() {
+        let gen = QueryGenerator {
+            integer_log: false,
+            ..QueryGenerator::paper_defaults(QueryGraph::Chain, 8)
+        };
+        let q = gen.generate(5);
+        assert!(!q.is_integer_log(), "8 draws should not all be integers");
+    }
+
+    #[test]
+    fn values_respect_ranges() {
+        let gen = QueryGenerator::paper_defaults(QueryGraph::Clique, 6);
+        for seed in 0..10 {
+            let q = gen.generate(seed);
+            for &c in q.log_cards() {
+                assert!((1.0..=4.0).contains(&c), "card log {c}");
+            }
+            for p in q.predicates() {
+                assert!((-2.0..=-1.0).contains(&p.log_sel), "sel log {}", p.log_sel);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let gen = QueryGenerator::paper_defaults(QueryGraph::Chain, 5);
+        assert_eq!(gen.generate(7), gen.generate(7));
+        let distinct = (0..10).map(|s| gen.generate(s)).collect::<Vec<_>>();
+        assert!(distinct.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn predicate_count_override() {
+        let gen = QueryGenerator::paper_defaults(QueryGraph::Cycle, 3);
+        for count in 0..=3 {
+            let q = gen.with_predicate_count(2, count);
+            assert_eq!(q.num_predicates(), count);
+            assert_eq!(q.num_relations(), 3);
+        }
+    }
+
+    #[test]
+    fn generate_many_uses_consecutive_seeds() {
+        let gen = QueryGenerator::paper_defaults(QueryGraph::Chain, 4);
+        let batch = gen.generate_many(10, 3);
+        assert_eq!(batch[0], gen.generate(10));
+        assert_eq!(batch[2], gen.generate(12));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the JO → MILP → BILP → QUBO chain.
+
+use proptest::prelude::*;
+
+use qjo_core::classical::dp_optimal;
+use qjo_core::decode::decode_assignment;
+use qjo_core::formulate::{milp_to_bilp, BilpSolver, JoVar};
+use qjo_core::{qubit_upper_bound, JoEncoder, Predicate, Query, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_qubo::solve::ExactSolver;
+
+/// Strategy for small random integer-log queries.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (2usize..=4, 0u64..1000, prop::sample::select(vec![
+        QueryGraph::Chain,
+        QueryGraph::Star,
+        QueryGraph::Cycle,
+    ]))
+        .prop_filter("cycle needs 3 relations", |(t, _, g)| {
+            !(matches!(g, QueryGraph::Cycle) && *t < 3)
+        })
+        .prop_map(|(t, seed, graph)| QueryGenerator::paper_defaults(graph, t).generate(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5.3: the bound dominates the exact variable count for any
+    /// query, threshold count, and precision.
+    #[test]
+    fn qubit_bound_dominates(query in arb_query(), r in 1usize..4, d in 0u32..3) {
+        let omega = 10f64.powi(-(d as i32));
+        let enc = JoEncoder {
+            thresholds: ThresholdSpec::Auto(r),
+            omega,
+            ..Default::default()
+        }
+        .encode(&query);
+        let bound = qubit_upper_bound(&query, r, omega).total();
+        prop_assert!(enc.num_qubits() <= bound, "{} > {bound}", enc.num_qubits());
+    }
+
+    /// The QUBO ground state always decodes to a *valid* join order, and
+    /// its BILP image is feasible with matching objective.
+    #[test]
+    fn ground_state_is_valid(query in arb_query()) {
+        let enc = JoEncoder::default().encode(&query);
+        prop_assume!(enc.num_qubits() <= 24); // exact-solver budget
+        let ground = ExactSolver::new().solve(&enc.qubo).expect("fits");
+        let order = decode_assignment(&ground.assignment, &enc.registry, &query);
+        prop_assert!(order.is_some(), "invalid ground state");
+        prop_assert!(enc.bilp.feasible(&ground.assignment, 1e-6));
+        let obj = enc.bilp.objective_value(&ground.assignment);
+        prop_assert!((obj - ground.energy).abs() < 1e-6, "{obj} vs {ground:?}");
+    }
+
+    /// The QUBO minimum equals the BILP optimum (penalty encoding is tight).
+    #[test]
+    fn qubo_matches_bilp_optimum(query in arb_query()) {
+        let enc = JoEncoder::default().encode(&query);
+        prop_assume!(enc.num_qubits() <= 22); // keep branch & bound fast too
+        let qubo_min = ExactSolver::new().min_energy(&enc.qubo).expect("fits");
+        let bilp_opt = BilpSolver::default().solve(&enc.bilp).expect("feasible");
+        prop_assert!(
+            (qubo_min - bilp_opt.objective).abs() < 1e-6,
+            "QUBO {qubo_min} vs BILP {}",
+            bilp_opt.objective
+        );
+    }
+
+    /// Pruning shrinks the model, keeps the ground state valid, and never
+    /// raises the optimum. (The optima need not be *equal*: the original
+    /// Trummer–Koch model also charges the j = 0 outer operand — the base
+    /// relation scan — which the paper's `C_out`-based pruning drops, so
+    /// the original objective carries extra non-negative terms.)
+    #[test]
+    fn pruning_shrinks_without_breaking_validity(query in arb_query()) {
+        let pruned = JoEncoder::default().encode(&query);
+        let original = JoEncoder { prune: false, ..Default::default() }.encode(&query);
+        prop_assume!(original.num_qubits() <= 24);
+        prop_assert!(pruned.num_qubits() < original.num_qubits());
+        let a = ExactSolver::new().solve(&pruned.qubo).expect("fits");
+        let b = ExactSolver::new().solve(&original.qubo).expect("fits");
+        prop_assert!(a.energy <= b.energy + 1e-6, "pruned {} vs original {}", a.energy, b.energy);
+        // Both ground states decode to valid join orders.
+        prop_assert!(decode_assignment(&a.assignment, &pruned.registry, &query).is_some());
+        prop_assert!(decode_assignment(&b.assignment, &original.registry, &query).is_some());
+    }
+
+    /// Decoding is the inverse of hand-encoding a join order through the
+    /// tii variables.
+    #[test]
+    fn encode_decode_round_trip(query in arb_query(), perm_seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let t = query.num_relations();
+        let mut order: Vec<usize> = (0..t).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
+        order.shuffle(&mut rng);
+
+        let enc = JoEncoder::default().encode(&query);
+        let mut x = vec![false; enc.num_qubits()];
+        for (j, &rel) in order[1..].iter().enumerate() {
+            let idx = enc.registry.get(JoVar::Tii { t: rel, j }).expect("tii exists");
+            x[idx] = true;
+        }
+        let decoded = decode_assignment(&x, &enc.registry, &query).expect("valid by construction");
+        prop_assert_eq!(decoded.order, order);
+    }
+
+    /// The milp→bilp conversion preserves feasibility status on the
+    /// ground-state assignment restricted to original variables.
+    #[test]
+    fn milp_and_bilp_agree_on_ground_state(query in arb_query()) {
+        let enc = JoEncoder::default().encode(&query);
+        prop_assume!(enc.num_qubits() <= 24);
+        let ground = ExactSolver::new().solve(&enc.qubo).expect("fits");
+        // BILP feasibility (with slack) must imply MILP feasibility of the
+        // original-variable projection.
+        prop_assert!(enc.bilp.feasible(&ground.assignment, 1e-6));
+        prop_assert!(enc.milp.feasible(&ground.assignment[..enc.milp.registry.len()]));
+    }
+}
+
+#[test]
+fn dp_is_a_lower_bound_for_all_decodable_assignments() {
+    // Deterministic spot check: every decodable assignment costs at least
+    // the DP optimum.
+    let query = Query::new(
+        vec![2.0, 2.0, 2.0],
+        vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
+    );
+    let enc = JoEncoder::default().encode(&query);
+    let (_, optimal) = dp_optimal(&query);
+    let exact = ExactSolver::new();
+    for sol in exact.solve_k_best(&enc.qubo, 10).expect("fits") {
+        if let Some(order) = decode_assignment(&sol.assignment, &enc.registry, &query) {
+            assert!(order.cost(&query) >= optimal - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn milp_to_bilp_is_idempotent_on_equalities() {
+    let query = Query::new(vec![1.0, 2.0], vec![]);
+    let enc = JoEncoder::default().encode(&query);
+    let again = milp_to_bilp(&enc.milp);
+    assert_eq!(again.num_vars(), enc.bilp.num_vars());
+    assert_eq!(again.rows.len(), enc.bilp.rows.len());
+}

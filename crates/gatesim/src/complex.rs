@@ -1,0 +1,198 @@
+//! A minimal complex-number type for state-vector simulation.
+//!
+//! Hand-rolled rather than pulling in a numerics crate: the simulator needs
+//! only arithmetic, conjugation, modulus, and `e^{iθ}`, and keeping the type
+//! local guarantees a `#[repr(C)]` layout we control for the hot loops.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Creates a complex number from its parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        C64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z + ZERO, z);
+        assert_eq!(z * ONE, z);
+        assert_eq!(z - z, ZERO);
+        assert_eq!(-z, C64::new(-3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(I * I, C64::real(-1.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C64::new(2.5, -1.5);
+        let b = C64::new(0.5, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).norm() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = C64::cis(theta);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!((C64::cis(std::f64::consts::PI) - C64::real(-1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugation_flips_imaginary_part() {
+        let z = C64::new(1.0, 2.0);
+        assert_eq!(z.conj(), C64::new(1.0, -2.0));
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,355 @@
+//! The gate set of the circuit IR.
+//!
+//! Covers the logical gates QAOA needs (H, RX, RZ, RZZ), the entangling
+//! primitives of the hardware gate sets the paper targets (CX for IBM, CZ for
+//! Rigetti, the Mølmer–Sørensen XX interaction for IonQ), and the 1-qubit
+//! basis gates transpilers decompose into (RZ, SX, X, ...).
+
+use crate::complex::{C64, I, ONE, ZERO};
+
+/// A quantum gate applied to explicit qubit indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg(usize),
+    /// √X, a native IBM basis gate.
+    Sx(usize),
+    /// Rotation about X: `exp(−i θ X / 2)`.
+    Rx(usize, f64),
+    /// Rotation about Y: `exp(−i θ Y / 2)`.
+    Ry(usize, f64),
+    /// Rotation about Z: `exp(−i θ Z / 2)` (diagonal).
+    Rz(usize, f64),
+    /// Phase rotation diag(1, e^{iθ}).
+    Phase(usize, f64),
+    /// Controlled-X (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// SWAP.
+    Swap(usize, usize),
+    /// Two-qubit ZZ rotation `exp(−i θ Z⊗Z / 2)` (diagonal); the natural
+    /// cost-operator gate of QAOA.
+    Rzz(usize, usize, f64),
+    /// Two-qubit XX rotation `exp(−i θ X⊗X / 2)`; the Mølmer–Sørensen
+    /// interaction native to trapped-ion hardware.
+    Rxx(usize, usize, f64),
+}
+
+impl Gate {
+    /// The qubit indices this gate touches (1 or 2 entries).
+    pub fn qubits(&self) -> GateQubits {
+        use Gate::*;
+        match *self {
+            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | Sx(q) | Rx(q, _) | Ry(q, _)
+            | Rz(q, _) | Phase(q, _) => GateQubits::One(q),
+            Cx(a, b) | Cz(a, b) | Swap(a, b) | Rzz(a, b, _) | Rxx(a, b, _) => GateQubits::Two(a, b),
+        }
+    }
+
+    /// True for gates acting on two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.qubits(), GateQubits::Two(..))
+    }
+
+    /// True for gates that are diagonal in the computational basis (they
+    /// commute with measurements and cost operators, and the simulator
+    /// applies them as pure phases).
+    pub fn is_diagonal(&self) -> bool {
+        use Gate::*;
+        matches!(self, Z(_) | S(_) | Sdg(_) | Rz(..) | Phase(..) | Cz(..) | Rzz(..))
+    }
+
+    /// Lower-case mnemonic matching common assembly names.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            H(_) => "h",
+            X(_) => "x",
+            Y(_) => "y",
+            Z(_) => "z",
+            S(_) => "s",
+            Sdg(_) => "sdg",
+            Sx(_) => "sx",
+            Rx(..) => "rx",
+            Ry(..) => "ry",
+            Rz(..) => "rz",
+            Phase(..) => "p",
+            Cx(..) => "cx",
+            Cz(..) => "cz",
+            Swap(..) => "swap",
+            Rzz(..) => "rzz",
+            Rxx(..) => "rxx",
+        }
+    }
+
+    /// The rotation angle, for parameterised gates.
+    pub fn angle(&self) -> Option<f64> {
+        use Gate::*;
+        match *self {
+            Rx(_, t) | Ry(_, t) | Rz(_, t) | Phase(_, t) | Rzz(_, _, t) | Rxx(_, _, t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The 2×2 unitary of a single-qubit gate, row-major
+    /// `[u00, u01, u10, u11]`. Panics for two-qubit gates.
+    pub fn unitary_1q(&self) -> [C64; 4] {
+        use Gate::*;
+        let half = std::f64::consts::FRAC_1_SQRT_2;
+        match *self {
+            H(_) => [C64::real(half), C64::real(half), C64::real(half), C64::real(-half)],
+            X(_) => [ZERO, ONE, ONE, ZERO],
+            Y(_) => [ZERO, -I, I, ZERO],
+            Z(_) => [ONE, ZERO, ZERO, C64::real(-1.0)],
+            S(_) => [ONE, ZERO, ZERO, I],
+            Sdg(_) => [ONE, ZERO, ZERO, -I],
+            Sx(_) => [
+                C64::new(0.5, 0.5),
+                C64::new(0.5, -0.5),
+                C64::new(0.5, -0.5),
+                C64::new(0.5, 0.5),
+            ],
+            Rx(_, t) => {
+                let (s, c) = (t / 2.0).sin_cos();
+                [C64::real(c), C64::new(0.0, -s), C64::new(0.0, -s), C64::real(c)]
+            }
+            Ry(_, t) => {
+                let (s, c) = (t / 2.0).sin_cos();
+                [C64::real(c), C64::real(-s), C64::real(s), C64::real(c)]
+            }
+            Rz(_, t) => [C64::cis(-t / 2.0), ZERO, ZERO, C64::cis(t / 2.0)],
+            Phase(_, t) => [ONE, ZERO, ZERO, C64::cis(t)],
+            _ => panic!("unitary_1q called on two-qubit gate {self:?}"),
+        }
+    }
+
+    /// The 4×4 unitary of a two-qubit gate in the basis
+    /// `|q_low q_high⟩ ∈ {00, 01, 10, 11}` where the *first* listed qubit is
+    /// the low-order bit. Row-major. Panics for single-qubit gates.
+    pub fn unitary_2q(&self) -> [[C64; 4]; 4] {
+        use Gate::*;
+        let mut u = [[ZERO; 4]; 4];
+        match *self {
+            // Basis order: index b = (bit of second qubit << 1) | bit of first.
+            Cx(_c, _t) => {
+                // control = first listed qubit (low bit), target = second.
+                u[0][0] = ONE; // |00> -> |00>
+                u[2][2] = ONE; // control 0, target 1 -> unchanged
+                u[1][3] = ONE; // control 1, target 0 -> target flips: |01>->|11>
+                u[3][1] = ONE;
+            }
+            Cz(..) => {
+                u[0][0] = ONE;
+                u[1][1] = ONE;
+                u[2][2] = ONE;
+                u[3][3] = C64::real(-1.0);
+            }
+            Swap(..) => {
+                u[0][0] = ONE;
+                u[1][2] = ONE;
+                u[2][1] = ONE;
+                u[3][3] = ONE;
+            }
+            Rzz(_, _, t) => {
+                let plus = C64::cis(t / 2.0);
+                let minus = C64::cis(-t / 2.0);
+                u[0][0] = minus;
+                u[1][1] = plus;
+                u[2][2] = plus;
+                u[3][3] = minus;
+            }
+            Rxx(_, _, t) => {
+                let (s, c) = (t / 2.0).sin_cos();
+                let cc = C64::real(c);
+                let ms = C64::new(0.0, -s);
+                u[0][0] = cc;
+                u[1][1] = cc;
+                u[2][2] = cc;
+                u[3][3] = cc;
+                u[0][3] = ms;
+                u[3][0] = ms;
+                u[1][2] = ms;
+                u[2][1] = ms;
+            }
+            _ => panic!("unitary_2q called on single-qubit gate {self:?}"),
+        }
+        u
+    }
+
+    /// Remaps qubit indices through `f` (used by layout / routing).
+    pub fn map_qubits<F: Fn(usize) -> usize>(&self, f: F) -> Gate {
+        use Gate::*;
+        match *self {
+            H(q) => H(f(q)),
+            X(q) => X(f(q)),
+            Y(q) => Y(f(q)),
+            Z(q) => Z(f(q)),
+            S(q) => S(f(q)),
+            Sdg(q) => Sdg(f(q)),
+            Sx(q) => Sx(f(q)),
+            Rx(q, t) => Rx(f(q), t),
+            Ry(q, t) => Ry(f(q), t),
+            Rz(q, t) => Rz(f(q), t),
+            Phase(q, t) => Phase(f(q), t),
+            Cx(a, b) => Cx(f(a), f(b)),
+            Cz(a, b) => Cz(f(a), f(b)),
+            Swap(a, b) => Swap(f(a), f(b)),
+            Rzz(a, b, t) => Rzz(f(a), f(b), t),
+            Rxx(a, b, t) => Rxx(f(a), f(b), t),
+        }
+    }
+}
+
+/// The qubits a gate touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateQubits {
+    /// A single-qubit gate.
+    One(usize),
+    /// A two-qubit gate.
+    Two(usize, usize),
+}
+
+impl GateQubits {
+    /// Iterates the contained indices.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let (a, b) = match self {
+            GateQubits::One(q) => (q, None),
+            GateQubits::Two(q, r) => (q, Some(r)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Highest index touched.
+    pub fn max(self) -> usize {
+        match self {
+            GateQubits::One(q) => q,
+            GateQubits::Two(a, b) => a.max(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unitary_2x2(u: &[C64; 4]) -> bool {
+        // U U† = I
+        let dot = |r1: [C64; 2], r2: [C64; 2]| r1[0] * r2[0].conj() + r1[1] * r2[1].conj();
+        let r0 = [u[0], u[1]];
+        let r1 = [u[2], u[3]];
+        (dot(r0, r0) - ONE).norm() < 1e-12
+            && (dot(r1, r1) - ONE).norm() < 1e-12
+            && dot(r0, r1).norm() < 1e-12
+    }
+
+    #[test]
+    fn all_single_qubit_gates_are_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::Sx(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Rz(0, 2.1),
+            Gate::Phase(0, 0.4),
+        ];
+        for g in gates {
+            assert!(is_unitary_2x2(&g.unitary_1q()), "{g:?} not unitary");
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_are_unitary() {
+        let gates = [
+            Gate::Cx(0, 1),
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Rzz(0, 1, 0.9),
+            Gate::Rxx(0, 1, -0.4),
+        ];
+        for g in gates {
+            let u = g.unitary_2q();
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut dot = ZERO;
+                    #[allow(clippy::needless_range_loop)] // matrix index
+                    for k in 0..4 {
+                        dot += u[i][k] * u[j][k].conj();
+                    }
+                    let expect = if i == j { ONE } else { ZERO };
+                    assert!((dot - expect).norm() < 1e-12, "{g:?} row {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::Sx(0).unitary_1q();
+        let x = Gate::X(0).unitary_1q();
+        // (SX)² = X
+        let mul = |a: &[C64; 4], b: &[C64; 4]| {
+            [
+                a[0] * b[0] + a[1] * b[2],
+                a[0] * b[1] + a[1] * b[3],
+                a[2] * b[0] + a[3] * b[2],
+                a[2] * b[1] + a[3] * b[3],
+            ]
+        };
+        let sq = mul(&sx, &sx);
+        for k in 0..4 {
+            assert!((sq[k] - x[k]).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::Rz(0, 1.0).is_diagonal());
+        assert!(Gate::Rzz(0, 1, 1.0).is_diagonal());
+        assert!(Gate::Cz(0, 1).is_diagonal());
+        assert!(!Gate::H(0).is_diagonal());
+        assert!(!Gate::Cx(0, 1).is_diagonal());
+        assert!(!Gate::Rxx(0, 1, 1.0).is_diagonal());
+    }
+
+    #[test]
+    fn qubit_accessors() {
+        assert_eq!(Gate::H(3).qubits(), GateQubits::One(3));
+        assert_eq!(Gate::Cx(1, 4).qubits(), GateQubits::Two(1, 4));
+        assert!(Gate::Rzz(0, 1, 0.5).is_two_qubit());
+        assert!(!Gate::Rx(0, 0.5).is_two_qubit());
+        assert_eq!(Gate::Cx(1, 4).qubits().max(), 4);
+        let qs: Vec<usize> = Gate::Swap(2, 5).qubits().iter().collect();
+        assert_eq!(qs, vec![2, 5]);
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::Cx(0, 1).map_qubits(|q| q + 10);
+        assert_eq!(g, Gate::Cx(10, 11));
+        let g = Gate::Rz(2, 0.3).map_qubits(|q| q * 2);
+        assert_eq!(g, Gate::Rz(4, 0.3));
+    }
+
+    #[test]
+    fn angles_are_reported() {
+        assert_eq!(Gate::Rz(0, 1.5).angle(), Some(1.5));
+        assert_eq!(Gate::Rzz(0, 1, -0.5).angle(), Some(-0.5));
+        assert_eq!(Gate::H(0).angle(), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Readout-error mitigation.
+//!
+//! With independent per-qubit misclassification probability `p`, a measured
+//! bit relates to the true bit through the symmetric channel
+//! `m = (1−p)·x + p·(1−x)`. In spin language (`s = 2x − 1`) the channel is
+//! a simple contraction: `⟨s⟩_meas = (1−2p)·⟨s⟩_true`, and for independent
+//! errors on two qubits `⟨s_i s_j⟩_meas = (1−2p)²·⟨s_i s_j⟩_true`. These
+//! identities are exact, so first- and second-moment observables can be
+//! corrected by division — the standard cheap mitigation used on IBM Q
+//! hardware (full distribution-level correction needs the 2^n confusion
+//! matrix and is out of NISQ-era scope, as is the paper's).
+
+use qjo_qubo::SampleSet;
+
+/// Mitigates first- and second-moment observables measured through a
+/// symmetric readout channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadoutMitigator {
+    /// Per-qubit misclassification probability, in `[0, 0.5)`.
+    pub flip_probability: f64,
+}
+
+impl ReadoutMitigator {
+    /// Creates a mitigator; panics for `p ≥ 0.5` (channel not invertible).
+    pub fn new(flip_probability: f64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&flip_probability),
+            "readout channel is only invertible for p < 0.5"
+        );
+        ReadoutMitigator { flip_probability }
+    }
+
+    /// The channel contraction factor `1 − 2p`.
+    pub fn contraction(&self) -> f64 {
+        1.0 - 2.0 * self.flip_probability
+    }
+
+    /// Corrects a measured mean-bit value `⟨x_i⟩`; the result is clamped to
+    /// `[0, 1]` (finite shots can push the raw inversion outside).
+    pub fn corrected_mean_bit(&self, measured: f64) -> f64 {
+        ((measured - self.flip_probability) / self.contraction()).clamp(0.0, 1.0)
+    }
+
+    /// Corrects a measured spin expectation `⟨s_i⟩ ∈ [−1, 1]`.
+    pub fn corrected_spin(&self, measured: f64) -> f64 {
+        (measured / self.contraction()).clamp(-1.0, 1.0)
+    }
+
+    /// Corrects a measured two-point spin correlation `⟨s_i s_j⟩`.
+    pub fn corrected_spin_correlation(&self, measured: f64) -> f64 {
+        (measured / self.contraction().powi(2)).clamp(-1.0, 1.0)
+    }
+
+    /// Mitigated mean bits for every variable of a sample set.
+    pub fn mean_bits(&self, samples: &SampleSet, num_vars: usize) -> Vec<f64> {
+        (0..num_vars)
+            .map(|i| self.corrected_mean_bit(samples.mean_bit(i)))
+            .collect()
+    }
+
+    /// Mitigated spin correlation between two variables of a sample set.
+    pub fn spin_correlation(&self, samples: &SampleSet, i: usize, j: usize) -> f64 {
+        self.corrected_spin_correlation(samples.spin_correlation(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+    use crate::noise::{NoiseModel, NoisySimulator};
+    use qjo_qubo::SampleSet;
+
+    #[test]
+    fn scalar_identities_are_exact() {
+        let m = ReadoutMitigator::new(0.1);
+        // True bit always 1: measured mean = 0.9 → corrected = 1.0.
+        assert!((m.corrected_mean_bit(0.9) - 1.0).abs() < 1e-12);
+        // True bit always 0: measured mean = 0.1 → corrected = 0.0.
+        assert!(m.corrected_mean_bit(0.1).abs() < 1e-12);
+        // Unbiased stays unbiased.
+        assert!((m.corrected_mean_bit(0.5) - 0.5).abs() < 1e-12);
+        // Spin contraction: ⟨s⟩ = 0.8 measured at p = 0.1 → 1.0 true.
+        assert!((m.corrected_spin(0.8) - 1.0).abs() < 1e-12);
+        assert!((m.corrected_spin_correlation(0.64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_handles_shot_noise_overshoot() {
+        let m = ReadoutMitigator::new(0.2);
+        assert_eq!(m.corrected_mean_bit(0.95), 1.0);
+        assert_eq!(m.corrected_spin(-0.99), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invertible")]
+    fn rejects_non_invertible_channels() {
+        ReadoutMitigator::new(0.5);
+    }
+
+    #[test]
+    fn recovers_deterministic_state_through_noisy_readout() {
+        // Prepare |11⟩ and measure through 15% readout error: the raw mean
+        // bits sag to ~0.85; mitigation restores ~1.0.
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(0));
+        c.push(Gate::X(1));
+        let noise = NoiseModel { readout_error: 0.15, ..NoiseModel::noiseless() };
+        let sim = NoisySimulator { trajectories: 1, ..NoisySimulator::new(noise, 3) };
+        let reads = sim.sample(&c, 6000);
+        let samples = SampleSet::from_reads(reads, |_| 0.0);
+
+        let raw = samples.mean_bit(0);
+        assert!((raw - 0.85).abs() < 0.03, "raw mean {raw}");
+
+        let mitigator = ReadoutMitigator::new(0.15);
+        let corrected = mitigator.mean_bits(&samples, 2);
+        assert!(corrected[0] > 0.97, "corrected {corrected:?}");
+        assert!(corrected[1] > 0.97, "corrected {corrected:?}");
+    }
+
+    #[test]
+    fn recovers_bell_correlations_through_noisy_readout() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0));
+        c.push(Gate::Cx(0, 1));
+        let noise = NoiseModel { readout_error: 0.1, ..NoiseModel::noiseless() };
+        let sim = NoisySimulator { trajectories: 1, ..NoisySimulator::new(noise, 5) };
+        let reads = sim.sample(&c, 8000);
+        let samples = SampleSet::from_reads(reads, |_| 0.0);
+
+        // True Bell correlation is +1; raw is ~(1−2p)² = 0.64.
+        let raw = samples.spin_correlation(0, 1);
+        assert!((raw - 0.64).abs() < 0.05, "raw correlation {raw}");
+        let mitigator = ReadoutMitigator::new(0.1);
+        let corrected = mitigator.spin_correlation(&samples, 0, 1);
+        assert!(corrected > 0.92, "corrected correlation {corrected}");
+    }
+}

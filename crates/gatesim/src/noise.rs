@@ -1,0 +1,300 @@
+//! Stochastic NISQ noise model and noisy circuit sampling.
+//!
+//! Real QPU shots suffer gate errors, T1/T2 decoherence accumulating with
+//! circuit duration, and readout misclassification. We model all three as
+//! Monte-Carlo *trajectories*: each trajectory applies the ideal circuit
+//! with stochastically inserted Pauli errors (the standard Pauli-twirl
+//! approximation of the combined amplitude/phase-damping channel) and then
+//! samples measurements with readout flips.
+//!
+//! This reproduces the property the paper's evaluation hinges on: result
+//! quality collapses once circuit duration approaches `min(T1, T2)`, and
+//! deeper circuits (more gates) accumulate proportionally more error.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::statevector::StateVector;
+
+/// Calibration data of a (real or hypothetical) gate-based QPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Relaxation time T1 in seconds.
+    pub t1: f64,
+    /// Dephasing time T2 in seconds.
+    pub t2: f64,
+    /// Duration of a single-qubit gate in seconds.
+    pub time_1q: f64,
+    /// Duration of a two-qubit gate in seconds.
+    pub time_2q: f64,
+    /// Depolarising error probability per single-qubit gate.
+    pub p_depol_1q: f64,
+    /// Depolarising error probability per two-qubit gate (per gate, split
+    /// across both qubits).
+    pub p_depol_2q: f64,
+    /// Probability of misreading each measured bit.
+    pub readout_error: f64,
+}
+
+impl NoiseModel {
+    /// IBM Q Auckland (27 qubits, Falcon r5.11) at the calibration reported
+    /// in the paper: T1 = 151.13 µs, T2 = 138.72 µs, average gate time
+    /// 472.51 ns.
+    pub fn ibm_auckland() -> Self {
+        NoiseModel {
+            t1: 151.13e-6,
+            t2: 138.72e-6,
+            time_1q: 35.0e-9,
+            time_2q: 472.51e-9,
+            p_depol_1q: 3.0e-4,
+            p_depol_2q: 9.0e-3,
+            readout_error: 1.3e-2,
+        }
+    }
+
+    /// IBM Q Washington (127 qubits, Eagle r1): T1 = 92.81 µs,
+    /// T2 = 93.36 µs, average gate time 550.41 ns.
+    pub fn ibm_washington() -> Self {
+        NoiseModel {
+            t1: 92.81e-6,
+            t2: 93.36e-6,
+            time_1q: 40.0e-9,
+            time_2q: 550.41e-9,
+            p_depol_1q: 5.0e-4,
+            p_depol_2q: 1.4e-2,
+            readout_error: 2.0e-2,
+        }
+    }
+
+    /// An ideal device: no errors, instantaneous gates relative to coherence.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            t1: f64::INFINITY,
+            t2: f64::INFINITY,
+            time_1q: 0.0,
+            time_2q: 0.0,
+            p_depol_1q: 0.0,
+            p_depol_2q: 0.0,
+            readout_error: 0.0,
+        }
+    }
+
+    /// Maximum circuit depth before the cumulative gate time exceeds the
+    /// coherence window — the paper's `d = ⌊min(T1, T2) / g_avg⌋` with
+    /// `g_avg` the average gate time.
+    pub fn max_coherent_depth(&self) -> usize {
+        let g_avg = (self.time_1q + self.time_2q) / 2.0;
+        if g_avg == 0.0 {
+            return usize::MAX;
+        }
+        (self.t1.min(self.t2) / g_avg) as usize
+    }
+
+    /// Pauli-twirl error probabilities `(p_x, p_y, p_z)` accumulated over a
+    /// duration `t`: amplitude damping at rate `1/T1` contributes X and Y
+    /// errors, pure dephasing the remainder of the `1/T2` decay as Z errors.
+    pub fn pauli_rates(&self, t: f64) -> (f64, f64, f64) {
+        if !(self.t1.is_finite() && self.t2.is_finite()) {
+            return (0.0, 0.0, 0.0);
+        }
+        let p_relax = 1.0 - (-t / self.t1).exp();
+        let p_deph = 1.0 - (-t / self.t2).exp();
+        let px = p_relax / 4.0;
+        let py = p_relax / 4.0;
+        let pz = (p_deph / 2.0 - p_relax / 4.0).max(0.0);
+        (px, py, pz)
+    }
+}
+
+/// Noisy circuit executor producing measurement shots.
+#[derive(Debug, Clone)]
+pub struct NoisySimulator {
+    /// Device calibration.
+    pub model: NoiseModel,
+    /// Number of independent noise trajectories; shots are split across
+    /// them. More trajectories sample gate errors more finely but cost one
+    /// full state-vector evolution each.
+    pub trajectories: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NoisySimulator {
+    /// Creates an executor with a default of 16 trajectories.
+    pub fn new(model: NoiseModel, seed: u64) -> Self {
+        NoisySimulator { model, trajectories: 16, seed }
+    }
+
+    /// Runs `shots` measurements of `circuit` under the noise model.
+    pub fn sample(&self, circuit: &Circuit, shots: usize) -> Vec<Vec<bool>> {
+        assert!(self.trajectories >= 1, "need at least one trajectory");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = circuit.num_qubits();
+        let mut out = Vec::with_capacity(shots);
+        let base = shots / self.trajectories;
+        let extra = shots % self.trajectories;
+
+        for t in 0..self.trajectories {
+            let this_shots = base + usize::from(t < extra);
+            if this_shots == 0 {
+                continue;
+            }
+            let mut state = StateVector::zero(n);
+            for g in circuit.gates() {
+                state.apply(*g);
+                self.insert_errors(&mut state, g, &mut rng);
+            }
+            for mut bits in state.sample(&mut rng, this_shots) {
+                for b in bits.iter_mut() {
+                    if self.model.readout_error > 0.0 && rng.random_bool(self.model.readout_error)
+                    {
+                        *b = !*b;
+                    }
+                }
+                out.push(bits);
+            }
+        }
+        out
+    }
+
+    fn insert_errors<R: RngExt + ?Sized>(&self, state: &mut StateVector, gate: &Gate, rng: &mut R) {
+        let (p_depol, t_gate) = if gate.is_two_qubit() {
+            (self.model.p_depol_2q, self.model.time_2q)
+        } else {
+            (self.model.p_depol_1q, self.model.time_1q)
+        };
+        let (px, py, pz) = self.model.pauli_rates(t_gate);
+        for q in gate.qubits().iter() {
+            // Depolarising gate error: uniform Pauli with probability p.
+            if p_depol > 0.0 && rng.random_bool(p_depol) {
+                match rng.random_range(0..3) {
+                    0 => state.apply(Gate::X(q)),
+                    1 => state.apply(Gate::Y(q)),
+                    _ => state.apply(Gate::Z(q)),
+                }
+            }
+            // Decoherence over the gate duration (Pauli-twirled T1/T2).
+            let u: f64 = rng.random();
+            if u < px {
+                state.apply(Gate::X(q));
+            } else if u < px + py {
+                state.apply(Gate::Y(q));
+            } else if u < px + py + pz {
+                state.apply(Gate::Z(q));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate::*;
+
+    #[test]
+    fn noiseless_model_reproduces_ideal_statistics() {
+        let mut c = Circuit::new(2);
+        c.push(H(0));
+        c.push(Cx(0, 1));
+        let sim = NoisySimulator::new(NoiseModel::noiseless(), 3);
+        let shots = sim.sample(&c, 2000);
+        assert_eq!(shots.len(), 2000);
+        // Bell state: both bits always agree.
+        assert!(shots.iter().all(|b| b[0] == b[1]));
+        let ones = shots.iter().filter(|b| b[0]).count() as f64 / 2000.0;
+        assert!((ones - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        let c = Circuit::new(1); // state stays |0>
+        let model = NoiseModel { readout_error: 0.25, ..NoiseModel::noiseless() };
+        let sim = NoisySimulator::new(model, 7);
+        let shots = sim.sample(&c, 4000);
+        let flipped = shots.iter().filter(|b| b[0]).count() as f64 / 4000.0;
+        assert!((flipped - 0.25).abs() < 0.05, "flip rate {flipped}");
+    }
+
+    #[test]
+    fn depolarising_noise_degrades_bell_correlations() {
+        let mut c = Circuit::new(2);
+        c.push(H(0));
+        c.push(Cx(0, 1));
+        // Pad with identity-equivalent work to accumulate error.
+        for _ in 0..30 {
+            c.push(X(0));
+            c.push(X(0));
+        }
+        let model = NoiseModel { p_depol_1q: 0.02, p_depol_2q: 0.05, ..NoiseModel::noiseless() };
+        let sim = NoisySimulator { model, trajectories: 64, seed: 1 };
+        let shots = sim.sample(&c, 2048);
+        let agree = shots.iter().filter(|b| b[0] == b[1]).count() as f64 / 2048.0;
+        assert!(agree < 0.95, "correlations survived unrealistically: {agree}");
+        assert!(agree > 0.5, "noise should not fully scramble: {agree}");
+    }
+
+    #[test]
+    fn deeper_circuits_accumulate_more_error() {
+        // Identity circuits of increasing depth on |0>: the fraction of
+        // erroneous `1` readouts must grow with depth.
+        let model = NoiseModel { p_depol_1q: 0.01, ..NoiseModel::noiseless() };
+        let error_rate = |depth: usize| {
+            let mut c = Circuit::new(1);
+            for _ in 0..depth {
+                c.push(X(0));
+                c.push(X(0));
+            }
+            let sim = NoisySimulator { model, trajectories: 256, seed: 5 };
+            let shots = sim.sample(&c, 4096);
+            shots.iter().filter(|b| b[0]).count() as f64 / 4096.0
+        };
+        let shallow = error_rate(5);
+        let deep = error_rate(80);
+        assert!(
+            deep > shallow + 0.05,
+            "deep error {deep} not clearly above shallow {shallow}"
+        );
+    }
+
+    #[test]
+    fn pauli_rates_are_probabilities_and_grow_with_time() {
+        let m = NoiseModel::ibm_auckland();
+        let (x1, y1, z1) = m.pauli_rates(1e-7);
+        let (x2, y2, z2) = m.pauli_rates(1e-5);
+        for p in [x1, y1, z1, x2, y2, z2] {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(x2 > x1 && y2 > y1 && z2 >= z1);
+        // Noiseless model has zero rates at any duration.
+        assert_eq!(NoiseModel::noiseless().pauli_rates(1.0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn coherent_depth_matches_paper_formula() {
+        let m = NoiseModel::ibm_auckland();
+        let g_avg = (m.time_1q + m.time_2q) / 2.0;
+        let expected = (m.t1.min(m.t2) / g_avg) as usize;
+        assert_eq!(m.max_coherent_depth(), expected);
+        assert!(expected > 100, "Auckland supports a few hundred layers");
+        assert_eq!(NoiseModel::noiseless().max_coherent_depth(), usize::MAX);
+    }
+
+    #[test]
+    fn washington_is_noisier_than_auckland() {
+        // The paper's observation: more qubits, worse coherence.
+        let a = NoiseModel::ibm_auckland();
+        let w = NoiseModel::ibm_washington();
+        assert!(w.t1 < a.t1 && w.t2 < a.t2);
+        assert!(w.max_coherent_depth() < a.max_coherent_depth());
+    }
+
+    #[test]
+    fn shots_split_across_trajectories_exactly() {
+        let c = Circuit::new(1);
+        let sim = NoisySimulator { model: NoiseModel::noiseless(), trajectories: 7, seed: 0 };
+        assert_eq!(sim.sample(&c, 100).len(), 100);
+        assert_eq!(sim.sample(&c, 3).len(), 3);
+    }
+}

@@ -1,0 +1,451 @@
+//! Classical optimisers for the hybrid QAOA loop.
+//!
+//! Each optimiser minimises a black-box objective `f: R^d → R` (the QAOA
+//! energy expectation as a function of the variational parameters). The
+//! paper uses Qiskit's AQGD (analytic quantum gradient descent); our
+//! [`GradientDescent`] plays that role with central-difference gradients,
+//! and [`NelderMead`], [`Spsa`], and [`GridSearch`] are provided as
+//! alternatives with different evaluation budgets.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of an optimisation run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Best objective value after each iteration (monotone non-increasing).
+    pub history: Vec<f64>,
+}
+
+/// Gradient descent with central-difference gradients and a fixed step.
+///
+/// Stands in for Qiskit's AQGD optimiser used in the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Number of iterations (each costs `2d + 1` evaluations).
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Finite-difference step.
+    pub fd_step: f64,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        GradientDescent { iterations: 50, learning_rate: 0.1, fd_step: 1e-3 }
+    }
+}
+
+impl GradientDescent {
+    /// Minimises `f` starting from `x0`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+        let d = x0.len();
+        let mut x = x0.to_vec();
+        let mut evals = 0usize;
+        let mut fx = f(&x);
+        evals += 1;
+        let mut best_x = x.clone();
+        let mut best_fx = fx;
+        let mut history = Vec::with_capacity(self.iterations);
+
+        for _ in 0..self.iterations {
+            let mut grad = vec![0.0; d];
+            for k in 0..d {
+                let mut xp = x.clone();
+                xp[k] += self.fd_step;
+                let mut xm = x.clone();
+                xm[k] -= self.fd_step;
+                grad[k] = (f(&xp) - f(&xm)) / (2.0 * self.fd_step);
+                evals += 2;
+            }
+            for k in 0..d {
+                x[k] -= self.learning_rate * grad[k];
+            }
+            fx = f(&x);
+            evals += 1;
+            if fx < best_fx {
+                best_fx = fx;
+                best_x.copy_from_slice(&x);
+            }
+            history.push(best_fx);
+        }
+        OptResult { x: best_x, fx: best_fx, evals, history }
+    }
+}
+
+/// Simultaneous-perturbation stochastic approximation: two evaluations per
+/// iteration regardless of dimension.
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    /// Number of iterations (2 evaluations each).
+    pub iterations: usize,
+    /// Initial step size `a` of the gain sequence `a_k = a / (k+1)^0.602`.
+    pub a: f64,
+    /// Initial perturbation size `c` of `c_k = c / (k+1)^0.101`.
+    pub c: f64,
+    /// RNG seed for the perturbation directions.
+    pub seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa { iterations: 100, a: 0.2, c: 0.2, seed: 0 }
+    }
+}
+
+impl Spsa {
+    /// Minimises `f` starting from `x0`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+        let d = x0.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut x = x0.to_vec();
+        let mut evals = 0usize;
+        let mut best_x = x.clone();
+        let mut best_fx = f(&x);
+        evals += 1;
+        let mut history = Vec::with_capacity(self.iterations);
+
+        for k in 0..self.iterations {
+            let ak = self.a / ((k + 1) as f64).powf(0.602);
+            let ck = self.c / ((k + 1) as f64).powf(0.101);
+            let delta: Vec<f64> =
+                (0..d).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }).collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, s)| v + ck * s).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, s)| v - ck * s).collect();
+            let fp = f(&xp);
+            let fm = f(&xm);
+            evals += 2;
+            for i in 0..d {
+                let g = (fp - fm) / (2.0 * ck * delta[i]);
+                x[i] -= ak * g;
+            }
+            let fx = f(&x);
+            evals += 1;
+            if fx < best_fx {
+                best_fx = fx;
+                best_x.copy_from_slice(&x);
+            }
+            history.push(best_fx);
+        }
+        OptResult { x: best_x, fx: best_fx, evals, history }
+    }
+}
+
+/// Adam (adaptive-moment) gradient descent with central-difference
+/// gradients — more robust than plain gradient descent on the rugged QAOA
+/// landscapes that appear at larger `p`.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Iterations (each costs `2d + 1` evaluations).
+    pub iterations: usize,
+    /// Step size α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Finite-difference step.
+    pub fd_step: f64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam { iterations: 100, learning_rate: 0.05, beta1: 0.9, beta2: 0.999, fd_step: 1e-3 }
+    }
+}
+
+impl Adam {
+    /// Minimises `f` starting from `x0`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+        let d = x0.len();
+        let mut x = x0.to_vec();
+        let mut m = vec![0.0; d];
+        let mut v = vec![0.0; d];
+        let mut evals = 0usize;
+        let mut best_x = x.clone();
+        let mut best_fx = f(&x);
+        evals += 1;
+        let mut history = Vec::with_capacity(self.iterations);
+        const EPS: f64 = 1e-8;
+
+        for t in 1..=self.iterations {
+            for k in 0..d {
+                let mut xp = x.clone();
+                xp[k] += self.fd_step;
+                let mut xm = x.clone();
+                xm[k] -= self.fd_step;
+                let g = (f(&xp) - f(&xm)) / (2.0 * self.fd_step);
+                evals += 2;
+                m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * g;
+                v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[k] / (1.0 - self.beta1.powi(t as i32));
+                let v_hat = v[k] / (1.0 - self.beta2.powi(t as i32));
+                x[k] -= self.learning_rate * m_hat / (v_hat.sqrt() + EPS);
+            }
+            let fx = f(&x);
+            evals += 1;
+            if fx < best_fx {
+                best_fx = fx;
+                best_x.copy_from_slice(&x);
+            }
+            history.push(best_fx);
+        }
+        OptResult { x: best_x, fx: best_fx, evals, history }
+    }
+}
+
+/// Downhill-simplex (Nelder–Mead) derivative-free minimisation.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Initial simplex edge length.
+    pub init_step: f64,
+    /// Convergence tolerance on the objective spread across the simplex.
+    pub tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { max_iterations: 200, init_step: 0.5, tolerance: 1e-8 }
+    }
+}
+
+impl NelderMead {
+    /// Minimises `f` starting from `x0`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+        let d = x0.len();
+        assert!(d >= 1, "need at least one dimension");
+        let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+        let mut evals = 0usize;
+        let mut history = Vec::new();
+
+        // Initial simplex: x0 plus one step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(d + 1);
+        let fx0 = f(x0);
+        evals += 1;
+        simplex.push((x0.to_vec(), fx0));
+        for k in 0..d {
+            let mut v = x0.to_vec();
+            v[k] += self.init_step;
+            let fv = f(&v);
+            evals += 1;
+            simplex.push((v, fv));
+        }
+
+        for _ in 0..self.max_iterations {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            history.push(simplex[0].1);
+            let spread = simplex[d].1 - simplex[0].1;
+            if spread.abs() < self.tolerance {
+                break;
+            }
+
+            // Centroid of all but the worst point.
+            let mut centroid = vec![0.0; d];
+            for (v, _) in &simplex[..d] {
+                for (c, vi) in centroid.iter_mut().zip(v) {
+                    *c += vi / d as f64;
+                }
+            }
+            let worst = simplex[d].clone();
+
+            let reflect: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect();
+            let fr = f(&reflect);
+            evals += 1;
+
+            if fr < simplex[0].1 {
+                // Try expanding further.
+                let expand: Vec<f64> =
+                    centroid.iter().zip(&reflect).map(|(c, r)| c + gamma * (r - c)).collect();
+                let fe = f(&expand);
+                evals += 1;
+                simplex[d] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+            } else if fr < simplex[d - 1].1 {
+                simplex[d] = (reflect, fr);
+            } else {
+                // Contract toward the centroid.
+                let contract: Vec<f64> =
+                    centroid.iter().zip(&worst.0).map(|(c, w)| c + rho * (w - c)).collect();
+                let fc = f(&contract);
+                evals += 1;
+                if fc < worst.1 {
+                    simplex[d] = (contract, fc);
+                } else {
+                    // Shrink everything toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        for (v, b) in entry.0.iter_mut().zip(&best) {
+                            *v = b + sigma * (*v - b);
+                        }
+                        entry.1 = f(&entry.0);
+                        evals += 1;
+                    }
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (x, fx) = simplex.swap_remove(0);
+        OptResult { x, fx, evals, history }
+    }
+}
+
+/// Exhaustive grid search over a box — practical for the `2p = 2` parameters
+/// of depth-1 QAOA, and deterministic.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    /// Per-dimension `(low, high)` bounds.
+    pub bounds: Vec<(f64, f64)>,
+    /// Grid points per dimension.
+    pub resolution: usize,
+}
+
+impl GridSearch {
+    /// Minimises `f` over the grid.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F) -> OptResult {
+        let d = self.bounds.len();
+        assert!(d >= 1 && self.resolution >= 2, "degenerate grid");
+        let mut idx = vec![0usize; d];
+        let mut best_x = Vec::new();
+        let mut best_fx = f64::INFINITY;
+        let mut evals = 0usize;
+        let mut history = Vec::new();
+
+        loop {
+            let x: Vec<f64> = idx
+                .iter()
+                .zip(&self.bounds)
+                .map(|(&i, &(lo, hi))| lo + (hi - lo) * i as f64 / (self.resolution - 1) as f64)
+                .collect();
+            let fx = f(&x);
+            evals += 1;
+            if fx < best_fx {
+                best_fx = fx;
+                best_x = x;
+            }
+            history.push(best_fx);
+
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                idx[k] += 1;
+                if idx[k] < self.resolution {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+                if k == d {
+                    return OptResult { x: best_x, fx: best_fx, evals, history };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shifted quadratic bowl with minimum 2.5 at (1, -2).
+    fn bowl(x: &[f64]) -> f64 {
+        (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2) + 2.5
+    }
+
+    #[test]
+    fn gradient_descent_finds_quadratic_minimum() {
+        let r = GradientDescent { iterations: 200, learning_rate: 0.2, fd_step: 1e-4 }
+            .minimize(bowl, &[4.0, 3.0]);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 2.0).abs() < 1e-3, "x1 = {}", r.x[1]);
+        assert!((r.fx - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_finds_quadratic_minimum() {
+        let r = Adam { iterations: 400, ..Default::default() }.minimize(bowl, &[4.0, 3.0]);
+        assert!((r.x[0] - 1.0).abs() < 1e-2, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 2.0).abs() < 1e-2, "x1 = {}", r.x[1]);
+        assert!((r.fx - 2.5).abs() < 1e-3);
+        assert!((bowl(&r.x) - r.fx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_handles_badly_scaled_objectives() {
+        // Plain GD with a fixed step diverges or crawls on 100:1 scaling;
+        // Adam's per-coordinate normalisation copes.
+        let skewed = |x: &[f64]| 100.0 * x[0].powi(2) + 0.01 * x[1].powi(2);
+        let r = Adam { iterations: 600, ..Default::default() }.minimize(skewed, &[1.0, 10.0]);
+        assert!(r.fx < 0.05, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn nelder_mead_finds_quadratic_minimum() {
+        let r = NelderMead::default().minimize(bowl, &[4.0, 3.0]);
+        assert!((r.fx - 2.5).abs() < 1e-5, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn nelder_mead_handles_rosenbrock() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = NelderMead { max_iterations: 2000, init_step: 0.5, tolerance: 1e-12 }
+            .minimize(rosen, &[-1.2, 1.0]);
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 1e-2 && (r.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn spsa_improves_from_start() {
+        let r = Spsa { iterations: 300, ..Default::default() }.minimize(bowl, &[4.0, 3.0]);
+        assert!(r.fx < bowl(&[4.0, 3.0]), "no improvement");
+        assert!(r.fx < 3.5, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn grid_search_hits_grid_optimum() {
+        let g = GridSearch { bounds: vec![(-3.0, 3.0), (-3.0, 3.0)], resolution: 13 };
+        let r = g.minimize(bowl);
+        // Grid spacing 0.5 puts exact points on (1, -2).
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+        assert!((r.x[1] + 2.0).abs() < 1e-9);
+        assert_eq!(r.evals, 169);
+    }
+
+    #[test]
+    fn histories_are_monotone_non_increasing() {
+        for history in [
+            GradientDescent::default().minimize(bowl, &[3.0, 3.0]).history,
+            Spsa::default().minimize(bowl, &[3.0, 3.0]).history,
+            NelderMead::default().minimize(bowl, &[3.0, 3.0]).history,
+            GridSearch { bounds: vec![(-1.0, 1.0); 2], resolution: 5 }.minimize(bowl).history,
+        ] {
+            for w in history.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn reported_fx_matches_reported_x() {
+        let r = NelderMead::default().minimize(bowl, &[2.0, 2.0]);
+        assert!((bowl(&r.x) - r.fx).abs() < 1e-12);
+        let r = GradientDescent::default().minimize(bowl, &[2.0, 2.0]);
+        assert!((bowl(&r.x) - r.fx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spsa_is_deterministic_per_seed() {
+        let a = Spsa { seed: 3, ..Default::default() }.minimize(bowl, &[2.0, 2.0]);
+        let b = Spsa { seed: 3, ..Default::default() }.minimize(bowl, &[2.0, 2.0]);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.fx, b.fx);
+    }
+}

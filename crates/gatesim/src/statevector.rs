@@ -1,0 +1,501 @@
+//! Dense state-vector simulation.
+//!
+//! The state of `n` qubits is a vector of `2^n` complex amplitudes; basis
+//! index `z` encodes qubit `q` in bit `q` (qubit 0 is the least significant
+//! bit). Gates are applied in place: diagonal gates as pure phase updates,
+//! general one- and two-qubit gates as strided 2×2 / 4×4 matrix actions.
+
+use rand::RngExt;
+
+use crate::complex::{C64, ZERO};
+use crate::gate::{Gate, GateQubits};
+
+/// A normalised pure state over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The computational-basis state `|0…0⟩`.
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 30, "state vector for {num_qubits} qubits will not fit in memory");
+        let mut amps = vec![ZERO; 1usize << num_qubits];
+        amps[0] = C64::real(1.0);
+        StateVector { num_qubits, amps }
+    }
+
+    /// The uniform superposition `|+⟩^{⊗n}` (the QAOA start state).
+    pub fn plus(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 30, "state vector for {num_qubits} qubits will not fit in memory");
+        let dim = 1usize << num_qubits;
+        let a = C64::real(1.0 / (dim as f64).sqrt());
+        StateVector { num_qubits, amps: vec![a; dim] }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector (length `2^n`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies one gate in place.
+    ///
+    /// Uses specialised kernels where the gate structure allows it:
+    /// diagonal gates are pure phase scans, X and CX are (conditional)
+    /// permutations with no arithmetic, everything else goes through the
+    /// generic strided matrix path.
+    pub fn apply(&mut self, gate: Gate) {
+        match gate.qubits() {
+            GateQubits::One(q) => {
+                assert!(q < self.num_qubits, "qubit {q} out of range");
+                match gate {
+                    Gate::X(_) => self.apply_x(q),
+                    _ if gate.is_diagonal() => {
+                        let u = gate.unitary_1q();
+                        self.apply_diag_1q(q, u[0], u[3]);
+                    }
+                    _ => self.apply_1q(q, &gate.unitary_1q()),
+                }
+            }
+            GateQubits::Two(a, b) => {
+                assert!(a < self.num_qubits && b < self.num_qubits, "qubits out of range");
+                assert_ne!(a, b);
+                match gate {
+                    Gate::Rzz(_, _, t) => {
+                        let plus = C64::cis(t / 2.0);
+                        let minus = C64::cis(-t / 2.0);
+                        self.apply_diag_2q(a, b, minus, plus, plus, minus);
+                    }
+                    Gate::Cz(..) => {
+                        let one = C64::real(1.0);
+                        self.apply_diag_2q(a, b, one, one, one, C64::real(-1.0));
+                    }
+                    Gate::Cx(c, t) => self.apply_cx(c, t),
+                    Gate::Swap(..) => self.apply_swap(a, b),
+                    _ => self.apply_2q(a, b, &gate.unitary_2q()),
+                }
+            }
+        }
+    }
+
+    /// X as a pure permutation: swap the amplitude pairs that differ in
+    /// bit `q`.
+    fn apply_x(&mut self, q: usize) {
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + stride {
+                self.amps.swap(offset, offset + stride);
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// CX as a conditional permutation: where the control bit is set, swap
+    /// the pair differing in the target bit.
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        let mc = 1usize << control;
+        let mt = 1usize << target;
+        let dim = self.amps.len();
+        for z in 0..dim {
+            // Visit each swapped pair once: control set, target clear.
+            if z & mc != 0 && z & mt == 0 {
+                self.amps.swap(z, z | mt);
+            }
+        }
+    }
+
+    /// SWAP as a permutation: exchange amplitudes whose bits `a`/`b` differ.
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let dim = self.amps.len();
+        for z in 0..dim {
+            if z & ma != 0 && z & mb == 0 {
+                self.amps.swap(z, z ^ ma ^ mb);
+            }
+        }
+    }
+
+    /// Applies a whole circuit.
+    pub fn apply_circuit(&mut self, circuit: &crate::circuit::Circuit) {
+        assert_eq!(circuit.num_qubits(), self.num_qubits, "circuit/state size mismatch");
+        for g in circuit.gates() {
+            self.apply(*g);
+        }
+    }
+
+    fn apply_diag_1q(&mut self, q: usize, d0: C64, d1: C64) {
+        let mask = 1usize << q;
+        for (z, amp) in self.amps.iter_mut().enumerate() {
+            *amp *= if z & mask == 0 { d0 } else { d1 };
+        }
+    }
+
+    fn apply_diag_2q(&mut self, a: usize, b: usize, d00: C64, d01: C64, d10: C64, d11: C64) {
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        for (z, amp) in self.amps.iter_mut().enumerate() {
+            let d = match (z & ma != 0, z & mb != 0) {
+                (false, false) => d00,
+                (true, false) => d01,
+                (false, true) => d10,
+                (true, true) => d11,
+            };
+            *amp *= d;
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, u: &[C64; 4]) {
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = u[0] * a0 + u[1] * a1;
+                self.amps[i1] = u[2] * a0 + u[3] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    fn apply_2q(&mut self, a: usize, b: usize, u: &[[C64; 4]; 4]) {
+        // Basis convention of `Gate::unitary_2q`: local index
+        // `l = (bit b << 1) | bit a` where `a` is the first listed qubit.
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let dim = self.amps.len();
+        for z in 0..dim {
+            if z & ma != 0 || z & mb != 0 {
+                continue; // enumerate only base states with both bits clear
+            }
+            let idx = [z, z | ma, z | mb, z | ma | mb];
+            let src = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            for (row, &target) in idx.iter().enumerate() {
+                let mut acc = ZERO;
+                for (col, &s) in src.iter().enumerate() {
+                    acc += u[row][col] * s;
+                }
+                self.amps[target] = acc;
+            }
+        }
+    }
+
+    /// Multiplies each amplitude `z` by `e^{−iγ·energies[z]}` — the QAOA
+    /// cost-operator fast path for a diagonal Hamiltonian.
+    pub fn apply_diagonal_cost(&mut self, energies: &[f64], gamma: f64) {
+        assert_eq!(energies.len(), self.amps.len(), "energy table size mismatch");
+        for (amp, &e) in self.amps.iter_mut().zip(energies) {
+            *amp *= C64::cis(-gamma * e);
+        }
+    }
+
+    /// `⟨ψ| diag(energies) |ψ⟩`.
+    pub fn expectation_diagonal(&self, energies: &[f64]) -> f64 {
+        assert_eq!(energies.len(), self.amps.len(), "energy table size mismatch");
+        self.amps
+            .iter()
+            .zip(energies)
+            .map(|(a, &e)| a.norm_sqr() * e)
+            .sum()
+    }
+
+    /// Measurement probability of each basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// `⟨ψ|ψ⟩` — should be 1 up to rounding for a valid state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalises (used after stochastic noise jumps).
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > 0.0 {
+            let inv = 1.0 / n;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+    }
+
+    /// `|⟨ψ|φ⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        let mut acc = ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc.norm_sqr()
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    ///
+    /// Each outcome is a bit vector indexed by qubit. Uses an O(2^n)
+    /// cumulative table and O(log 2^n) binary search per shot.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<Vec<bool>> {
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        let total = acc;
+        (0..shots)
+            .map(|_| {
+                let u = rng.random::<f64>() * total;
+                let z = cdf.partition_point(|&c| c <= u).min(self.amps.len() - 1);
+                (0..self.num_qubits).map(|q| z >> q & 1 == 1).collect()
+            })
+            .collect()
+    }
+
+    /// Probability of measuring qubit `q` as 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(z, _)| z & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.amplitudes()[0], C64::real(1.0));
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+        assert_eq!(s.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn plus_state_is_uniform() {
+        let s = StateVector::plus(2);
+        let p = s.probabilities();
+        for v in p {
+            assert!((v - 0.25).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn hadamards_build_plus_state() {
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply(H(q));
+        }
+        assert!(s.fidelity(&StateVector::plus(3)) > 1.0 - EPS);
+    }
+
+    #[test]
+    fn x_flips_the_right_qubit() {
+        let mut s = StateVector::zero(3);
+        s.apply(X(1));
+        // basis index with bit 1 set = 2
+        assert!((s.amplitudes()[2].norm_sqr() - 1.0).abs() < EPS);
+        assert_eq!(s.prob_one(1), 1.0);
+        assert_eq!(s.prob_one(0), 0.0);
+    }
+
+    #[test]
+    fn cx_creates_bell_state() {
+        let mut s = StateVector::zero(2);
+        s.apply(H(0));
+        s.apply(Cx(0, 1));
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < EPS); // |00>
+        assert!((p[3] - 0.5).abs() < EPS); // |11>
+        assert!(p[1].abs() < EPS && p[2].abs() < EPS);
+    }
+
+    #[test]
+    fn cx_control_is_first_argument() {
+        // control=1 (value 0), target=0 (value 1): nothing happens
+        let mut s = StateVector::zero(2);
+        s.apply(X(0));
+        s.apply(Cx(1, 0));
+        assert!((s.probabilities()[1] - 1.0).abs() < EPS);
+        // control=0 (value 1): target flips
+        let mut s = StateVector::zero(2);
+        s.apply(X(0));
+        s.apply(Cx(0, 1));
+        assert!((s.probabilities()[3] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_exchanges_qubit_values() {
+        let mut s = StateVector::zero(2);
+        s.apply(X(0));
+        s.apply(Swap(0, 1));
+        assert!((s.probabilities()[2] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rzz_matches_cx_rz_cx_identity() {
+        // RZZ(t) = CX(a,b) · RZ_b(t) · CX(a,b) up to global phase.
+        let t = 0.731;
+        let mut direct = StateVector::plus(2);
+        direct.apply(Rzz(0, 1, t));
+
+        let mut via = StateVector::plus(2);
+        via.apply(Cx(0, 1));
+        via.apply(Rz(1, t));
+        via.apply(Cx(0, 1));
+
+        assert!(direct.fidelity(&via) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn diagonal_fast_paths_match_generic_application() {
+        let mut a = StateVector::plus(3);
+        a.apply(H(1));
+        a.apply(Rz(2, 0.37));
+        a.apply(Cz(0, 2));
+        a.apply(Rzz(1, 2, -0.9));
+
+        // Re-run with the generic 2x2/4x4 matrix paths.
+        let mut b = StateVector::plus(3);
+        b.apply(H(1));
+        b.apply_1q(2, &Rz(2, 0.37).unitary_1q());
+        b.apply_2q(0, 2, &Cz(0, 2).unitary_2q());
+        b.apply_2q(1, 2, &Rzz(1, 2, -0.9).unitary_2q());
+
+        assert!(a.fidelity(&b) > 1.0 - 1e-10);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((*x - *y).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn permutation_kernels_match_generic_matrices() {
+        // Start from an asymmetric state and compare the specialised X /
+        // CX / SWAP kernels against the generic matrix application.
+        let mut prep = StateVector::zero(3);
+        for (q, t) in [(0usize, 0.37), (1, 1.1), (2, -0.6)] {
+            prep.apply(Ry(q, t));
+            prep.apply(Rz(q, t / 2.0));
+        }
+        for gate in [X(1), Cx(0, 2), Cx(2, 0), Swap(1, 2), Swap(0, 2)] {
+            let mut fast = prep.clone();
+            fast.apply(gate);
+            let mut slow = prep.clone();
+            match gate.qubits() {
+                crate::gate::GateQubits::One(q) => slow.apply_1q(q, &gate.unitary_1q()),
+                crate::gate::GateQubits::Two(a, b) => slow.apply_2q(a, b, &gate.unitary_2q()),
+            }
+            for (x, y) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+                assert!((*x - *y).norm() < 1e-12, "{gate:?} kernels diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut s = StateVector::zero(4);
+        let gates = [
+            H(0),
+            Rx(1, 0.3),
+            Ry(2, -1.1),
+            Cx(0, 2),
+            Rzz(1, 3, 0.8),
+            Rxx(0, 3, -0.4),
+            Swap(1, 2),
+            Sx(3),
+        ];
+        for g in gates {
+            s.apply(g);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-10, "norm drifted after {g:?}");
+        }
+    }
+
+    #[test]
+    fn circuit_and_inverse_return_to_start() {
+        let mut c = Circuit::new(3);
+        for g in [H(0), Cx(0, 1), Ry(2, 0.7), Rzz(1, 2, 0.4), Sx(0), S(1)] {
+            c.push(g);
+        }
+        let mut s = StateVector::zero(3);
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        assert!(s.fidelity(&StateVector::zero(3)) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn apply_diagonal_cost_matches_rz_rzz_network() {
+        // For H = z0 + 2 z0 z1 (spin variables via bits), phases from the
+        // energy table must match explicit RZ/RZZ gates up to global phase.
+        let energies: Vec<f64> = (0..4u32)
+            .map(|z| {
+                let s0 = if z & 1 != 0 { 1.0 } else { -1.0 };
+                let s1 = if z & 2 != 0 { 1.0 } else { -1.0 };
+                s0 + 2.0 * s0 * s1
+            })
+            .collect();
+        let gamma = 0.613;
+
+        let mut table = StateVector::plus(2);
+        table.apply_diagonal_cost(&energies, gamma);
+
+        // With s = +1 for bit = 1 and Z eigenvalue +1 for bit = 0, we have
+        // s_i = −Z_i, hence e^{−iγ h s_i} = RZ(−2γh) and
+        // e^{−iγ J s_i s_j} = RZZ(2γJ) (the two sign flips cancel).
+        let mut gates = StateVector::plus(2);
+        gates.apply(Rz(0, -2.0 * gamma));
+        gates.apply(Rzz(0, 1, 4.0 * gamma));
+
+        assert!(table.fidelity(&gates) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut s = StateVector::zero(2);
+        s.apply(H(0)); // uniform over qubit 0, qubit 1 stays 0
+        let mut rng = StdRng::seed_from_u64(5);
+        let shots = s.sample(&mut rng, 4000);
+        assert_eq!(shots.len(), 4000);
+        let ones = shots.iter().filter(|b| b[0]).count() as f64 / 4000.0;
+        assert!((ones - 0.5).abs() < 0.05, "qubit-0 frequency {ones}");
+        assert!(shots.iter().all(|b| !b[1]));
+    }
+
+    #[test]
+    fn renormalize_restores_unit_norm() {
+        let mut s = StateVector::zero(2);
+        // Manually damage the norm.
+        s.amps[0] = C64::real(2.0);
+        s.renormalize();
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn expectation_diagonal_weights_by_probability() {
+        let mut s = StateVector::zero(1);
+        s.apply(H(0));
+        let e = s.expectation_diagonal(&[3.0, 7.0]);
+        assert!((e - 5.0).abs() < EPS);
+    }
+}

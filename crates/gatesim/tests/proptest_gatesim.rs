@@ -1,0 +1,147 @@
+//! Property-based tests for the gate-based substrate.
+
+use proptest::prelude::*;
+
+use qjo_gatesim::gate::Gate;
+use qjo_gatesim::{qaoa_circuit, Circuit, DiagonalHamiltonian, QaoaParams, QaoaSimulator, StateVector};
+use qjo_qubo::Qubo;
+
+/// Strategy for random gates over `n` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    let angle = -3.0..3.0f64;
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Sx),
+        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rx(q, t)),
+        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Ry(q, t)),
+        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rz(q, t)),
+        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+        q2.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
+        q2.clone().prop_map(|(a, b)| Gate::Swap(a, b)),
+        (q2.clone(), angle.clone()).prop_map(|((a, b), t)| Gate::Rzz(a, b, t)),
+        (q2, angle).prop_map(|((a, b), t)| Gate::Rxx(a, b, t)),
+    ]
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+fn arb_qubo(n: usize) -> impl Strategy<Value = Qubo> {
+    (
+        prop::collection::vec(-2.0..2.0f64, n),
+        prop::collection::vec(-2.0..2.0f64, n * (n - 1) / 2),
+    )
+        .prop_map(move |(lin, quad)| {
+            let mut q = Qubo::new(n);
+            for (i, c) in lin.into_iter().enumerate() {
+                q.add_linear(i, c);
+            }
+            let mut it = quad.into_iter();
+            for i in 0..n {
+                for j in i + 1..n {
+                    q.add_quadratic(i, j, it.next().expect("sized"));
+                }
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Unitarity: every circuit preserves the state norm.
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(4, 24)) {
+        let mut s = StateVector::zero(4);
+        s.apply_circuit(&c);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Reversibility: a circuit followed by its inverse is the identity.
+    #[test]
+    fn inverse_undoes_circuit(c in arb_circuit(4, 16)) {
+        let mut s = StateVector::zero(4);
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        prop_assert!(s.fidelity(&StateVector::zero(4)) > 1.0 - 1e-9);
+    }
+
+    /// Depth is consistent with layering and bounded by gate count.
+    #[test]
+    fn depth_invariants(c in arb_circuit(5, 30)) {
+        let depth = c.depth();
+        prop_assert_eq!(c.layers().len(), depth);
+        prop_assert!(depth <= c.len());
+        prop_assert!(c.two_qubit_depth() <= depth);
+        let layered: usize = c.layers().iter().map(Vec::len).sum();
+        prop_assert_eq!(layered, c.len());
+        // Gates within one layer touch disjoint qubits.
+        for layer in c.layers() {
+            let mut seen = std::collections::HashSet::new();
+            for g in layer {
+                for q in g.qubits().iter() {
+                    prop_assert!(seen.insert(q), "layer reuses qubit {q}");
+                }
+            }
+        }
+    }
+
+    /// The diagonal energy table agrees with direct QUBO evaluation.
+    #[test]
+    fn energy_table_is_exact(q in arb_qubo(6)) {
+        let h = DiagonalHamiltonian::from_qubo(&q);
+        for z in 0..64usize {
+            let bits: Vec<bool> = (0..6).map(|i| z >> i & 1 == 1).collect();
+            let direct = q.energy(&bits).unwrap();
+            prop_assert!((h.energy(z) - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+        }
+    }
+
+    /// The fast QAOA engine matches the explicit circuit for any QUBO and
+    /// parameters (measurement distributions are equal).
+    #[test]
+    fn qaoa_fast_path_matches_circuit(
+        q in arb_qubo(4),
+        gamma in -1.5..1.5f64,
+        beta in -1.5..1.5f64,
+    ) {
+        let sim = QaoaSimulator::new(&q);
+        let params = QaoaParams { gammas: vec![gamma], betas: vec![beta] };
+        let fast = sim.state(&params);
+        let mut slow = StateVector::zero(4);
+        slow.apply_circuit(&qaoa_circuit(&q.to_ising(), &params));
+        let pf = fast.probabilities();
+        let ps = slow.probabilities();
+        for (a, b) in pf.iter().zip(&ps) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// QAOA expectation is bounded by the energy extremes of the problem.
+    #[test]
+    fn qaoa_expectation_stays_in_spectrum(
+        q in arb_qubo(5),
+        gamma in -2.0..2.0f64,
+        beta in -2.0..2.0f64,
+    ) {
+        let sim = QaoaSimulator::new(&q);
+        let params = QaoaParams { gammas: vec![gamma], betas: vec![beta] };
+        let e = sim.expectation(&params);
+        let energies = sim.hamiltonian().energies();
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9, "{e} outside [{min}, {max}]");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by QUBO construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving QUBO / Ising models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuboError {
+    /// A variable index was at or beyond the declared variable count.
+    VariableOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of variables in the model.
+        num_vars: usize,
+    },
+    /// A quadratic term referenced the same variable twice; diagonal terms
+    /// must be added as linear coefficients (`x_i^2 = x_i` for binaries).
+    DiagonalQuadratic {
+        /// The repeated index.
+        index: usize,
+    },
+    /// The model is too large for the requested solver.
+    TooLarge {
+        /// Number of variables in the model.
+        num_vars: usize,
+        /// Maximum the solver supports.
+        max_vars: usize,
+    },
+    /// An assignment of the wrong length was supplied for evaluation.
+    AssignmentLength {
+        /// Supplied length.
+        got: usize,
+        /// Expected length (the variable count).
+        expected: usize,
+    },
+    /// A coefficient was not finite (NaN or infinite).
+    NonFiniteCoefficient {
+        /// Row index of the coefficient.
+        i: usize,
+        /// Column index of the coefficient.
+        j: usize,
+    },
+}
+
+impl fmt::Display for QuboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuboError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range for {num_vars} variables")
+            }
+            QuboError::DiagonalQuadratic { index } => {
+                write!(f, "quadratic term ({index}, {index}) is diagonal; add it as a linear term")
+            }
+            QuboError::TooLarge { num_vars, max_vars } => {
+                write!(f, "model with {num_vars} variables exceeds solver limit of {max_vars}")
+            }
+            QuboError::AssignmentLength { got, expected } => {
+                write!(f, "assignment has length {got}, expected {expected}")
+            }
+            QuboError::NonFiniteCoefficient { i, j } => {
+                write!(f, "coefficient at ({i}, {j}) is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuboError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_indices() {
+        let e = QuboError::VariableOutOfRange { index: 7, num_vars: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+
+        let e = QuboError::DiagonalQuadratic { index: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = QuboError::TooLarge { num_vars: 40, max_vars: 32 };
+        assert!(e.to_string().contains("40"));
+
+        let e = QuboError::AssignmentLength { got: 2, expected: 5 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+
+        let e = QuboError::NonFiniteCoefficient { i: 1, j: 2 };
+        assert!(e.to_string().contains("not finite"));
+    }
+}

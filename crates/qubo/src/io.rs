@@ -1,0 +1,221 @@
+//! Plain-text (de)serialisation of QUBO models.
+//!
+//! A line-oriented format for sharing problem instances between runs and
+//! tools (the paper ships its QUBOs in its reproduction package; this is
+//! our equivalent). Format:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! vars 3
+//! offset 1.5
+//! lin 0 -2.0
+//! quad 0 1 4.0
+//! ```
+
+use crate::model::Qubo;
+
+/// Errors while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The mandatory `vars` header is missing or misplaced.
+    MissingHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A variable index exceeded the declared count.
+    IndexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing `vars N` header"),
+            ParseError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::IndexOutOfRange { line, index } => {
+                write!(f, "line {line}: variable {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a QUBO to the text format (deterministic ordering).
+pub fn to_text(qubo: &Qubo) -> String {
+    let mut out = String::new();
+    out.push_str("# qjo qubo v1\n");
+    out.push_str(&format!("vars {}\n", qubo.num_vars()));
+    if qubo.offset() != 0.0 {
+        out.push_str(&format!("offset {}\n", qubo.offset()));
+    }
+    for (i, c) in qubo.linear_iter() {
+        if c != 0.0 {
+            out.push_str(&format!("lin {i} {c}\n"));
+        }
+    }
+    for (i, j, c) in qubo.quadratic_iter() {
+        if c != 0.0 {
+            out.push_str(&format!("quad {i} {j} {c}\n"));
+        }
+    }
+    out
+}
+
+/// Parses a QUBO from the text format.
+pub fn from_text(text: &str) -> Result<Qubo, ParseError> {
+    let mut qubo: Option<Qubo> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a token");
+        let bad = |message: &str| ParseError::BadLine {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let next_usize = |parts: &mut std::str::SplitWhitespace| -> Result<usize, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| bad("missing index"))?
+                .parse()
+                .map_err(|_| bad("bad index"))
+        };
+        let next_f64 = |parts: &mut std::str::SplitWhitespace| -> Result<f64, ParseError> {
+            parts
+                .next()
+                .ok_or_else(|| bad("missing value"))?
+                .parse()
+                .map_err(|_| bad("bad value"))
+        };
+        match keyword {
+            "vars" => {
+                let n = next_usize(&mut parts)?;
+                qubo = Some(Qubo::new(n));
+            }
+            "offset" => {
+                let q = qubo.as_mut().ok_or(ParseError::MissingHeader)?;
+                let v = next_f64(&mut parts)?;
+                q.add_offset(v);
+            }
+            "lin" => {
+                let i = next_usize(&mut parts)?;
+                let v = next_f64(&mut parts)?;
+                let q = qubo.as_mut().ok_or(ParseError::MissingHeader)?;
+                if i >= q.num_vars() {
+                    return Err(ParseError::IndexOutOfRange { line: line_no, index: i });
+                }
+                q.add_linear(i, v);
+            }
+            "quad" => {
+                let i = next_usize(&mut parts)?;
+                let j = next_usize(&mut parts)?;
+                let v = next_f64(&mut parts)?;
+                let q = qubo.as_mut().ok_or(ParseError::MissingHeader)?;
+                if i >= q.num_vars() || j >= q.num_vars() {
+                    return Err(ParseError::IndexOutOfRange {
+                        line: line_no,
+                        index: i.max(j),
+                    });
+                }
+                q.add_quadratic(i, j, v);
+            }
+            other => {
+                return Err(ParseError::BadLine {
+                    line: line_no,
+                    message: format!("unknown keyword `{other}`"),
+                })
+            }
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine {
+                line: line_no,
+                message: "trailing tokens".to_string(),
+            });
+        }
+    }
+    qubo.ok_or(ParseError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Qubo {
+        let mut q = Qubo::new(3);
+        q.add_offset(1.5);
+        q.add_linear(0, -2.0);
+        q.add_linear(2, 0.25);
+        q.add_quadratic(0, 1, 4.0);
+        q.add_quadratic(1, 2, -0.5);
+        q
+    }
+
+    #[test]
+    fn round_trip_preserves_energies() {
+        let q = toy();
+        let back = from_text(&to_text(&q)).expect("own output parses");
+        for bits in 0..8u32 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(q.energy(&x).unwrap(), back.energy(&x).unwrap());
+        }
+        assert_eq!(back.num_vars(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nvars 2\n  # indented comment\nlin 1 3.0\n";
+        let q = from_text(text).expect("parses");
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.linear(1), 3.0);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert_eq!(from_text(""), Err(ParseError::MissingHeader));
+        assert_eq!(from_text("lin 0 1.0"), Err(ParseError::MissingHeader));
+        match from_text("vars 2\nquad 0 5 1.0") {
+            Err(ParseError::IndexOutOfRange { line: 2, index: 5 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match from_text("vars 2\nfrob 1") {
+            Err(ParseError::BadLine { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match from_text("vars 2\nlin 0 1.0 extra") {
+            Err(ParseError::BadLine { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match from_text("vars x") {
+            Err(ParseError::BadLine { line: 1, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_terms_are_omitted_from_output() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, 0.0);
+        let text = to_text(&q);
+        assert!(!text.contains("lin"));
+        assert!(!text.contains("offset"));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ParseError::IndexOutOfRange { line: 7, index: 9 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('9'));
+        assert!(ParseError::MissingHeader.to_string().contains("vars"));
+    }
+}

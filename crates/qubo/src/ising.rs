@@ -1,0 +1,231 @@
+//! Spin-glass (Ising) form of a QUBO.
+//!
+//! Both QPU families in the paper natively minimise an Ising Hamiltonian
+//!
+//! ```text
+//! H(s) = offset + Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j ,    s_i ∈ {−1, +1}.
+//! ```
+//!
+//! The gate-based backend turns `h`/`J` into RZ / RZZ rotations of the QAOA
+//! cost operator; the annealing backend programs them as qubit biases and
+//! coupler strengths.
+
+use std::collections::BTreeMap;
+
+use crate::model::Qubo;
+
+/// An Ising model over spins `s ∈ {−1,+1}^n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingModel {
+    h: Vec<f64>,
+    j: BTreeMap<(u32, u32), f64>,
+    offset: f64,
+}
+
+impl IsingModel {
+    /// Builds an Ising model from raw parts. Keys of `j` must satisfy `i < j`.
+    pub fn from_parts(h: Vec<f64>, j: BTreeMap<(u32, u32), f64>, offset: f64) -> Self {
+        debug_assert!(j.keys().all(|&(a, b)| a < b && (b as usize) < h.len()));
+        IsingModel { h, j, offset }
+    }
+
+    /// Creates a zero model over `n` spins.
+    pub fn new(n: usize) -> Self {
+        IsingModel { h: vec![0.0; n], j: BTreeMap::new(), offset: 0.0 }
+    }
+
+    /// Number of spins.
+    pub fn num_spins(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Constant term.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Field (linear bias) on spin `i`.
+    pub fn field(&self, i: usize) -> f64 {
+        self.h[i]
+    }
+
+    /// Coupling between spins `i` and `j` (0.0 when absent).
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        self.j
+            .get(&(i.min(j) as u32, i.max(j) as u32))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Adds `value` to the field on spin `i`.
+    pub fn add_field(&mut self, i: usize, value: f64) {
+        self.h[i] += value;
+    }
+
+    /// Adds `value` to the coupling of pair `{i, j}` (`i != j`).
+    pub fn add_coupling(&mut self, i: usize, j: usize, value: f64) {
+        assert_ne!(i, j, "self-coupling is not representable; fold into the offset");
+        let key = (i.min(j) as u32, i.max(j) as u32);
+        *self.j.entry(key).or_insert(0.0) += value;
+    }
+
+    /// Iterates couplings as `(i, j, J_ij)` with `i < j`.
+    pub fn couplings(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.j.iter().map(|(&(i, j), &v)| (i as usize, j as usize, v))
+    }
+
+    /// Iterates fields as `(i, h_i)`, including zeros.
+    pub fn fields(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.h.iter().copied().enumerate()
+    }
+
+    /// Number of non-zero couplings.
+    pub fn num_couplings(&self) -> usize {
+        self.j.values().filter(|v| **v != 0.0).count()
+    }
+
+    /// Energy of a spin configuration.
+    pub fn energy(&self, s: &[i8]) -> f64 {
+        debug_assert_eq!(s.len(), self.h.len());
+        let mut e = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            e += hi * f64::from(s[i]);
+        }
+        for (&(i, j), &jij) in &self.j {
+            e += jij * f64::from(s[i as usize]) * f64::from(s[j as usize]);
+        }
+        e
+    }
+
+    /// Largest absolute field or coupling.
+    pub fn max_abs_coefficient(&self) -> f64 {
+        let hmax = self.h.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let jmax = self.j.values().fold(0.0_f64, |m, v| m.max(v.abs()));
+        hmax.max(jmax)
+    }
+
+    /// Converts back to QUBO form with `x_i = (1 + s_i) / 2`.
+    ///
+    /// Exact inverse of [`Qubo::to_ising`] up to floating-point rounding.
+    pub fn to_qubo(&self) -> Qubo {
+        let n = self.h.len();
+        let mut q = Qubo::new(n);
+        let mut offset = self.offset;
+        for (i, &hi) in self.h.iter().enumerate() {
+            // h s = h (2x - 1)
+            q.add_linear(i, 2.0 * hi);
+            offset -= hi;
+        }
+        for (&(i, j), &jij) in &self.j {
+            // J s_i s_j = J (2x_i - 1)(2x_j - 1)
+            q.add_quadratic(i as usize, j as usize, 4.0 * jij);
+            q.add_linear(i as usize, -2.0 * jij);
+            q.add_linear(j as usize, -2.0 * jij);
+            offset += jij;
+        }
+        q.add_offset(offset);
+        q
+    }
+
+    /// Rescales all fields and couplings by `factor` (offset untouched).
+    ///
+    /// Annealers have a bounded programmable range; problems are normalised
+    /// to it before embedding.
+    pub fn scale(&mut self, factor: f64) {
+        for h in &mut self.h {
+            *h *= factor;
+        }
+        for v in self.j.values_mut() {
+            *v *= factor;
+        }
+    }
+}
+
+/// Converts a binary assignment to spins (`true → +1`).
+pub fn bits_to_spins(x: &[bool]) -> Vec<i8> {
+    x.iter().map(|&b| if b { 1 } else { -1 }).collect()
+}
+
+/// Converts spins to a binary assignment (`+1 → true`).
+pub fn spins_to_bits(s: &[i8]) -> Vec<bool> {
+    s.iter().map(|&v| v > 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubo_ising_qubo_round_trip() {
+        let mut q = Qubo::new(3);
+        q.add_offset(0.5);
+        q.add_linear(0, 1.5);
+        q.add_linear(2, -2.0);
+        q.add_quadratic(0, 1, 3.0);
+        q.add_quadratic(1, 2, -1.0);
+
+        let back = q.to_ising().to_qubo();
+        for bits in 0..8u32 {
+            let x: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let a = q.energy(&x).unwrap();
+            let b = back.energy(&x).unwrap();
+            assert!((a - b).abs() < 1e-12, "x={x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn energy_of_uniform_spins() {
+        let mut m = IsingModel::new(2);
+        m.add_field(0, 1.0);
+        m.add_field(1, -0.5);
+        m.add_coupling(0, 1, 2.0);
+        assert_eq!(m.energy(&[1, 1]), 1.0 - 0.5 + 2.0);
+        assert_eq!(m.energy(&[-1, 1]), -1.0 - 0.5 - 2.0);
+    }
+
+    #[test]
+    fn coupling_accumulates_symmetrically() {
+        let mut m = IsingModel::new(3);
+        m.add_coupling(2, 0, 1.0);
+        m.add_coupling(0, 2, 0.5);
+        assert_eq!(m.coupling(0, 2), 1.5);
+        assert_eq!(m.coupling(2, 0), 1.5);
+        assert_eq!(m.num_couplings(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn self_coupling_panics() {
+        IsingModel::new(2).add_coupling(1, 1, 1.0);
+    }
+
+    #[test]
+    fn scale_rescales_h_and_j_only() {
+        let mut m = IsingModel::new(2);
+        m.add_field(0, 2.0);
+        m.add_coupling(0, 1, -4.0);
+        let mut scaled = m.clone();
+        scaled.scale(0.25);
+        assert_eq!(scaled.field(0), 0.5);
+        assert_eq!(scaled.coupling(0, 1), -1.0);
+        assert_eq!(scaled.offset(), m.offset());
+    }
+
+    #[test]
+    fn spin_bit_conversions_invert() {
+        let x = vec![true, false, true, true];
+        assert_eq!(spins_to_bits(&bits_to_spins(&x)), x);
+        assert_eq!(bits_to_spins(&x), vec![1, -1, 1, 1]);
+    }
+
+    #[test]
+    fn max_abs_coefficient_covers_fields_and_couplings() {
+        let mut m = IsingModel::new(2);
+        m.add_field(1, -3.0);
+        m.add_coupling(0, 1, 2.0);
+        assert_eq!(m.max_abs_coefficient(), 3.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Steepest-descent local search with random restarts.
+//!
+//! The simplest QUBO baseline: from a random assignment, repeatedly take
+//! the single flip with the largest energy decrease until none improves.
+//! Useful as a floor for judging the other heuristics, and as the local
+//! "polish" step after sampling-based solvers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::QuboError;
+use crate::model::Qubo;
+use crate::solve::Solution;
+
+/// Greedy steepest-descent solver.
+#[derive(Debug, Clone)]
+pub struct SteepestDescent {
+    /// Random restarts.
+    pub restarts: usize,
+    /// RNG seed for the starting assignments.
+    pub seed: u64,
+}
+
+impl Default for SteepestDescent {
+    fn default() -> Self {
+        SteepestDescent { restarts: 20, seed: 0 }
+    }
+}
+
+impl SteepestDescent {
+    /// Creates a solver with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SteepestDescent { seed, ..Default::default() }
+    }
+
+    /// Runs all restarts, returning the best local minimum found.
+    pub fn solve(&self, qubo: &Qubo) -> Result<Solution, QuboError> {
+        qubo.validate()?;
+        assert!(self.restarts >= 1, "need at least one restart");
+        let n = qubo.num_vars();
+        if n == 0 {
+            return Ok(Solution { assignment: Vec::new(), energy: qubo.offset() });
+        }
+        let compiled = qubo.compile();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<Solution> = None;
+
+        for _ in 0..self.restarts {
+            let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+            let mut energy = compiled.energy(&x);
+            let mut gains = compiled.all_flip_gains(&x);
+            loop {
+                // Steepest admissible flip.
+                let (flip, gain) = gains
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
+                    .expect("n >= 1");
+                if gain >= -1e-15 {
+                    break; // local minimum
+                }
+                x[flip] = !x[flip];
+                energy += gain;
+                gains[flip] = -gains[flip];
+                for (j, w) in compiled.neighbors(flip) {
+                    let delta = if x[flip] { w } else { -w };
+                    gains[j] += if x[j] { -delta } else { delta };
+                }
+            }
+            match &best {
+                Some(b) if b.energy <= energy => {}
+                _ => best = Some(Solution { assignment: x, energy }),
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    /// Polishes an existing assignment to its local minimum.
+    pub fn polish(&self, qubo: &Qubo, start: &[bool]) -> Result<Solution, QuboError> {
+        qubo.validate()?;
+        if start.len() != qubo.num_vars() {
+            return Err(QuboError::AssignmentLength {
+                got: start.len(),
+                expected: qubo.num_vars(),
+            });
+        }
+        let compiled = qubo.compile();
+        let mut x = start.to_vec();
+        let mut energy = compiled.energy(&x);
+        let mut gains = compiled.all_flip_gains(&x);
+        while let Some((flip, gain)) = gains
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gains"))
+        {
+            if gain >= -1e-15 {
+                break;
+            }
+            x[flip] = !x[flip];
+            energy += gain;
+            gains[flip] = -gains[flip];
+            for (j, w) in compiled.neighbors(flip) {
+                let delta = if x[flip] { w } else { -w };
+                gains[j] += if x[j] { -delta } else { delta };
+            }
+        }
+        Ok(Solution { assignment: x, energy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::ExactSolver;
+
+    fn random_qubo(seed: u64, n: usize, density: f64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.random_range(-2.0..2.0));
+            for j in i + 1..n {
+                if rng.random_bool(density) {
+                    q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn reaches_exact_optimum_on_small_models_with_restarts() {
+        for seed in 0..5 {
+            let q = random_qubo(seed, 10, 0.4);
+            let exact = ExactSolver::new().min_energy(&q).unwrap();
+            let sd = SteepestDescent { restarts: 50, seed: 1 }.solve(&q).unwrap();
+            assert!(
+                (sd.energy - exact).abs() < 1e-9,
+                "seed {seed}: descent {} vs exact {exact}",
+                sd.energy
+            );
+        }
+    }
+
+    #[test]
+    fn solution_is_a_local_minimum() {
+        let q = random_qubo(3, 15, 0.5);
+        let sd = SteepestDescent::default().solve(&q).unwrap();
+        let compiled = q.compile();
+        for i in 0..15 {
+            assert!(
+                compiled.flip_gain(&sd.assignment, i) >= -1e-12,
+                "flip {i} still improves"
+            );
+        }
+        assert!((q.energy(&sd.assignment).unwrap() - sd.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polish_never_worsens_and_stops_at_local_minimum() {
+        let q = random_qubo(7, 12, 0.4);
+        let start = vec![false; 12];
+        let start_energy = q.energy(&start).unwrap();
+        let polished = SteepestDescent::default().polish(&q, &start).unwrap();
+        assert!(polished.energy <= start_energy + 1e-12);
+        let compiled = q.compile();
+        for i in 0..12 {
+            assert!(compiled.flip_gain(&polished.assignment, i) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn polish_rejects_wrong_length() {
+        let q = random_qubo(1, 4, 0.5);
+        let err = SteepestDescent::default().polish(&q, &[true, false]).unwrap_err();
+        assert!(matches!(err, QuboError::AssignmentLength { got: 2, expected: 4 }));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = random_qubo(9, 14, 0.3);
+        let a = SteepestDescent::with_seed(4).solve(&q).unwrap();
+        let b = SteepestDescent::with_seed(4).solve(&q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_variable_model() {
+        let mut q = Qubo::new(0);
+        q.add_offset(2.5);
+        assert_eq!(SteepestDescent::default().solve(&q).unwrap().energy, 2.5);
+    }
+}

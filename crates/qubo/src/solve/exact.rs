@@ -1,0 +1,183 @@
+//! Exhaustive QUBO minimisation over all 2^n assignments.
+//!
+//! Uses a Gray-code walk so each step flips exactly one variable, updating
+//! the energy incrementally in O(degree) instead of re-evaluating the full
+//! polynomial, for an overall O(2^n · avg_degree) enumeration.
+
+use crate::error::QuboError;
+use crate::model::Qubo;
+use crate::solve::Solution;
+
+/// Exact solver by Gray-code enumeration. Refuses models beyond
+/// [`ExactSolver::max_vars`] variables.
+#[derive(Debug, Clone)]
+pub struct ExactSolver {
+    max_vars: usize,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver { max_vars: 28 }
+    }
+}
+
+impl ExactSolver {
+    /// Creates a solver with the default 28-variable cap (≈ 268M states).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the variable cap. Enumeration cost doubles per variable.
+    pub fn with_max_vars(max_vars: usize) -> Self {
+        ExactSolver { max_vars }
+    }
+
+    /// Maximum model size this solver instance accepts.
+    pub fn max_vars(&self) -> usize {
+        self.max_vars
+    }
+
+    /// Finds a global minimiser of the QUBO.
+    pub fn solve(&self, qubo: &Qubo) -> Result<Solution, QuboError> {
+        Ok(self.solve_k_best(qubo, 1)?.pop().expect("k=1 yields one solution"))
+    }
+
+    /// Finds the `k` lowest-energy assignments, ascending by energy.
+    ///
+    /// Ties are resolved in Gray-code visiting order, which is deterministic.
+    pub fn solve_k_best(&self, qubo: &Qubo, k: usize) -> Result<Vec<Solution>, QuboError> {
+        let n = qubo.num_vars();
+        if n > self.max_vars {
+            return Err(QuboError::TooLarge { num_vars: n, max_vars: self.max_vars });
+        }
+        qubo.validate()?;
+        assert!(k >= 1, "k must be at least 1");
+
+        let compiled = qubo.compile();
+        let mut x = vec![false; n];
+        let mut energy = qubo.offset();
+
+        // Max-heap of (energy, code) keeping the k smallest energies seen.
+        let mut best: Vec<(f64, u64)> = Vec::with_capacity(k + 1);
+        let push = |best: &mut Vec<(f64, u64)>, e: f64, code: u64| {
+            best.push((e, code));
+            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if best.len() > k {
+                best.pop();
+            }
+        };
+
+        push(&mut best, energy, 0);
+        let total: u64 = 1u64 << n;
+        let mut gray: u64 = 0;
+        for step in 1..total {
+            // Standard Gray sequence: g(i) = i ^ (i >> 1); bit flipped at step
+            // i is the index of the lowest set bit of i.
+            let flip = step.trailing_zeros() as usize;
+            energy += compiled.flip_gain(&x, flip);
+            x[flip] = !x[flip];
+            gray ^= 1u64 << flip;
+            if best.len() < k || energy < best.last().expect("non-empty").0 {
+                push(&mut best, energy, gray);
+            }
+        }
+
+        Ok(best
+            .into_iter()
+            .map(|(e, code)| Solution {
+                assignment: (0..n).map(|i| code >> i & 1 == 1).collect(),
+                energy: e,
+            })
+            .collect())
+    }
+
+    /// Computes the exact minimum energy without materialising the argmin.
+    pub fn min_energy(&self, qubo: &Qubo) -> Result<f64, QuboError> {
+        Ok(self.solve(qubo)?.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimum_of_small_model() {
+        // min -x0 - x1 + 2 x0 x1: minima at (1,0) and (0,1) with energy -1.
+        let mut q = Qubo::new(2);
+        q.add_linear(0, -1.0);
+        q.add_linear(1, -1.0);
+        q.add_quadratic(0, 1, 2.0);
+        let s = ExactSolver::new().solve(&q).unwrap();
+        assert_eq!(s.energy, -1.0);
+        assert_ne!(s.assignment[0], s.assignment[1]);
+    }
+
+    #[test]
+    fn k_best_is_sorted_and_complete() {
+        let mut q = Qubo::new(2);
+        q.add_linear(0, 1.0);
+        q.add_linear(1, 2.0);
+        let all = ExactSolver::new().solve_k_best(&q, 4).unwrap();
+        let energies: Vec<f64> = all.iter().map(|s| s.energy).collect();
+        assert_eq!(energies, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn refuses_oversized_models() {
+        let q = Qubo::new(40);
+        let err = ExactSolver::new().solve(&q).unwrap_err();
+        assert!(matches!(err, QuboError::TooLarge { num_vars: 40, .. }));
+    }
+
+    #[test]
+    fn custom_cap_is_honoured() {
+        let q = Qubo::new(10);
+        assert!(ExactSolver::with_max_vars(9).solve(&q).is_err());
+        assert!(ExactSolver::with_max_vars(10).solve(&q).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_model() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=8);
+            let mut q = Qubo::new(n);
+            for i in 0..n {
+                q.add_linear(i, rng.random_range(-5.0..5.0));
+                for j in i + 1..n {
+                    if rng.random_bool(0.5) {
+                        q.add_quadratic(i, j, rng.random_range(-5.0..5.0));
+                    }
+                }
+            }
+            let fast = ExactSolver::new().min_energy(&q).unwrap();
+            let mut brute = f64::INFINITY;
+            for bits in 0..1u32 << n {
+                let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                brute = brute.min(q.energy(&x).unwrap());
+            }
+            assert!((fast - brute).abs() < 1e-9, "n={n}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn single_variable_model() {
+        let mut q = Qubo::new(1);
+        q.add_linear(0, -3.0);
+        q.add_offset(1.0);
+        let s = ExactSolver::new().solve(&q).unwrap();
+        assert_eq!(s.energy, -2.0);
+        assert_eq!(s.assignment, vec![true]);
+    }
+
+    #[test]
+    fn zero_variable_model_returns_offset() {
+        let mut q = Qubo::new(0);
+        q.add_offset(4.5);
+        let s = ExactSolver::new().solve(&q).unwrap();
+        assert_eq!(s.energy, 4.5);
+        assert!(s.assignment.is_empty());
+    }
+}

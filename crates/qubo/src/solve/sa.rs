@@ -1,0 +1,229 @@
+//! Single-flip Metropolis simulated annealing for QUBOs.
+//!
+//! The classical heuristic baseline; also reused by `qjo-anneal` as the
+//! "thermal only" reference against the path-integral quantum annealing
+//! simulation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::QuboError;
+use crate::model::Qubo;
+use crate::sample::SampleSet;
+use crate::solve::Solution;
+
+/// How the temperature decays over sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingSchedule {
+    /// `T(k) = t0 · r^k` for sweep `k` (classic geometric cooling).
+    Geometric {
+        /// Initial temperature.
+        t0: f64,
+        /// Decay ratio per sweep, in (0, 1).
+        ratio: f64,
+    },
+    /// Linear interpolation from `t0` down to `t1` across all sweeps.
+    Linear {
+        /// Initial temperature.
+        t0: f64,
+        /// Final temperature.
+        t1: f64,
+    },
+}
+
+impl CoolingSchedule {
+    /// Temperature at sweep `k` of `total` sweeps.
+    pub fn temperature(&self, k: usize, total: usize) -> f64 {
+        match *self {
+            CoolingSchedule::Geometric { t0, ratio } => t0 * ratio.powi(k as i32),
+            CoolingSchedule::Linear { t0, t1 } => {
+                if total <= 1 {
+                    t1
+                } else {
+                    let f = k as f64 / (total - 1) as f64;
+                    t0 + (t1 - t0) * f
+                }
+            }
+        }
+    }
+
+    /// A schedule scaled to the model: starts hot relative to the largest
+    /// coefficient, ends cold enough to freeze unit-scale moves.
+    pub fn auto_for(qubo: &Qubo) -> CoolingSchedule {
+        let scale = qubo.max_abs_coefficient().max(1.0);
+        CoolingSchedule::Geometric { t0: 2.0 * scale, ratio: 0.97 }
+    }
+}
+
+/// Simulated annealing with restarts.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Number of full temperature descents from random starts.
+    pub restarts: usize,
+    /// Sweeps (each sweep attempts one flip per variable) per restart.
+    pub sweeps: usize,
+    /// Cooling schedule; `None` picks [`CoolingSchedule::auto_for`] per model.
+    pub schedule: Option<CoolingSchedule>,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing { restarts: 10, sweeps: 200, schedule: None, seed: 0 }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates a solver with default parameters and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SimulatedAnnealing { seed, ..Default::default() }
+    }
+
+    /// Runs all restarts, returning the best solution found.
+    pub fn solve(&self, qubo: &Qubo) -> Result<Solution, QuboError> {
+        let set = self.sample(qubo)?;
+        let best = set.best().expect("restarts >= 1 yields samples");
+        Ok(Solution { assignment: best.assignment.clone(), energy: best.energy })
+    }
+
+    /// Runs all restarts, returning every end-of-descent state as a sample
+    /// set (one read per restart).
+    pub fn sample(&self, qubo: &Qubo) -> Result<SampleSet, QuboError> {
+        qubo.validate()?;
+        assert!(self.restarts >= 1, "need at least one restart");
+        assert!(self.sweeps >= 1, "need at least one sweep");
+
+        let n = qubo.num_vars();
+        let compiled = qubo.compile();
+        let schedule = self.schedule.unwrap_or_else(|| CoolingSchedule::auto_for(qubo));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut reads = Vec::with_capacity(self.restarts);
+
+        for _ in 0..self.restarts {
+            let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+            let mut energy = compiled.energy(&x);
+            let mut best_x = x.clone();
+            let mut best_e = energy;
+
+            for sweep in 0..self.sweeps {
+                let temp = schedule.temperature(sweep, self.sweeps).max(1e-12);
+                order.shuffle(&mut rng);
+                for &i in &order {
+                    let gain = compiled.flip_gain(&x, i);
+                    if gain <= 0.0 || rng.random::<f64>() < (-gain / temp).exp() {
+                        x[i] = !x[i];
+                        energy += gain;
+                        if energy < best_e {
+                            best_e = energy;
+                            best_x.copy_from_slice(&x);
+                        }
+                    }
+                }
+            }
+            reads.push(best_x);
+        }
+
+        Ok(SampleSet::from_reads(reads, |x| {
+            qubo.energy(x).expect("assignment built at model length")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::ExactSolver;
+
+    fn random_qubo(seed: u64, n: usize, density: f64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.random_range(-2.0..2.0));
+            for j in i + 1..n {
+                if rng.random_bool(density) {
+                    q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn reaches_exact_optimum_on_small_models() {
+        for seed in 0..5 {
+            let q = random_qubo(seed, 10, 0.4);
+            let exact = ExactSolver::new().min_energy(&q).unwrap();
+            let sa = SimulatedAnnealing { restarts: 20, sweeps: 300, ..Default::default() }
+                .solve(&q)
+                .unwrap();
+            assert!(
+                (sa.energy - exact).abs() < 1e-9,
+                "seed {seed}: SA {} vs exact {exact}",
+                sa.energy
+            );
+        }
+    }
+
+    #[test]
+    fn is_deterministic_for_fixed_seed() {
+        let q = random_qubo(1, 12, 0.3);
+        let solver = SimulatedAnnealing::with_seed(42);
+        let a = solver.solve(&q).unwrap();
+        let b = solver.solve(&q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let q = random_qubo(2, 16, 0.3);
+        let short = |seed| {
+            SimulatedAnnealing { restarts: 1, sweeps: 3, seed, ..Default::default() }
+                .sample(&q)
+                .unwrap()
+                .best()
+                .unwrap()
+                .assignment
+                .clone()
+        };
+        // With only 3 sweeps the walk cannot have converged; distinct seeds
+        // should end in distinct states for at least one of a few tries.
+        let base = short(0);
+        assert!((1..6).any(|s| short(s) != base));
+    }
+
+    #[test]
+    fn sample_returns_one_read_per_restart() {
+        let q = random_qubo(3, 8, 0.4);
+        let set = SimulatedAnnealing { restarts: 7, sweeps: 10, ..Default::default() }
+            .sample(&q)
+            .unwrap();
+        assert_eq!(set.total_reads(), 7);
+    }
+
+    #[test]
+    fn schedules_interpolate_as_documented() {
+        let g = CoolingSchedule::Geometric { t0: 8.0, ratio: 0.5 };
+        assert_eq!(g.temperature(0, 10), 8.0);
+        assert_eq!(g.temperature(3, 10), 1.0);
+
+        let l = CoolingSchedule::Linear { t0: 10.0, t1: 0.0 };
+        assert_eq!(l.temperature(0, 11), 10.0);
+        assert_eq!(l.temperature(10, 11), 0.0);
+        assert_eq!(l.temperature(5, 11), 5.0);
+        // Degenerate single-sweep schedule lands on the final temperature.
+        assert_eq!(l.temperature(0, 1), 0.0);
+    }
+
+    #[test]
+    fn auto_schedule_scales_with_coefficients() {
+        let mut q = Qubo::new(2);
+        q.add_quadratic(0, 1, 100.0);
+        match CoolingSchedule::auto_for(&q) {
+            CoolingSchedule::Geometric { t0, .. } => assert_eq!(t0, 200.0),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+    }
+}

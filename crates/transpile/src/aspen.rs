@@ -1,0 +1,113 @@
+//! Rigetti Aspen-style octagonal topologies.
+//!
+//! Rigetti's Aspen family arranges qubits in 8-qubit rings (octagons) tiled
+//! on a grid; adjacent octagons are joined by two couplers. Aspen-M has 80
+//! qubits (a 2 × 5 grid of octagons). The parametric generator also serves
+//! the paper's size extrapolation.
+
+use crate::topology::Topology;
+
+/// A `rows × cols` grid of 8-qubit octagon rings.
+///
+/// Within octagon `(r, c)` the qubits `0..8` form a ring. Horizontally
+/// adjacent octagons connect via two couplers between their facing sides
+/// (positions 1,2 ↔ 6,5); vertically adjacent ones likewise (positions
+/// 4,3? — see code; the exact positions mirror Aspen's two-coupler seams).
+pub fn aspen(rows: usize, cols: usize) -> Topology {
+    assert!(rows >= 1 && cols >= 1, "need at least one octagon");
+    let cell = |r: usize, c: usize, k: usize| (r * cols + c) * 8 + k;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            // The octagon ring.
+            for k in 0..8 {
+                edges.push((cell(r, c, k), cell(r, c, (k + 1) % 8)));
+            }
+            // Two couplers to the right-hand neighbour.
+            if c + 1 < cols {
+                edges.push((cell(r, c, 1), cell(r, c + 1, 6)));
+                edges.push((cell(r, c, 2), cell(r, c + 1, 5)));
+            }
+            // Two couplers to the neighbour below.
+            if r + 1 < rows {
+                edges.push((cell(r, c, 3), cell(r + 1, c, 0)));
+                edges.push((cell(r, c, 4), cell(r + 1, c, 7)));
+            }
+        }
+    }
+    Topology::new(rows * cols * 8, &edges)
+}
+
+/// The 80-qubit Aspen-M layout (2 × 5 octagons).
+pub fn aspen_m_80() -> Topology {
+    aspen(2, 5)
+}
+
+/// Grows the Aspen family to at least `target` qubits, keeping the 2-row
+/// shape of Aspen-M and widening the octagon columns.
+pub fn aspen_at_least(target: usize) -> Topology {
+    let mut cols = 1;
+    loop {
+        let t = aspen(2, cols);
+        if t.num_qubits() >= target {
+            return t;
+        }
+        cols += 1;
+        assert!(cols < 10_000, "extrapolation target {target} is unreasonable");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aspen_m_has_80_qubits() {
+        let t = aspen_m_80();
+        assert_eq!(t.num_qubits(), 80);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn degrees_match_octagonal_lattice() {
+        let t = aspen_m_80();
+        for q in 0..80 {
+            let d = t.degree(q);
+            assert!((2..=3).contains(&d), "qubit {q} degree {d}");
+        }
+        // Ring edges: 8 per octagon × 10; seams: 2 × (horizontal 2·4 + vertical 1·5).
+        assert_eq!(t.num_edges(), 80 + 2 * (2 * 4 + 5));
+    }
+
+    #[test]
+    fn single_octagon_is_a_ring() {
+        let t = aspen(1, 1);
+        assert_eq!(t.num_qubits(), 8);
+        assert_eq!(t.num_edges(), 8);
+        for q in 0..8 {
+            assert_eq!(t.degree(q), 2);
+        }
+        assert_eq!(t.distance(0, 4), Some(4));
+    }
+
+    #[test]
+    fn seam_couplers_link_adjacent_octagons() {
+        let t = aspen(1, 2);
+        // positions 1,2 of octagon 0 face 6,5 of octagon 1
+        assert!(t.has_edge(1, 8 + 6));
+        assert!(t.has_edge(2, 8 + 5));
+        let t = aspen(2, 1);
+        assert!(t.has_edge(3, 8));
+        assert!(t.has_edge(4, 8 + 7));
+    }
+
+    #[test]
+    fn extrapolation_reaches_targets() {
+        for target in [80, 200, 400] {
+            let t = aspen_at_least(target);
+            assert!(t.num_qubits() >= target);
+            assert!(t.is_connected());
+            assert_eq!(t.num_qubits() % 16, 0, "two rows of octagons");
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Decomposition of logical gates into native hardware gate sets.
+//!
+//! Each vendor exposes a small calibrated gate set; everything else must be
+//! synthesised from it, which inflates gate count and depth — one of the
+//! co-design levers studied in the paper (native vs. unrestricted gate sets
+//! in Fig. 5).
+//!
+//! Single-qubit gates are decomposed through the ZXZXZ identity
+//! `U ≅ RZ(φ+π) · √X · RZ(θ+π) · √X · RZ(λ)` (global phase ignored), where
+//! `(θ, φ, λ)` are the U3 Euler angles extracted from the gate's unitary.
+//! Two-qubit gates reduce to the vendor's entangler: CX (IBM), CZ (Rigetti),
+//! or the Mølmer–Sørensen XX rotation (IonQ).
+
+use qjo_gatesim::gate::Gate;
+use qjo_gatesim::Circuit;
+
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// A vendor's native gate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeGateSet {
+    /// IBM basis: `{CX, RZ, SX, X}`.
+    Ibm,
+    /// Rigetti basis: `{CZ, RZ, RX(±π/2), RX(π)}`.
+    Rigetti,
+    /// IonQ basis: `{RXX, RZ, RX(±π/2), RX(π)}` (GPi/GPi2 + MS).
+    Ionq,
+    /// Hypothetical QPU supporting every gate natively (paper's
+    /// "unrestricted gate set" scenario).
+    Unrestricted,
+}
+
+/// Angles equal up to 1e-9 modulo 2π.
+fn angle_is(theta: f64, target: f64) -> bool {
+    let two_pi = 2.0 * PI;
+    let d = (theta - target).rem_euclid(two_pi);
+    d < 1e-9 || two_pi - d < 1e-9
+}
+
+impl NativeGateSet {
+    /// Whether `gate` can execute directly on this hardware.
+    pub fn is_native(&self, gate: &Gate) -> bool {
+        match self {
+            NativeGateSet::Unrestricted => true,
+            NativeGateSet::Ibm => matches!(gate, Gate::Cx(..) | Gate::Rz(..) | Gate::Sx(_) | Gate::X(_)),
+            NativeGateSet::Rigetti => match gate {
+                Gate::Cz(..) | Gate::Rz(..) => true,
+                Gate::Rx(_, t) => {
+                    angle_is(*t, FRAC_PI_2) || angle_is(*t, -FRAC_PI_2) || angle_is(*t, PI)
+                }
+                _ => false,
+            },
+            NativeGateSet::Ionq => match gate {
+                Gate::Rxx(..) | Gate::Rz(..) => true,
+                Gate::Rx(_, t) => {
+                    angle_is(*t, FRAC_PI_2) || angle_is(*t, -FRAC_PI_2) || angle_is(*t, PI)
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Decomposes a single gate into an equivalent native sequence
+    /// (application order). Native gates pass through unchanged.
+    pub fn decompose_gate(&self, gate: &Gate) -> Vec<Gate> {
+        if self.is_native(gate) {
+            return vec![*gate];
+        }
+        match *gate {
+            // --- two-qubit gates -------------------------------------
+            Gate::Cx(c, t) => self.decompose_cx(c, t),
+            Gate::Cz(a, b) => match self {
+                // CZ = (I⊗H) CX (I⊗H)
+                NativeGateSet::Ibm | NativeGateSet::Ionq => {
+                    let mut seq = self.decompose_gate(&Gate::H(b));
+                    seq.extend(self.decompose_cx(a, b));
+                    seq.extend(self.decompose_gate(&Gate::H(b)));
+                    seq
+                }
+                _ => unreachable!("CZ is native on Rigetti / unrestricted"),
+            },
+            Gate::Rzz(a, b, t) => match self {
+                // RZZ(t) = (H⊗H) RXX(t) (H⊗H) — one entangler on IonQ.
+                NativeGateSet::Ionq => {
+                    let mut seq = self.decompose_gate(&Gate::H(a));
+                    seq.extend(self.decompose_gate(&Gate::H(b)));
+                    seq.push(Gate::Rxx(a, b, t));
+                    seq.extend(self.decompose_gate(&Gate::H(a)));
+                    seq.extend(self.decompose_gate(&Gate::H(b)));
+                    seq
+                }
+                // RZZ(t) = CX · RZ_b(t) · CX.
+                _ => {
+                    let mut seq = self.decompose_cx(a, b);
+                    seq.push(Gate::Rz(b, t));
+                    seq.extend(self.decompose_cx(a, b));
+                    seq
+                }
+            },
+            Gate::Rxx(a, b, t) => {
+                // RXX(t) = (H⊗H) RZZ(t) (H⊗H), with RZZ via CX.
+                let mut seq = self.decompose_gate(&Gate::H(a));
+                seq.extend(self.decompose_gate(&Gate::H(b)));
+                seq.extend(self.decompose_cx(a, b));
+                seq.push(Gate::Rz(b, t));
+                seq.extend(self.decompose_cx(a, b));
+                seq.extend(self.decompose_gate(&Gate::H(a)));
+                seq.extend(self.decompose_gate(&Gate::H(b)));
+                seq
+            }
+            Gate::Swap(a, b) => {
+                let mut seq = self.decompose_cx(a, b);
+                seq.extend(self.decompose_cx(b, a));
+                seq.extend(self.decompose_cx(a, b));
+                seq
+            }
+            // --- single-qubit gates ----------------------------------
+            g => {
+                let q = match g.qubits() {
+                    qjo_gatesim::gate::GateQubits::One(q) => q,
+                    _ => unreachable!("all 2q gates handled above"),
+                };
+                self.decompose_1q(q, &g.unitary_1q())
+            }
+        }
+    }
+
+    /// The vendor's CX synthesis.
+    fn decompose_cx(&self, c: usize, t: usize) -> Vec<Gate> {
+        match self {
+            NativeGateSet::Ibm | NativeGateSet::Unrestricted => vec![Gate::Cx(c, t)],
+            NativeGateSet::Rigetti => {
+                // CX(c,t) = (I⊗H) CZ (I⊗H); H ≅ RZ(π/2) RX(π/2) RZ(π/2).
+                let mut seq = self.decompose_1q(t, &Gate::H(t).unitary_1q());
+                seq.push(Gate::Cz(c, t));
+                seq.extend(self.decompose_1q(t, &Gate::H(t).unitary_1q()));
+                seq
+            }
+            NativeGateSet::Ionq => {
+                // CX(c,t) ≅ RY_c(π/2) · RXX(π/2) · RX_c(−π/2) · RX_t(−π/2)
+                //           · RY_c(−π/2)  (matrix order; reversed below for
+                // application order), with RY(θ) = RZ(π/2) RX(θ) RZ(−π/2).
+                let ry = |q: usize, theta: f64| {
+                    vec![Gate::Rz(q, -FRAC_PI_2), Gate::Rx(q, theta), Gate::Rz(q, FRAC_PI_2)]
+                };
+                let mut seq = ry(c, FRAC_PI_2);
+                seq.push(Gate::Rxx(c, t, FRAC_PI_2));
+                seq.push(Gate::Rx(c, -FRAC_PI_2));
+                seq.push(Gate::Rx(t, -FRAC_PI_2));
+                seq.extend(ry(c, -FRAC_PI_2));
+                seq
+            }
+        }
+    }
+
+    /// ZXZXZ synthesis of an arbitrary single-qubit unitary, with the
+    /// θ ≈ 0 shortcut (a single RZ) and zero-angle elision.
+    fn decompose_1q(&self, q: usize, u: &[qjo_gatesim::C64; 4]) -> Vec<Gate> {
+        let (theta, phi, lambda) = u3_angles(u);
+        let sqrt_x = |out: &mut Vec<Gate>| match self {
+            NativeGateSet::Ibm => out.push(Gate::Sx(q)),
+            _ => out.push(Gate::Rx(q, FRAC_PI_2)),
+        };
+        let push_rz = |out: &mut Vec<Gate>, angle: f64| {
+            if !angle_is(angle, 0.0) {
+                out.push(Gate::Rz(q, angle));
+            }
+        };
+
+        let mut seq = Vec::with_capacity(5);
+        if angle_is(theta, 0.0) {
+            push_rz(&mut seq, phi + lambda);
+            return seq;
+        }
+        // Application order: RZ(λ), √X, RZ(θ+π), √X, RZ(φ+π).
+        push_rz(&mut seq, lambda);
+        sqrt_x(&mut seq);
+        push_rz(&mut seq, theta + PI);
+        sqrt_x(&mut seq);
+        push_rz(&mut seq, phi + PI);
+        seq
+    }
+
+    /// Decomposes a whole circuit.
+    pub fn decompose_circuit(&self, circuit: &Circuit) -> Circuit {
+        let mut out = Circuit::new(circuit.num_qubits());
+        for g in circuit.gates() {
+            for native in self.decompose_gate(g) {
+                debug_assert!(self.is_native(&native), "{native:?} not native after decompose");
+                out.push(native);
+            }
+        }
+        out
+    }
+}
+
+/// Extracts U3 Euler angles `(θ, φ, λ)` such that, up to global phase,
+/// `U = [[cos(θ/2), −e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]`.
+pub fn u3_angles(u: &[qjo_gatesim::C64; 4]) -> (f64, f64, f64) {
+    let c = u[0].norm();
+    let s = u[2].norm();
+    let theta = 2.0 * s.atan2(c);
+    const EPS: f64 = 1e-12;
+    if s < EPS {
+        // Diagonal: only φ + λ is defined.
+        let lambda = u[3].im.atan2(u[3].re) - u[0].im.atan2(u[0].re);
+        return (0.0, 0.0, lambda);
+    }
+    if c < EPS {
+        // Anti-diagonal (θ = π): only φ − λ matters; put it all into φ.
+        let g = (-u[1]).im.atan2((-u[1]).re); // arg(-u01) with λ = 0
+        let phi = u[2].im.atan2(u[2].re) - g;
+        return (PI, phi, 0.0);
+    }
+    let g = u[0].im.atan2(u[0].re);
+    let phi = u[2].im.atan2(u[2].re) - g;
+    let m01 = -u[1];
+    let lambda = m01.im.atan2(m01.re) - g;
+    (theta, phi, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjo_gatesim::gate::Gate::*;
+    use qjo_gatesim::StateVector;
+
+    /// Full process equivalence up to one global phase: applies both gate
+    /// sequences to every basis state and requires all output columns to
+    /// differ by the *same* phase factor.
+    fn equivalent(n: usize, original: &[Gate], replacement: &[Gate]) -> bool {
+        use qjo_gatesim::C64;
+        let dim = 1usize << n;
+        let mut phase: Option<C64> = None;
+        for basis in 0..dim {
+            let mut start = StateVector::zero(n);
+            // Prepare |basis> with X gates.
+            for q in 0..n {
+                if basis >> q & 1 == 1 {
+                    start.apply(X(q));
+                }
+            }
+            let mut a = start.clone();
+            let mut b = start;
+            for g in original {
+                a.apply(*g);
+            }
+            for g in replacement {
+                b.apply(*g);
+            }
+            for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+                if x.norm() < 1e-10 && y.norm() < 1e-10 {
+                    continue;
+                }
+                if x.norm() < 1e-10 || y.norm() < 1e-10 {
+                    return false;
+                }
+                let ratio = *x / *y;
+                match phase {
+                    None => phase = Some(ratio),
+                    Some(p) => {
+                        if (ratio - p).norm() > 1e-8 {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn check_gate_on(set: NativeGateSet, gate: Gate, n: usize) {
+        let seq = set.decompose_gate(&gate);
+        for g in &seq {
+            assert!(set.is_native(g), "{set:?}: {g:?} not native (from {gate:?})");
+        }
+        assert!(
+            equivalent(n, &[gate], &seq),
+            "{set:?}: decomposition of {gate:?} is not equivalent: {seq:?}"
+        );
+    }
+
+    fn all_test_gates() -> Vec<(Gate, usize)> {
+        vec![
+            (H(0), 1),
+            (X(0), 1),
+            (Y(0), 1),
+            (Z(0), 1),
+            (S(0), 1),
+            (Sdg(0), 1),
+            (Sx(0), 1),
+            (Rx(0, 0.7), 1),
+            (Ry(0, -1.2), 1),
+            (Rz(0, 2.3), 1),
+            (Phase(0, 0.9), 1),
+            (Cx(0, 1), 2),
+            (Cx(1, 0), 2),
+            (Cz(0, 1), 2),
+            (Swap(0, 1), 2),
+            (Rzz(0, 1, 0.8), 2),
+            (Rxx(0, 1, -0.6), 2),
+        ]
+    }
+
+    #[test]
+    fn ibm_decompositions_are_equivalent_and_native() {
+        for (g, n) in all_test_gates() {
+            check_gate_on(NativeGateSet::Ibm, g, n);
+        }
+    }
+
+    #[test]
+    fn rigetti_decompositions_are_equivalent_and_native() {
+        for (g, n) in all_test_gates() {
+            check_gate_on(NativeGateSet::Rigetti, g, n);
+        }
+    }
+
+    #[test]
+    fn ionq_decompositions_are_equivalent_and_native() {
+        for (g, n) in all_test_gates() {
+            check_gate_on(NativeGateSet::Ionq, g, n);
+        }
+    }
+
+    #[test]
+    fn unrestricted_passes_everything_through() {
+        for (g, _) in all_test_gates() {
+            assert_eq!(NativeGateSet::Unrestricted.decompose_gate(&g), vec![g]);
+        }
+    }
+
+    #[test]
+    fn u3_angles_reconstruct_unitaries() {
+        use qjo_gatesim::C64;
+        let gates = [H(0), X(0), Y(0), S(0), Sx(0), Rx(0, 0.7), Ry(0, 1.9), Rz(0, -0.4)];
+        for g in gates {
+            let u = g.unitary_1q();
+            let (theta, phi, lambda) = u3_angles(&u);
+            let (st, ct) = ((theta / 2.0).sin(), (theta / 2.0).cos());
+            let v = [
+                C64::real(ct),
+                -(C64::cis(lambda).scale(st)),
+                C64::cis(phi).scale(st),
+                C64::cis(phi + lambda).scale(ct),
+            ];
+            // Compare up to global phase: find the first big entry and align.
+            let (pu, pv) = if u[0].norm() > 0.5 { (u[0], v[0]) } else { (u[2], v[2]) };
+            let phase = pu / pv;
+            for k in 0..4 {
+                let diff = (u[k] - v[k] * phase).norm();
+                assert!(diff < 1e-9, "{g:?} entry {k}: |Δ| = {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_gates_shortcut_to_single_rz() {
+        let seq = NativeGateSet::Ibm.decompose_gate(&S(0));
+        assert_eq!(seq.len(), 1);
+        assert!(matches!(seq[0], Rz(0, _)));
+        let seq = NativeGateSet::Rigetti.decompose_gate(&Phase(0, 0.3));
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn ionq_rzz_uses_a_single_entangler() {
+        let seq = NativeGateSet::Ionq.decompose_gate(&Rzz(0, 1, 0.8));
+        let entanglers = seq.iter().filter(|g| g.is_two_qubit()).count();
+        assert_eq!(entanglers, 1, "IonQ should do RZZ with one MS gate: {seq:?}");
+    }
+
+    #[test]
+    fn ibm_rzz_uses_two_cx() {
+        let seq = NativeGateSet::Ibm.decompose_gate(&Rzz(0, 1, 0.8));
+        assert_eq!(seq.iter().filter(|g| g.is_two_qubit()).count(), 2);
+    }
+
+    #[test]
+    fn decompose_circuit_covers_whole_circuit() {
+        let mut c = Circuit::new(3);
+        for g in [H(0), H(1), H(2), Rzz(0, 1, 0.4), Rzz(1, 2, -0.3), Rx(0, 0.9)] {
+            c.push(g);
+        }
+        for set in [NativeGateSet::Ibm, NativeGateSet::Rigetti, NativeGateSet::Ionq] {
+            let d = set.decompose_circuit(&c);
+            assert!(d.gates().iter().all(|g| set.is_native(g)));
+            assert!(
+                equivalent(3, c.gates(), d.gates()),
+                "{set:?} full-circuit decomposition diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn native_gate_checks_handle_angle_wrapping() {
+        // 5π/2 ≡ π/2 (mod 2π) is native RX on Rigetti.
+        assert!(NativeGateSet::Rigetti.is_native(&Rx(0, 2.5 * PI)));
+        assert!(NativeGateSet::Rigetti.is_native(&Rx(0, -FRAC_PI_2)));
+        assert!(!NativeGateSet::Rigetti.is_native(&Rx(0, 0.3)));
+    }
+}

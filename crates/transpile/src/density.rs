@@ -1,0 +1,139 @@
+//! Density extrapolation of hardware topologies (paper Section 6.2).
+//!
+//! A topology with `n` qubits and `M` couplers is augmented with `m` extra
+//! couplers drawn from the `N − M` missing pairs (`N = n(n−1)/2`), where the
+//! *extended connectivity* `d = m / (N − M)` interpolates between the
+//! baseline (`d = 0`) and a complete mesh (`d = 1`). Following the paper, we
+//! favour physically plausible additions: candidate pairs are consumed in
+//! order of increasing hop distance (`C_2` first, then `C_3`, ...), sampling
+//! uniformly within each distance class.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::topology::Topology;
+
+/// Augments `base` to extended connectivity `density ∈ [0, 1]`.
+///
+/// Deterministic for a fixed `seed`. `density = 0` returns the baseline
+/// unchanged; `density = 1` returns the complete graph.
+pub fn densify(base: &Topology, density: f64, seed: u64) -> Topology {
+    assert!((0.0..=1.0).contains(&density), "density {density} outside [0, 1]");
+    let n = base.num_qubits();
+    let full = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let missing = full - base.num_edges();
+    let to_add = (density * missing as f64).round() as usize;
+    if to_add == 0 {
+        return base.clone();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extra = Vec::with_capacity(to_add);
+    let mut remaining = to_add;
+    for mut class in base.missing_pairs_by_distance() {
+        if remaining == 0 {
+            break;
+        }
+        class.shuffle(&mut rng);
+        let take = remaining.min(class.len());
+        extra.extend_from_slice(&class[..take]);
+        remaining -= take;
+    }
+    base.with_extra_edges(&extra)
+}
+
+/// The number of couplers a topology of `n` qubits has at extended
+/// connectivity `d` over a baseline with `m_base` couplers.
+pub fn edges_at_density(n: usize, m_base: usize, d: f64) -> usize {
+    let full = n * (n - 1) / 2;
+    m_base + (d * (full - m_base) as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heavy_hex::falcon_27;
+
+    #[test]
+    fn density_zero_is_identity() {
+        let base = falcon_27();
+        let same = densify(&base, 0.0, 1);
+        assert_eq!(same.num_edges(), base.num_edges());
+        assert_eq!(
+            same.edges().collect::<Vec<_>>(),
+            base.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn density_one_is_complete() {
+        let base = Topology::line(8);
+        let full = densify(&base, 1.0, 1);
+        assert_eq!(full.num_edges(), 28);
+        assert_eq!(full.density(), 1.0);
+    }
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let base = falcon_27();
+        for &d in &[0.05, 0.1, 0.25, 0.5, 0.75] {
+            let t = densify(&base, d, 7);
+            assert_eq!(
+                t.num_edges(),
+                edges_at_density(27, base.num_edges(), d),
+                "density {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_pairs_are_added_first() {
+        // Line of 6: distance-2 pairs = 4. Adding exactly 4 edges at the
+        // matching density must consume the whole distance-2 class before
+        // touching any farther pair.
+        let base = Topology::line(6);
+        let missing = 15 - 5;
+        let d = 4.0 / missing as f64;
+        let t = densify(&base, d, 3);
+        assert_eq!(t.num_edges(), 9);
+        for (a, b) in t.edges() {
+            assert!(base.distance(a, b).unwrap() <= 2, "({a},{b}) too far");
+        }
+    }
+
+    #[test]
+    fn densification_shrinks_diameter_monotonically() {
+        let base = Topology::line(20);
+        let mut last = base.diameter().unwrap();
+        for &d in &[0.05, 0.1, 0.5, 1.0] {
+            let t = densify(&base, d, 11);
+            let dia = t.diameter().unwrap();
+            assert!(dia <= last, "diameter grew at density {d}");
+            last = dia;
+        }
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let base = falcon_27();
+        let a = densify(&base, 0.1, 5);
+        let b = densify(&base, 0.1, 5);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = densify(&base, 0.1, 6);
+        // Same count, (almost surely) different sample.
+        assert_eq!(a.num_edges(), c.num_edges());
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>(),
+            "different seeds should sample different edges"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_density() {
+        densify(&Topology::line(4), 1.5, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Device presets: topology + native gate set + calibration data.
+
+use qjo_gatesim::NoiseModel;
+
+use crate::aspen::{aspen_at_least, aspen_m_80};
+use crate::decompose::NativeGateSet;
+use crate::heavy_hex::{eagle_127, falcon_27, heavy_hex_at_least};
+use crate::topology::Topology;
+
+/// A gate-based QPU description.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: String,
+    /// Coupling graph.
+    pub topology: Topology,
+    /// Native gate set.
+    pub gate_set: NativeGateSet,
+    /// Calibration / noise data.
+    pub noise: NoiseModel,
+}
+
+impl Device {
+    /// IBM Q Auckland: 27 qubits, Falcon r5.11.
+    pub fn ibm_auckland() -> Device {
+        Device {
+            name: "ibm_auckland".into(),
+            topology: falcon_27(),
+            gate_set: NativeGateSet::Ibm,
+            noise: NoiseModel::ibm_auckland(),
+        }
+    }
+
+    /// IBM Q Washington: 127 qubits, Eagle r1.
+    pub fn ibm_washington() -> Device {
+        Device {
+            name: "ibm_washington".into(),
+            topology: eagle_127(),
+            gate_set: NativeGateSet::Ibm,
+            noise: NoiseModel::ibm_washington(),
+        }
+    }
+
+    /// Rigetti Aspen-M: 80 qubits, octagonal lattice.
+    pub fn rigetti_aspen_m() -> Device {
+        Device {
+            name: "rigetti_aspen_m".into(),
+            topology: aspen_m_80(),
+            gate_set: NativeGateSet::Rigetti,
+            noise: NoiseModel {
+                t1: 30e-6,
+                t2: 20e-6,
+                time_1q: 40e-9,
+                time_2q: 240e-9,
+                p_depol_1q: 8e-4,
+                p_depol_2q: 2e-2,
+                readout_error: 3e-2,
+            },
+        }
+    }
+
+    /// IonQ trapped-ion device with `n` fully-connected qubits.
+    ///
+    /// Trapped ions: excellent coherence, slow gates, all-to-all coupling.
+    pub fn ionq(n: usize) -> Device {
+        Device {
+            name: format!("ionq_{n}"),
+            topology: Topology::complete(n),
+            gate_set: NativeGateSet::Ionq,
+            noise: NoiseModel {
+                t1: 10.0,     // ~seconds-scale T1
+                t2: 1.0,      // ~second-scale T2
+                time_1q: 10e-6,
+                time_2q: 200e-6,
+                p_depol_1q: 5e-4,
+                p_depol_2q: 4e-3,
+                readout_error: 5e-3,
+            },
+        }
+    }
+
+    /// Size-extrapolated IBM heavy-hex device with at least `n` qubits
+    /// (paper Section 6.2, "size extrapolation").
+    pub fn ibm_extrapolated(n: usize) -> Device {
+        Device {
+            name: format!("ibm_hh_{n}"),
+            topology: heavy_hex_at_least(n),
+            gate_set: NativeGateSet::Ibm,
+            noise: NoiseModel::ibm_washington(),
+        }
+    }
+
+    /// Size-extrapolated Rigetti octagonal device with at least `n` qubits.
+    pub fn rigetti_extrapolated(n: usize) -> Device {
+        Device {
+            name: format!("rigetti_oct_{n}"),
+            topology: aspen_at_least(n),
+            gate_set: NativeGateSet::Rigetti,
+            noise: Device::rigetti_aspen_m().noise,
+        }
+    }
+
+    /// Replaces the topology with a density-extrapolated variant
+    /// (paper Section 6.2, "density extrapolation").
+    pub fn with_density(&self, density: f64, seed: u64) -> Device {
+        Device {
+            name: format!("{}@d{density:.2}", self.name),
+            topology: crate::density::densify(&self.topology, density, seed),
+            gate_set: self.gate_set,
+            noise: self.noise,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_advertised_sizes() {
+        assert_eq!(Device::ibm_auckland().num_qubits(), 27);
+        assert_eq!(Device::ibm_washington().num_qubits(), 127);
+        assert_eq!(Device::rigetti_aspen_m().num_qubits(), 80);
+        assert_eq!(Device::ionq(25).num_qubits(), 25);
+    }
+
+    #[test]
+    fn gate_sets_match_vendors() {
+        assert_eq!(Device::ibm_auckland().gate_set, NativeGateSet::Ibm);
+        assert_eq!(Device::rigetti_aspen_m().gate_set, NativeGateSet::Rigetti);
+        assert_eq!(Device::ionq(10).gate_set, NativeGateSet::Ionq);
+    }
+
+    #[test]
+    fn extrapolated_devices_reach_targets() {
+        assert!(Device::ibm_extrapolated(300).num_qubits() >= 300);
+        assert!(Device::rigetti_extrapolated(300).num_qubits() >= 300);
+        assert!(Device::ibm_extrapolated(300).topology.is_connected());
+    }
+
+    #[test]
+    fn density_extrapolation_adds_couplers_and_renames() {
+        let base = Device::ibm_auckland();
+        let dense = base.with_density(0.1, 7);
+        assert!(dense.topology.num_edges() > base.topology.num_edges());
+        assert!(dense.name.contains("d0.10"));
+        assert_eq!(dense.num_qubits(), base.num_qubits());
+    }
+
+    #[test]
+    fn ion_traps_trade_speed_for_coherence() {
+        let ibm = Device::ibm_auckland().noise;
+        let ion = Device::ionq(25).noise;
+        assert!(ion.t1 > ibm.t1 && ion.t2 > ibm.t2);
+        assert!(ion.time_2q > ibm.time_2q);
+    }
+}

@@ -1,0 +1,207 @@
+//! IBM-style heavy-hex topologies.
+//!
+//! IBM's superconducting QPUs couple qubits in a *heavy-hexagon* lattice:
+//! hexagonal cells whose edges carry an extra qubit, yielding degrees ≤ 3.
+//! We provide the exact 27-qubit Falcon r5.11 coupling map (IBM Q Auckland)
+//! and a parametric brick-lattice generator used both to approximate the
+//! 127-qubit Eagle r1 (IBM Q Washington) and to *size-extrapolate* the
+//! architecture for the co-design study (Section 6.2 of the paper).
+
+use crate::topology::Topology;
+
+/// The 27-qubit Falcon r5.11 coupling map (IBM Q Auckland and siblings).
+pub fn falcon_27() -> Topology {
+    const EDGES: &[(usize, usize)] = &[
+        (0, 1),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (3, 5),
+        (4, 7),
+        (5, 8),
+        (6, 7),
+        (7, 10),
+        (8, 9),
+        (8, 11),
+        (10, 12),
+        (11, 14),
+        (12, 13),
+        (12, 15),
+        (13, 14),
+        (14, 16),
+        (15, 18),
+        (16, 19),
+        (17, 18),
+        (18, 21),
+        (19, 20),
+        (19, 22),
+        (21, 23),
+        (22, 25),
+        (23, 24),
+        (24, 25),
+        (25, 26),
+    ];
+    Topology::new(27, EDGES)
+}
+
+/// Parametric heavy-hex brick lattice: `rows` horizontal qubit rows of
+/// `cols` qubits each, joined by bridge qubits every `spacing` columns with
+/// the brick offset alternating by row parity.
+///
+/// Qubit numbering: row qubits first (row-major), then bridge qubits.
+pub fn heavy_hex(rows: usize, cols: usize, spacing: usize) -> Topology {
+    assert!(rows >= 1 && cols >= 2, "need at least one row of two qubits");
+    assert!(spacing >= 2, "bridge spacing must be at least 2");
+    let row_qubit = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    // Horizontal row chains.
+    for r in 0..rows {
+        for c in 1..cols {
+            edges.push((row_qubit(r, c - 1), row_qubit(r, c)));
+        }
+    }
+    // Bridges between consecutive rows.
+    let mut next = rows * cols;
+    for r in 0..rows.saturating_sub(1) {
+        // Brick pattern: offset alternates by half the spacing per row.
+        let offset = if r % 2 == 0 { 0 } else { spacing / 2 };
+        let mut c = offset;
+        while c < cols {
+            let bridge = next;
+            next += 1;
+            edges.push((row_qubit(r, c), bridge));
+            edges.push((bridge, row_qubit(r + 1, c)));
+            c += spacing;
+        }
+    }
+    Topology::new(next, &edges)
+}
+
+/// An Eagle-r1-sized heavy-hex lattice (127 qubits), standing in for IBM Q
+/// Washington.
+///
+/// 7 rows × 15 columns with bridges every 4 columns gives 129 qubits; the
+/// real Eagle trims the corner bridges, which we mirror by dropping the two
+/// final bridge qubits — the result has exactly 127 qubits and the same
+/// degree profile (≤ 3) and row structure as the production device.
+pub fn eagle_127() -> Topology {
+    let full = heavy_hex(7, 15, 4);
+    debug_assert_eq!(full.num_qubits(), 129);
+    let keep = 127;
+    let edges: Vec<(usize, usize)> = full
+        .edges()
+        .filter(|&(a, b)| a < keep && b < keep)
+        .collect();
+    Topology::new(keep, &edges)
+}
+
+/// Grows the heavy-hex family until at least `target` qubits, keeping the
+/// Eagle row shape (15 columns, bridges every 4). Returns the smallest
+/// member with `num_qubits() >= target`.
+pub fn heavy_hex_at_least(target: usize) -> Topology {
+    let mut rows = 1;
+    loop {
+        let t = heavy_hex(rows, 15, 4);
+        if t.num_qubits() >= target {
+            return t;
+        }
+        rows += 1;
+        assert!(rows < 10_000, "extrapolation target {target} is unreasonable");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falcon_has_27_qubits_and_28_couplers() {
+        let t = falcon_27();
+        assert_eq!(t.num_qubits(), 27);
+        assert_eq!(t.num_edges(), 28);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn falcon_degrees_are_heavy_hex_bounded() {
+        let t = falcon_27();
+        for q in 0..27 {
+            assert!(t.degree(q) <= 3, "qubit {q} has degree {}", t.degree(q));
+        }
+        // Heavy-hex hallmark: a mix of degree-1/2/3 vertices.
+        let d3 = (0..27).filter(|&q| t.degree(q) == 3).count();
+        assert!(d3 >= 6, "expected several degree-3 junctions, got {d3}");
+    }
+
+    #[test]
+    fn eagle_has_127_qubits_and_is_connected() {
+        let t = eagle_127();
+        assert_eq!(t.num_qubits(), 127);
+        assert!(t.is_connected());
+        for q in 0..127 {
+            assert!(t.degree(q) <= 3);
+        }
+    }
+
+    #[test]
+    fn eagle_is_sparser_than_falcon_in_relative_terms() {
+        // Same family, larger instance -> lower density, larger diameter.
+        let f = falcon_27();
+        let e = eagle_127();
+        assert!(e.density() < f.density());
+        assert!(e.diameter().unwrap() > f.diameter().unwrap());
+    }
+
+    #[test]
+    fn parametric_lattice_is_connected_and_bounded() {
+        for rows in 1..6 {
+            let t = heavy_hex(rows, 9, 4);
+            assert!(t.is_connected(), "{rows} rows disconnected");
+            for q in 0..t.num_qubits() {
+                assert!(t.degree(q) <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_qubits_have_degree_two() {
+        let t = heavy_hex(3, 9, 4);
+        for q in 3 * 9..t.num_qubits() {
+            assert_eq!(t.degree(q), 2, "bridge {q}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_reaches_targets_monotonically() {
+        let sizes: Vec<usize> = [50, 127, 300, 500]
+            .iter()
+            .map(|&target| {
+                let t = heavy_hex_at_least(target);
+                assert!(t.num_qubits() >= target);
+                assert!(t.is_connected());
+                t.num_qubits()
+            })
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn brick_offset_alternates_between_rows() {
+        // With offset alternation, the bridges of consecutive row gaps must
+        // attach at different columns.
+        let t = heavy_hex(3, 9, 4);
+        let row_qubits = 27;
+        let gap0_cols: Vec<usize> = t
+            .neighbors(row_qubits) // first bridge of gap 0 sits at column 0
+            .iter()
+            .map(|&q| q % 9)
+            .collect();
+        assert_eq!(gap0_cols, vec![0, 0]);
+        // Gap 1 starts at spacing/2 = 2.
+        let gap1_first = row_qubits + 3; // gap 0 has ceil(9/4)=3 bridges
+        let gap1_cols: Vec<usize> = t.neighbors(gap1_first).iter().map(|&q| q % 9).collect();
+        assert_eq!(gap1_cols, vec![2, 2]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Peephole circuit optimisation.
+//!
+//! Two passes of different aggressiveness, mirroring the behavioural gap the
+//! paper measures between transpilers:
+//!
+//! * [`cancel_pairs`] removes adjacent self-inverse pairs (H·H, X·X, CX·CX,
+//!   CZ·CZ, SWAP·SWAP) — cheap and done by every serious compiler.
+//! * [`merge_rotations`] additionally fuses adjacent same-axis rotations
+//!   (RZ·RZ, RX·RX, RZZ·RZZ, ...) and drops angle-0 rotations.
+
+use std::f64::consts::PI;
+
+use qjo_gatesim::gate::Gate;
+use qjo_gatesim::Circuit;
+
+fn is_zero_angle(t: f64) -> bool {
+    let two_pi = 2.0 * PI;
+    let d = t.rem_euclid(two_pi);
+    d < 1e-12 || two_pi - d < 1e-12
+}
+
+/// True when `a` immediately followed by `b` is the identity.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    use Gate::*;
+    match (a, b) {
+        (H(p), H(q)) | (X(p), X(q)) | (Y(p), Y(q)) | (Z(p), Z(q)) => p == q,
+        (S(p), Sdg(q)) | (Sdg(p), S(q)) => p == q,
+        (Cx(c1, t1), Cx(c2, t2)) => c1 == c2 && t1 == t2,
+        (Cz(a1, b1), Cz(a2, b2)) => {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        (Swap(a1, b1), Swap(a2, b2)) => {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        }
+        _ => false,
+    }
+}
+
+/// If `a` then `b` fuse into one rotation, returns the fused gate (or `None`
+/// when the fusion is the identity).
+fn fuses(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
+    use Gate::*;
+    let fused = match (a, b) {
+        (Rz(p, t1), Rz(q, t2)) if p == q => Rz(*p, t1 + t2),
+        (Rx(p, t1), Rx(q, t2)) if p == q => Rx(*p, t1 + t2),
+        (Ry(p, t1), Ry(q, t2)) if p == q => Ry(*p, t1 + t2),
+        (Phase(p, t1), Phase(q, t2)) if p == q => Phase(*p, t1 + t2),
+        (Rzz(a1, b1, t1), Rzz(a2, b2, t2))
+            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
+        {
+            Rzz(*a1, *b1, t1 + t2)
+        }
+        (Rxx(a1, b1, t1), Rxx(a2, b2, t2))
+            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
+        {
+            Rxx(*a1, *b1, t1 + t2)
+        }
+        _ => return None,
+    };
+    Some(match fused.angle() {
+        Some(t) if is_zero_angle(t) => None,
+        _ => Some(fused),
+    })
+}
+
+/// One optimisation sweep. Returns the optimised circuit and whether
+/// anything changed.
+fn sweep(circuit: &Circuit, merge: bool) -> (Circuit, bool) {
+    let n = circuit.num_qubits();
+    // Working list with tombstones so cancellation can reach backwards.
+    let mut ops: Vec<Option<Gate>> = Vec::with_capacity(circuit.len());
+    // For each qubit, index into `ops` of the most recent live gate.
+    let mut last: Vec<Option<usize>> = vec![None; n];
+    let mut changed = false;
+
+    'gates: for g in circuit.gates() {
+        // Drop zero rotations outright.
+        if merge {
+            if let Some(t) = g.angle() {
+                if is_zero_angle(t) {
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        // The candidate predecessor must be the last gate on *all* qubits
+        // this gate touches (otherwise something interposes).
+        let qubits: Vec<usize> = g.qubits().iter().collect();
+        let pred_idx = last[qubits[0]];
+        let aligned = pred_idx.is_some() && qubits.iter().all(|&q| last[q] == pred_idx);
+        if aligned {
+            let idx = pred_idx.expect("aligned implies some");
+            let prev = ops[idx].expect("live index");
+            // Predecessor must touch exactly the same qubit set.
+            let prev_qubits: Vec<usize> = prev.qubits().iter().collect();
+            let same_support = {
+                let mut a = qubits.clone();
+                let mut b = prev_qubits;
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            };
+            if same_support {
+                if cancels(&prev, g) {
+                    ops[idx] = None;
+                    for &q in &qubits {
+                        last[q] = find_prev_live(&ops, &qubits, q, idx);
+                    }
+                    changed = true;
+                    continue 'gates;
+                }
+                if merge {
+                    if let Some(fused) = fuses(&prev, g) {
+                        changed = true;
+                        match fused {
+                            Some(fg) => ops[idx] = Some(fg),
+                            None => {
+                                ops[idx] = None;
+                                for &q in &qubits {
+                                    last[q] = find_prev_live(&ops, &qubits, q, idx);
+                                }
+                            }
+                        }
+                        continue 'gates;
+                    }
+                }
+            }
+        }
+        ops.push(Some(*g));
+        let new_idx = ops.len() - 1;
+        for q in g.qubits().iter() {
+            last[q] = Some(new_idx);
+        }
+    }
+
+    let mut out = Circuit::new(n);
+    for g in ops.into_iter().flatten() {
+        out.push(g);
+    }
+    (out, changed)
+}
+
+/// Finds the most recent live op before `before` that touches qubit `q`.
+fn find_prev_live(
+    ops: &[Option<Gate>],
+    _removed_qubits: &[usize],
+    q: usize,
+    before: usize,
+) -> Option<usize> {
+    (0..before).rev().find(|&i| {
+        ops[i]
+            .map(|g| g.qubits().iter().any(|x| x == q))
+            .unwrap_or(false)
+    })
+}
+
+/// Removes adjacent self-inverse pairs until fixpoint.
+pub fn cancel_pairs(circuit: &Circuit) -> Circuit {
+    run_to_fixpoint(circuit, false)
+}
+
+/// Cancels pairs *and* fuses adjacent same-axis rotations until fixpoint.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    run_to_fixpoint(circuit, true)
+}
+
+fn run_to_fixpoint(circuit: &Circuit, merge: bool) -> Circuit {
+    let mut current = circuit.clone();
+    for _ in 0..16 {
+        let (next, changed) = sweep(&current, merge);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjo_gatesim::gate::Gate::*;
+    use qjo_gatesim::StateVector;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let n = a.num_qubits();
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.push(Ry(q, 0.3 + 0.2 * q as f64));
+        }
+        let mut sa = StateVector::zero(n);
+        sa.apply_circuit(&prep);
+        let mut sb = sa.clone();
+        sa.apply_circuit(a);
+        sb.apply_circuit(b);
+        assert!(sa.fidelity(&sb) > 1.0 - 1e-9, "optimisation changed semantics");
+    }
+
+    #[test]
+    fn adjacent_hadamards_cancel() {
+        let mut c = Circuit::new(1);
+        c.push(H(0));
+        c.push(H(0));
+        let o = cancel_pairs(&c);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn cancellation_chains_collapse_fully() {
+        // H X X H on one qubit collapses to nothing across two sweeps.
+        let mut c = Circuit::new(1);
+        for g in [H(0), X(0), X(0), H(0)] {
+            c.push(g);
+        }
+        let o = cancel_pairs(&c);
+        assert!(o.is_empty(), "left {:?}", o.gates());
+    }
+
+    #[test]
+    fn interposed_gates_block_cancellation() {
+        let mut c = Circuit::new(1);
+        c.push(H(0));
+        c.push(Rz(0, 0.5));
+        c.push(H(0));
+        let o = cancel_pairs(&c);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn cx_pairs_cancel_only_with_same_orientation() {
+        let mut same = Circuit::new(2);
+        same.push(Cx(0, 1));
+        same.push(Cx(0, 1));
+        assert!(cancel_pairs(&same).is_empty());
+
+        let mut flipped = Circuit::new(2);
+        flipped.push(Cx(0, 1));
+        flipped.push(Cx(1, 0));
+        assert_eq!(cancel_pairs(&flipped).len(), 2);
+    }
+
+    #[test]
+    fn cz_and_swap_cancel_regardless_of_order() {
+        let mut c = Circuit::new(2);
+        c.push(Cz(0, 1));
+        c.push(Cz(1, 0));
+        c.push(Swap(0, 1));
+        c.push(Swap(1, 0));
+        assert!(cancel_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn rotations_fuse_and_drop_when_zero() {
+        let mut c = Circuit::new(1);
+        c.push(Rz(0, 0.3));
+        c.push(Rz(0, 0.4));
+        let o = merge_rotations(&c);
+        assert_eq!(o.len(), 1);
+        assert!(matches!(o.gates()[0], Rz(0, t) if (t - 0.7).abs() < 1e-12));
+
+        let mut c = Circuit::new(1);
+        c.push(Rx(0, 0.3));
+        c.push(Rx(0, -0.3));
+        assert!(merge_rotations(&c).is_empty());
+    }
+
+    #[test]
+    fn rzz_fuses_across_operand_order() {
+        let mut c = Circuit::new(2);
+        c.push(Rzz(0, 1, 0.2));
+        c.push(Rzz(1, 0, 0.3));
+        let o = merge_rotations(&c);
+        assert_eq!(o.len(), 1);
+        assert!(matches!(o.gates()[0], Rzz(0, 1, t) if (t - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn one_qubit_gate_does_not_block_other_wire() {
+        // Rz on qubit 0 between two CX(0,1) gates blocks CX cancellation,
+        // but Rz on qubit 2 does not.
+        let mut blocked = Circuit::new(3);
+        blocked.push(Cx(0, 1));
+        blocked.push(Rz(0, 0.5));
+        blocked.push(Cx(0, 1));
+        assert_eq!(cancel_pairs(&blocked).len(), 3);
+
+        let mut free = Circuit::new(3);
+        free.push(Cx(0, 1));
+        free.push(Rz(2, 0.5));
+        free.push(Cx(0, 1));
+        assert_eq!(cancel_pairs(&free).len(), 1);
+    }
+
+    #[test]
+    fn zero_angle_rotations_are_dropped() {
+        let mut c = Circuit::new(1);
+        c.push(Rz(0, 0.0));
+        c.push(Rx(0, 2.0 * PI));
+        assert!(merge_rotations(&c).is_empty());
+        // cancel_pairs (conservative mode) leaves them alone.
+        assert_eq!(cancel_pairs(&c).len(), 2);
+    }
+
+    #[test]
+    fn optimisation_preserves_semantics_on_random_circuit() {
+        let mut c = Circuit::new(3);
+        for g in [
+            H(0),
+            H(0),
+            Rz(1, 0.4),
+            Rz(1, 0.3),
+            Cx(0, 1),
+            Cx(0, 1),
+            Rzz(1, 2, 0.5),
+            X(2),
+            X(2),
+            Rzz(1, 2, 0.25),
+            H(1),
+            Rx(0, 0.7),
+            Rx(0, -0.2),
+        ] {
+            c.push(g);
+        }
+        assert_equivalent(&c, &cancel_pairs(&c));
+        assert_equivalent(&c, &merge_rotations(&c));
+        assert!(merge_rotations(&c).len() < c.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the transpilation substrate.
+
+use proptest::prelude::*;
+
+use qjo_gatesim::gate::Gate;
+use qjo_gatesim::{Circuit, StateVector};
+use qjo_transpile::density::densify;
+use qjo_transpile::optimize::{cancel_pairs, merge_rotations};
+use qjo_transpile::routing::respects_topology;
+use qjo_transpile::{NativeGateSet, Strategy as PipelineStrategy, Topology, Transpiler};
+
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
+    let angle = -3.0..3.0f64;
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rz(q, t)),
+        (q, angle.clone()).prop_map(|(q, t)| Gate::Rx(q, t)),
+        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+        (q2, angle).prop_map(|((a, b), t)| Gate::Rzz(a, b, t)),
+    ]
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Measurement distributions agree after undoing the final layout.
+fn distributions_match(logical: &Circuit, physical: &Circuit, layout: &[usize]) -> bool {
+    let n = logical.num_qubits();
+    let mut a = StateVector::zero(n);
+    a.apply_circuit(logical);
+    let mut b = StateVector::zero(physical.num_qubits());
+    b.apply_circuit(physical);
+    let pa = a.probabilities();
+    let pb = b.probabilities();
+    #[allow(clippy::needless_range_loop)] // z is a basis-state index
+    for z in 0..1usize << n {
+        let mut z_phys = 0usize;
+        for l in 0..n {
+            if z >> l & 1 == 1 {
+                z_phys |= 1 << layout[l];
+            }
+        }
+        if (pa[z] - pb[z_phys]).abs() > 1e-8 {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full transpiler output respects topology, uses only native
+    /// gates, and preserves measurement statistics.
+    #[test]
+    fn transpilation_is_sound(c in arb_circuit(5, 16), seed in 0u64..20) {
+        let topo = Topology::grid(3, 2); // 6 physical qubits
+        for strategy in [PipelineStrategy::QiskitLike, PipelineStrategy::TketLike] {
+            let r = Transpiler::new(strategy, seed).transpile(&c, &topo, NativeGateSet::Ibm);
+            prop_assert!(respects_topology(&r.circuit, &topo));
+            prop_assert!(r.circuit.gates().iter().all(|g| NativeGateSet::Ibm.is_native(g)));
+            prop_assert!(
+                distributions_match(&c, &r.circuit, &r.final_layout),
+                "{strategy:?} changed semantics"
+            );
+        }
+    }
+
+    /// Peephole optimisation preserves semantics and never grows circuits.
+    #[test]
+    fn peephole_is_semantics_preserving(c in arb_circuit(4, 20)) {
+        for optimised in [cancel_pairs(&c), merge_rotations(&c)] {
+            prop_assert!(optimised.len() <= c.len());
+            let mut a = StateVector::zero(4);
+            a.apply_circuit(&c);
+            let mut b = StateVector::zero(4);
+            b.apply_circuit(&optimised);
+            prop_assert!(a.fidelity(&b) > 1.0 - 1e-9);
+        }
+    }
+
+    /// Densification interpolates edge counts monotonically and never
+    /// removes existing couplers.
+    #[test]
+    fn densify_is_monotone(d1 in 0.0..1.0f64, d2 in 0.0..1.0f64, seed in 0u64..50) {
+        let base = Topology::line(12);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let t_lo = densify(&base, lo, seed);
+        let t_hi = densify(&base, hi, seed);
+        prop_assert!(t_lo.num_edges() <= t_hi.num_edges());
+        for (a, b) in base.edges() {
+            prop_assert!(t_lo.has_edge(a, b), "densify dropped edge ({a},{b})");
+        }
+    }
+
+    /// Gate-set decomposition emits only native gates for every set.
+    #[test]
+    fn decomposition_stays_native(c in arb_circuit(4, 12)) {
+        for set in [NativeGateSet::Ibm, NativeGateSet::Rigetti, NativeGateSet::Ionq] {
+            let d = set.decompose_circuit(&c);
+            prop_assert!(d.gates().iter().all(|g| set.is_native(g)), "{set:?}");
+            // And semantics are preserved (global phase aside): compare
+            // measurement distributions from |0…0⟩.
+            let mut a = StateVector::zero(4);
+            a.apply_circuit(&c);
+            let mut b = StateVector::zero(4);
+            b.apply_circuit(&d);
+            prop_assert!(a.fidelity(&b) > 1.0 - 1e-8, "{set:?} changed semantics");
+        }
+    }
+
+    /// Routing on a complete graph never inserts SWAPs.
+    #[test]
+    fn complete_graph_needs_no_swaps(c in arb_circuit(5, 16), seed in 0u64..10) {
+        let topo = Topology::complete(5);
+        let r = Transpiler::new(PipelineStrategy::QiskitLike, seed)
+            .transpile(&c, &topo, NativeGateSet::Unrestricted);
+        prop_assert_eq!(r.swaps_inserted, 0);
+    }
+}

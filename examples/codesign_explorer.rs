@@ -1,0 +1,78 @@
+//! Co-design exploration (Section 6 of the paper): how topology density,
+//! native gate sets, and qubit budgets change the feasibility of join
+//! ordering on future QPUs.
+//!
+//! ```sh
+//! cargo run --release --example codesign_explorer
+//! ```
+
+use qjo::core::bounds::max_relations_for_budget;
+use qjo::core::prelude::*;
+use qjo::gatesim::{qaoa_circuit, QaoaParams};
+use qjo::transpile::{stats, Device, NativeGateSet, Strategy, Transpiler};
+
+fn main() {
+    // A 4-relation cycle query's QAOA circuit as the compilation workload.
+    let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, 4).generate(3);
+    let encoded = JoEncoder { thresholds: ThresholdSpec::Auto(2), ..Default::default() }
+        .encode(&query);
+    let circuit = qaoa_circuit(
+        &encoded.qubo.to_ising(),
+        &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
+    );
+    println!(
+        "workload: {} qubits, {} gates (QAOA p=1, 2 thresholds, ω = 1)\n",
+        encoded.num_qubits(),
+        circuit.len()
+    );
+
+    // Density extrapolation on an IBM-style heavy-hex device.
+    let base = Device::ibm_extrapolated(encoded.num_qubits());
+    let base_stats = stats(&base.topology);
+    println!(
+        "density extrapolation on {} ({} qubits, mean distance {:.2}, diameter {}):",
+        base.name,
+        base.num_qubits(),
+        base_stats.mean_distance.expect("connected"),
+        base_stats.diameter.expect("connected"),
+    );
+    let baseline_depth = Transpiler::new(Strategy::QiskitLike, 0)
+        .transpile(&circuit, &base.topology, base.gate_set)
+        .depth();
+    for &density in &[0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let device = if density == 0.0 { base.clone() } else { base.with_density(density, 9) };
+        let depth = Transpiler::new(Strategy::QiskitLike, 0)
+            .transpile(&circuit, &device.topology, device.gate_set)
+            .depth();
+        let st = stats(&device.topology);
+        println!(
+            "  density {density:>4.2}: {:>5} couplers, mean dist {:>4.2} → depth {depth:>4}  ({:.2}× baseline)",
+            st.num_edges,
+            st.mean_distance.expect("connected"),
+            depth as f64 / baseline_depth as f64
+        );
+    }
+
+    // Gate-set comparison at fixed topology.
+    println!("\nnative vs unrestricted gates:");
+    for (name, device) in [
+        ("IBM heavy-hex", Device::ibm_extrapolated(encoded.num_qubits())),
+        ("Rigetti octagonal", Device::rigetti_extrapolated(encoded.num_qubits())),
+        ("IonQ complete", Device::ionq(encoded.num_qubits())),
+    ] {
+        let t = Transpiler::new(Strategy::QiskitLike, 0);
+        let native = t.transpile(&circuit, &device.topology, device.gate_set).depth();
+        let free = t
+            .transpile(&circuit, &device.topology, NativeGateSet::Unrestricted)
+            .depth();
+        println!("  {name:<18} native {native:>4}  unrestricted {free:>4}");
+    }
+
+    // Qubit budgets: how many relations future QPU generations could serve
+    // (Theorem 5.3, cyclic graphs, ω = 1).
+    println!("\nqubit budget → max relations (Theorem 5.3, 2 thresholds):");
+    for budget in [27, 127, 433, 1_000, 4_000, 20_000] {
+        let relations = max_relations_for_budget(budget, 2, 1.0, 3.0);
+        println!("  {budget:>6} qubits → {relations:>3} relations");
+    }
+}

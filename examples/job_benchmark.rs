@@ -1,0 +1,67 @@
+//! Join-Order-Benchmark-scale projection (paper Section 6.1).
+//!
+//! The paper's headline co-design claim is that a ~1,000-logical-qubit QPU
+//! covers queries "roughly equal in size to those considered in the JO
+//! benchmark by Leis et al.". This example instantiates that claim on an
+//! IMDB-like catalogue: it sizes the QUBO encoding for growing JOB-style
+//! queries, solves them classically for reference, and reports which QPU
+//! generation each query size would need.
+//!
+//! ```sh
+//! cargo run --release --example job_benchmark
+//! ```
+
+use qjo::core::classical::{dp_optimal, greedy_min_cost};
+use qjo::core::presets::{imdb_star_query, IMDB_CATALOG};
+use qjo::core::prelude::*;
+
+fn main() {
+    println!("IMDB-like catalogue ({} relations):", IMDB_CATALOG.len());
+    for r in IMDB_CATALOG.iter().take(5) {
+        println!("  {:<16} ~10^{:.1} tuples", r.name, r.log_card);
+    }
+    println!("  …\n");
+
+    println!(
+        "{:<10} {:>8} {:>12} {:>14} {:>16}",
+        "relations", "qubits", "bound(Thm5.3)", "DP optimum", "greedy/optimal"
+    );
+    println!("{}", "-".repeat(66));
+    for t in [4usize, 6, 8, 10, 13] {
+        let (query, _names) = imdb_star_query(t, -6.0);
+        let encoded = JoEncoder::default().encode(&query);
+        let bound = qubit_upper_bound(&query, 1, 1.0).total();
+        let (_, optimal) = dp_optimal(&query);
+        let (_, greedy) = greedy_min_cost(&query);
+        println!(
+            "{t:<10} {:>8} {:>13} {:>14.3e} {:>15.2}×",
+            encoded.num_qubits(),
+            bound,
+            optimal,
+            greedy / optimal
+        );
+    }
+
+    println!(
+        "\nThe full 13-relation JOB-style query encodes into {} qubits — the\n\
+         ~1,000-logical-qubit budget the paper projects for the next QPU\n\
+         generation (IBM roadmap), versus 27/127 today.",
+        JoEncoder::default().encode(&imdb_star_query(13, -6.0).0).num_qubits()
+    );
+
+    // What would each current/announced device generation cover?
+    use qjo::core::bounds::max_relations_for_budget;
+    println!("\nQPU generation → JOB-style relations coverable (2 thresholds):");
+    for (name, budget) in [
+        ("IBM Falcon (27)", 27),
+        ("IBM Eagle (127)", 127),
+        ("IBM Osprey-class (433)", 433),
+        ("roadmap 1k", 1_000),
+        ("roadmap 4k", 4_000),
+    ] {
+        println!(
+            "  {name:<24} → {:>3} relations",
+            max_relations_for_budget(budget, 2, 1.0, 6.0)
+        );
+    }
+}
