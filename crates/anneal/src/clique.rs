@@ -9,7 +9,6 @@
 //! where an internal coupler links them. This is the D-Wave
 //! `find_clique_embedding` idea adapted to [`crate::hardware::pegasus_like`].
 
-
 use crate::embed::Embedding;
 
 /// Qubit index inside the `pegasus_like(m)` lattice (same layout as the
@@ -57,10 +56,7 @@ pub fn pegasus_clique_embedding(n: usize, m: usize) -> Option<Embedding> {
 /// clique template (ignoring sparsity — every variable gets a full clique
 /// chain). A quick, deterministic fallback when the heuristic embedder
 /// fails on dense problems.
-pub fn template_embed(
-    num_vars: usize,
-    target_m: usize,
-) -> Option<Embedding> {
+pub fn template_embed(num_vars: usize, target_m: usize) -> Option<Embedding> {
     pegasus_clique_embedding(num_vars, target_m)
 }
 
@@ -124,11 +120,8 @@ mod tests {
         let template = pegasus_clique_embedding(n, m).expect("fits");
         assert!(template.validate(&edges, &target).is_ok());
         // Heuristic comparison (best effort; skip silently if it fails).
-        if let Some(heuristic) = (Embedder {
-            time_budget_secs: Some(10.0),
-            ..Default::default()
-        })
-        .embed(n, &edges, &target)
+        if let Some(heuristic) = (Embedder { time_budget_secs: Some(10.0), ..Default::default() })
+            .embed(n, &edges, &target)
         {
             // Template chain count is deterministic; heuristic may win or
             // lose on size, but both must be valid.
@@ -141,7 +134,7 @@ mod tests {
         // A 3-relation JO QUBO treated as dense: 25-ish variables fit the
         // K32 template on m = 8 and the embedding covers all its edges
         // (a clique embedding covers any subgraph's edges).
-        use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+        use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
         let query = QueryGenerator::paper_defaults(QueryGraph::Chain, 3).generate(0);
         let enc = JoEncoder::default().encode(&query);
         let n = enc.num_qubits();

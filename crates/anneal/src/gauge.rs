@@ -103,8 +103,7 @@ mod tests {
             let g = Gauge::random(3, &mut rng);
             let t = g.transform(&m);
             for bits in 0..8u8 {
-                let s: Vec<i8> =
-                    (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+                let s: Vec<i8> = (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
                 // Energy of s under the original = energy of the gauged
                 // configuration under the transformed problem.
                 let gauged: Vec<i8> = s.iter().zip(0..3).map(|(&v, i)| v * g.sign(i)).collect();
@@ -143,8 +142,7 @@ mod tests {
         let ground = |model: &IsingModel| -> (f64, Vec<i8>) {
             let mut best = (f64::INFINITY, Vec::new());
             for bits in 0..8u8 {
-                let s: Vec<i8> =
-                    (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
+                let s: Vec<i8> = (0..3).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
                 let e = model.energy(&s);
                 if e < best.0 {
                     best = (e, s);

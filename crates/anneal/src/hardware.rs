@@ -77,10 +77,8 @@ pub fn pegasus_like(m: usize) -> Topology {
                         continue;
                     }
                     for j in 0..4 {
-                        edges.push((
-                            tile_index(m, y, x, 0, k),
-                            tile_index(m, yy as usize, x, 1, j),
-                        ));
+                        edges
+                            .push((tile_index(m, y, x, 0, k), tile_index(m, yy as usize, x, 1, j)));
                     }
                 }
                 // External.
@@ -130,10 +128,8 @@ pub fn zephyr_like(m: usize) -> Topology {
                         continue;
                     }
                     for j in 0..4 {
-                        edges.push((
-                            tile_index(m, y, x, 0, k),
-                            tile_index(m, yy as usize, x, 1, j),
-                        ));
+                        edges
+                            .push((tile_index(m, y, x, 0, k), tile_index(m, yy as usize, x, 1, j)));
                     }
                 }
                 // External (two hops along the qubit's own line direction).

@@ -5,14 +5,18 @@
 //! onto the hardware graph, programmed with chain couplings, distorted by
 //! ICE noise, annealed by the path-integral SQA engine, and read back with
 //! majority-vote chain repair.
+//!
+//! Reads are independent work units: read `i` derives its own RNG stream
+//! (ICE noise draws and SQA dynamics) from `(sqa.seed, i)` via
+//! [`qjo_exec::stream_seed`], so a job's sample set is bit-identical at
+//! any [`Parallelism`] setting.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qjo_exec::{par_map_seeded, Parallelism};
 
 use qjo_qubo::{ising, IsingModel, Qubo, SampleSet};
 use qjo_transpile::Topology;
 
-use crate::chain::{chain_break_fraction, uniform_torque_compensation, unembed_majority};
+use crate::chain::{chain_break_fraction, unembed_majority, uniform_torque_compensation};
 use crate::embed::{Embedder, Embedding};
 use crate::ice::{normalize, IceNoise};
 use crate::sqa::{anneal_once, SqaConfig};
@@ -81,6 +85,9 @@ pub struct AnnealerSampler {
     pub num_gauges: usize,
     /// Annealing time per read, microseconds.
     pub annealing_time_us: f64,
+    /// Worker threads for the read loop; affects wall-clock only, never
+    /// results.
+    pub parallelism: Parallelism,
 }
 
 impl AnnealerSampler {
@@ -96,6 +103,7 @@ impl AnnealerSampler {
             num_reads: 100,
             num_gauges: 4,
             annealing_time_us: 20.0,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -108,26 +116,19 @@ impl AnnealerSampler {
     /// Finds a minor embedding for a QUBO's interaction graph.
     pub fn embed(&self, qubo: &Qubo) -> Result<Embedding, AnnealError> {
         let logical = qubo.to_ising();
-        let source_edges: Vec<(usize, usize)> = logical
-            .couplings()
-            .filter(|&(_, _, j)| j != 0.0)
-            .map(|(i, j, _)| (i, j))
-            .collect();
-        self.embedder
-            .embed(qubo.num_vars(), &source_edges, &self.topology)
-            .ok_or(AnnealError::EmbeddingFailed {
+        let source_edges: Vec<(usize, usize)> =
+            logical.couplings().filter(|&(_, _, j)| j != 0.0).map(|(i, j, _)| (i, j)).collect();
+        self.embedder.embed(qubo.num_vars(), &source_edges, &self.topology).ok_or(
+            AnnealError::EmbeddingFailed {
                 num_vars: qubo.num_vars(),
                 num_qubits: self.topology.num_qubits(),
-            })
+            },
+        )
     }
 
     /// Runs the annealing pipeline with a previously computed embedding
     /// (e.g. to sweep annealing times without re-embedding).
-    pub fn sample_qubo_with_embedding(
-        &self,
-        qubo: &Qubo,
-        embedding: Embedding,
-    ) -> AnnealOutcome {
+    pub fn sample_qubo_with_embedding(&self, qubo: &Qubo, embedding: Embedding) -> AnnealOutcome {
         let logical = qubo.to_ising();
         let chain_strength = self.chain_strength.unwrap_or_else(|| {
             uniform_torque_compensation(&logical, self.chain_strength_prefactor)
@@ -156,32 +157,30 @@ impl AnnealerSampler {
             self.program(&logical, &embedding, chain_strength, &dense_of, used.len());
         normalize(&mut programmed);
 
-        let mut rng = StdRng::seed_from_u64(self.sqa.seed);
         let gauges = crate::gauge::gauge_set(
             programmed.num_spins(),
             self.num_gauges.max(1),
             self.sqa.seed ^ 0x9e37_79b9,
         );
-        let mut reads = Vec::with_capacity(self.num_reads);
-        let mut unembedded = Vec::with_capacity(self.num_reads);
-        for read_idx in 0..self.num_reads {
-            // Spin-reversal transform: rotate through the gauge set so
-            // analogue asymmetries average out across reads.
-            let gauge = &gauges[read_idx % gauges.len()];
-            let gauged = gauge.transform(&programmed);
-            let noisy = self.ice.apply(&gauged, &mut rng);
-            let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, &mut rng);
-            let dense_spins = gauge.untransform_spins(&dense_spins);
-            let read = unembed_majority(&dense_embedding, &dense_spins);
-            reads.push(ising::spins_to_bits(&read.spins));
-            unembedded.push(read);
-        }
+        let read_indices: Vec<usize> = (0..self.num_reads).collect();
+        let per_read =
+            par_map_seeded(read_indices, self.sqa.seed, self.parallelism, |read_idx, rng| {
+                // Spin-reversal transform: rotate through the gauge set so
+                // analogue asymmetries average out across reads.
+                let gauge = &gauges[read_idx % gauges.len()];
+                let gauged = gauge.transform(&programmed);
+                let noisy = self.ice.apply(&gauged, rng);
+                let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, rng);
+                let dense_spins = gauge.untransform_spins(&dense_spins);
+                let read = unembed_majority(&dense_embedding, &dense_spins);
+                (ising::spins_to_bits(&read.spins), read)
+            });
+        let (reads, unembedded): (Vec<_>, Vec<_>) = per_read.into_iter().unzip();
 
         let cbf = chain_break_fraction(&unembedded, embedding.chains.len());
         let physical_qubits = embedding.num_physical_qubits();
-        let samples = SampleSet::from_reads(reads, |x| {
-            qubo.energy(x).expect("reads have model length")
-        });
+        let samples =
+            SampleSet::from_reads(reads, |x| qubo.energy(x).expect("reads have model length"));
         AnnealOutcome {
             samples,
             embedding,
@@ -251,6 +250,8 @@ mod tests {
     use super::*;
     use crate::hardware::chimera;
     use qjo_qubo::solve::ExactSolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn antiferro_pair() -> Qubo {
         let mut q = Qubo::new(2);
@@ -290,10 +291,7 @@ mod tests {
         for seed in 0..3 {
             let q = random_qubo(seed, 8);
             let exact = ExactSolver::new().min_energy(&q).unwrap();
-            let sampler = AnnealerSampler {
-                num_reads: 60,
-                ..AnnealerSampler::new(chimera(4))
-            };
+            let sampler = AnnealerSampler { num_reads: 60, ..AnnealerSampler::new(chimera(4)) };
             let out = sampler.sample_qubo(&q).expect("K8-ish fits C4");
             let best = out.samples.best().unwrap().energy;
             assert!(
@@ -351,16 +349,8 @@ mod tests {
             }
         }
         let base = AnnealerSampler::new(chimera(4));
-        let weak = AnnealerSampler {
-            chain_strength: Some(0.05),
-            num_reads: 40,
-            ..base.clone()
-        };
-        let solid = AnnealerSampler {
-            chain_strength: Some(4.0),
-            num_reads: 40,
-            ..base
-        };
+        let weak = AnnealerSampler { chain_strength: Some(0.05), num_reads: 40, ..base.clone() };
+        let solid = AnnealerSampler { chain_strength: Some(4.0), num_reads: 40, ..base };
         let weak_out = weak.sample_qubo(&q).unwrap();
         let solid_out = solid.sample_qubo(&q).unwrap();
         assert!(
@@ -379,5 +369,28 @@ mod tests {
         let b = sampler.sample_qubo(&q).unwrap();
         assert_eq!(a.samples.samples(), b.samples.samples());
         assert_eq!(a.chain_break_fraction, b.chain_break_fraction);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let q = random_qubo(6, 6);
+        let at = |threads| {
+            AnnealerSampler {
+                num_reads: 12,
+                parallelism: qjo_exec::Parallelism::new(threads),
+                ..AnnealerSampler::new(chimera(3))
+            }
+            .sample_qubo(&q)
+            .unwrap()
+        };
+        let sequential = at(1);
+        for threads in [2, 8] {
+            let parallel = at(threads);
+            assert_eq!(sequential.samples, parallel.samples, "threads={threads}");
+            assert_eq!(
+                sequential.chain_break_fraction, parallel.chain_break_fraction,
+                "threads={threads}"
+            );
+        }
     }
 }

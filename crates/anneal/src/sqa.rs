@@ -16,9 +16,10 @@
 //! annealers exploit. The annealing *time* maps linearly onto Monte-Carlo
 //! sweeps.
 
+use qjo_exec::{par_map_seeded, Parallelism};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 use qjo_qubo::IsingModel;
 
@@ -36,6 +37,9 @@ pub struct SqaConfig {
     pub sweeps_per_us: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the read loop of [`sample`]; affects wall-clock
+    /// only, never results.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SqaConfig {
@@ -46,6 +50,7 @@ impl Default for SqaConfig {
             gamma0: 3.0,
             sweeps_per_us: 2.0,
             seed: 0,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -79,11 +84,10 @@ pub fn anneal_once(
     let fields: Vec<f64> = ising.fields().map(|(_, h)| h).collect();
 
     // spins[k][i]: slice k, spin i.
-    let mut spins: Vec<Vec<i8>> =
-        (0..p).map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1i8 } else { -1 }).collect())
-            .collect();
-    let mut order: Vec<(usize, usize)> =
-        (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
+    let mut spins: Vec<Vec<i8>> = (0..p)
+        .map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1i8 } else { -1 }).collect())
+        .collect();
+    let mut order: Vec<(usize, usize)> = (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
 
     let inv_p = 1.0 / p as f64;
     let temp = config.temperature.max(1e-9);
@@ -105,8 +109,7 @@ pub fn anneal_once(
             // ΔE of flipping spin (k, i): the problem term s·local flips
             // sign (−2·s·local per slice weight), and the ferromagnetic
             // inter-slice term −J_⊥·s·(up+down) flips likewise (+2·s·J_⊥·…).
-            let delta = -2.0 * s * (inv_p * local)
-                + 2.0 * s * j_perp * f64::from(up + down);
+            let delta = -2.0 * s * (inv_p * local) + 2.0 * s * j_perp * f64::from(up + down);
             if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
                 spins[k][i] = -spins[k][i];
             }
@@ -117,25 +120,26 @@ pub fn anneal_once(
     spins
         .into_iter()
         .min_by(|a, b| {
-            ising
-                .energy(a)
-                .partial_cmp(&ising.energy(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            ising.energy(a).partial_cmp(&ising.energy(b)).unwrap_or(std::cmp::Ordering::Equal)
         })
         .expect("at least two slices")
 }
 
 /// Runs `num_reads` independent anneals.
+///
+/// Read `i` derives its own RNG stream from `(config.seed, i)` via
+/// [`qjo_exec::stream_seed`], so the returned reads are bit-identical at
+/// any `config.parallelism` setting.
 pub fn sample(
     ising: &IsingModel,
     config: &SqaConfig,
     annealing_time_us: f64,
     num_reads: usize,
 ) -> Vec<Vec<i8>> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    (0..num_reads)
-        .map(|_| anneal_once(ising, config, annealing_time_us, &mut rng))
-        .collect()
+    let reads: Vec<usize> = (0..num_reads).collect();
+    par_map_seeded(reads, config.seed, config.parallelism, |_, rng| {
+        anneal_once(ising, config, annealing_time_us, rng)
+    })
 }
 
 /// Reverse annealing (Venturelli & Kondratyev — the paper's ref \[81\]):
@@ -168,8 +172,7 @@ pub fn reverse_anneal_once(
 
     // All slices start in the given classical state.
     let mut spins: Vec<Vec<i8>> = (0..p).map(|_| initial.to_vec()).collect();
-    let mut order: Vec<(usize, usize)> =
-        (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
+    let mut order: Vec<(usize, usize)> = (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
     let inv_p = 1.0 / p as f64;
     let temp = config.temperature.max(1e-9);
     // Track the best configuration visited (the refinement semantics: the
@@ -198,8 +201,7 @@ pub fn reverse_anneal_once(
             }
             let up = spins[(k + 1) % p][i];
             let down = spins[(k + p - 1) % p][i];
-            let delta = -2.0 * s * (inv_p * local)
-                + 2.0 * s * j_perp * f64::from(up + down);
+            let delta = -2.0 * s * (inv_p * local) + 2.0 * s * j_perp * f64::from(up + down);
             if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
                 spins[k][i] = -spins[k][i];
             }
@@ -219,6 +221,7 @@ pub fn reverse_anneal_once(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn ferromagnetic_ring(n: usize) -> IsingModel {
         let mut m = IsingModel::new(n);
@@ -241,10 +244,7 @@ mod tests {
     fn finds_ground_state_of_ferromagnet() {
         let m = ferromagnetic_ring(12);
         let reads = sample(&m, &SqaConfig::default(), 100.0, 10);
-        let best = reads
-            .iter()
-            .map(|s| m.energy(s))
-            .fold(f64::INFINITY, f64::min);
+        let best = reads.iter().map(|s| m.energy(s)).fold(f64::INFINITY, f64::min);
         assert_eq!(best, -12.0, "ferromagnetic ring ground energy");
     }
 
@@ -279,6 +279,19 @@ mod tests {
         let a = sample(&m, &SqaConfig { seed: 5, ..Default::default() }, 20.0, 3);
         let b = sample(&m, &SqaConfig { seed: 5, ..Default::default() }, 20.0, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_reads() {
+        let m = ferromagnetic_ring(10);
+        let at = |threads| {
+            let cfg =
+                SqaConfig { seed: 3, parallelism: Parallelism::new(threads), ..Default::default() };
+            sample(&m, &cfg, 20.0, 9)
+        };
+        let sequential = at(1);
+        assert_eq!(sequential, at(2));
+        assert_eq!(sequential, at(8));
     }
 
     #[test]

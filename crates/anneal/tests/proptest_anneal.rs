@@ -1,85 +1,97 @@
-//! Property-based tests for the annealing substrate.
+//! Property-style tests for the annealing substrate.
+//!
+//! Each property runs over a deterministic family of random instances
+//! drawn from a seeded [`StdRng`] — the hermetic stand-in for the proptest
+//! strategies the suite originally used. Seeds are fixed so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use qjo_anneal::chain::{unembed_majority, uniform_torque_compensation};
+use qjo_anneal::gauge::{gauge_set, Gauge};
 use qjo_anneal::hardware::{chimera, pegasus_like};
 use qjo_anneal::ice::{normalize, IceNoise};
 use qjo_anneal::sqa::{sample, trotter_coupling, SqaConfig};
-use qjo_anneal::gauge::{gauge_set, Gauge};
 use qjo_anneal::{Embedder, Embedding};
+use qjo_exec::Parallelism;
 use qjo_qubo::IsingModel;
 use qjo_transpile::Topology;
 
-fn arb_sparse_graph(max_vars: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2..=max_vars).prop_flat_map(|n| {
-        let all_pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
-            .collect();
-        let len = all_pairs.len();
-        (Just(n), prop::collection::vec(0..len, 1..=len.min(12)))
-            .prop_map(move |(n, idx)| {
-                let mut edges: Vec<(usize, usize)> =
-                    idx.into_iter().map(|i| all_pairs[i]).collect();
-                edges.sort_unstable();
-                edges.dedup();
-                (n, edges)
-            })
-    })
+/// Draws a sparse random graph with `2..=max_vars` nodes and ≤ 12 edges.
+fn arb_sparse_graph(rng: &mut StdRng, max_vars: usize) -> (usize, Vec<(usize, usize)>) {
+    let n = rng.random_range(2..=max_vars);
+    let all_pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect();
+    let len = all_pairs.len();
+    let picks = rng.random_range(1..=len.min(12));
+    let mut edges: Vec<(usize, usize)> =
+        (0..picks).map(|_| all_pairs[rng.random_range(0..len)]).collect();
+    edges.sort_unstable();
+    edges.dedup();
+    (n, edges)
 }
 
-fn arb_ising(n: usize) -> impl Strategy<Value = IsingModel> {
-    (
-        prop::collection::vec(-2.0..2.0f64, n),
-        prop::collection::vec(-2.0..2.0f64, n * (n - 1) / 2),
-    )
-        .prop_map(move |(h, j)| {
-            let mut m = IsingModel::new(n);
-            for (i, v) in h.into_iter().enumerate() {
-                m.add_field(i, v);
-            }
-            let mut it = j.into_iter();
-            for a in 0..n {
-                for b in a + 1..n {
-                    m.add_coupling(a, b, it.next().expect("sized"));
-                }
-            }
-            m
-        })
+/// Draws a dense random Ising model on `n` spins.
+fn arb_ising(rng: &mut StdRng, n: usize) -> IsingModel {
+    let mut m = IsingModel::new(n);
+    for i in 0..n {
+        m.add_field(i, rng.random_range(-2.0..2.0));
+        for j in i + 1..n {
+            m.add_coupling(i, j, rng.random_range(-2.0..2.0));
+        }
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn for_cases(cases: u64, mut body: impl FnMut(&mut StdRng, u64)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xA11EA1 + case);
+        body(&mut rng, case);
+    }
+}
 
-    /// Whatever the embedder returns is a valid minor embedding.
-    #[test]
-    fn embeddings_are_always_valid((n, edges) in arb_sparse_graph(6), seed in 0u64..50) {
+/// Whatever the embedder returns is a valid minor embedding.
+#[test]
+fn embeddings_are_always_valid() {
+    for_cases(16, |rng, case| {
+        let (n, edges) = arb_sparse_graph(rng, 6);
+        let seed = rng.random_range(0u64..50);
         let target = chimera(3);
         let embedder = Embedder { seed, ..Default::default() };
         if let Some(e) = embedder.embed(n, &edges, &target) {
-            prop_assert!(e.validate(&edges, &target).is_ok());
-            prop_assert_eq!(e.chains.len(), n);
+            assert!(e.validate(&edges, &target).is_ok(), "case {case}");
+            assert_eq!(e.chains.len(), n, "case {case}");
         }
-    }
+    });
+}
 
-    /// Pegasus-like targets accept everything Chimera accepts.
-    #[test]
-    fn pegasus_is_at_least_as_capable((n, edges) in arb_sparse_graph(6)) {
+/// Pegasus-like targets accept everything Chimera accepts.
+#[test]
+fn pegasus_is_at_least_as_capable() {
+    for_cases(16, |rng, case| {
+        let (n, edges) = arb_sparse_graph(rng, 6);
         let on_chimera = Embedder::default().embed(n, &edges, &chimera(3));
         if on_chimera.is_some() {
             let on_pegasus = Embedder::default().embed(n, &edges, &pegasus_like(3));
-            prop_assert!(on_pegasus.is_some(), "pegasus rejected a chimera-embeddable graph");
+            assert!(
+                on_pegasus.is_some(),
+                "case {case}: pegasus rejected a chimera-embeddable graph"
+            );
         }
-    }
+    });
+}
 
-    /// SQA never reports a spin configuration below the true ground state
-    /// (it returns actual configurations, so this is tautology-adjacent —
-    /// the real check is that energies are finite and reproducible).
-    #[test]
-    fn sqa_energies_are_sound(m in arb_ising(6), time_us in 5.0..60.0f64) {
+/// SQA returns actual spin configurations, so their energies are finite
+/// and bounded below by the brute-force ground state.
+#[test]
+fn sqa_energies_are_sound() {
+    for_cases(16, |rng, case| {
+        let m = arb_ising(rng, 6);
+        let time_us = rng.random_range(5.0..60.0);
         let cfg = SqaConfig { seed: 1, ..Default::default() };
         let reads = sample(&m, &cfg, time_us, 3);
-        prop_assert_eq!(reads.len(), 3);
+        assert_eq!(reads.len(), 3, "case {case}");
         // Brute-force ground energy over 2^6 states.
         let mut ground = f64::INFINITY;
         for bits in 0..64u32 {
@@ -88,43 +100,49 @@ proptest! {
         }
         for r in &reads {
             let e = m.energy(r);
-            prop_assert!(e.is_finite());
-            prop_assert!(e >= ground - 1e-9);
+            assert!(e.is_finite(), "case {case}");
+            assert!(e >= ground - 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    /// Trotter coupling is non-negative and monotone decreasing in Γ.
-    #[test]
-    fn trotter_coupling_behaviour(
-        gamma in 0.01..5.0f64,
-        slices in 2usize..16,
-        temp in 0.01..1.0f64,
-    ) {
+/// Trotter coupling is non-negative and monotone decreasing in Γ.
+#[test]
+fn trotter_coupling_behaviour() {
+    for_cases(64, |rng, case| {
+        let gamma = rng.random_range(0.01..5.0);
+        let slices = rng.random_range(2usize..16);
+        let temp = rng.random_range(0.01..1.0);
         let j1 = trotter_coupling(gamma, slices, temp);
         let j2 = trotter_coupling(gamma * 2.0, slices, temp);
-        prop_assert!(j1 >= 0.0);
-        prop_assert!(j2 <= j1 + 1e-12, "J⊥ must fall as Γ grows");
-    }
+        assert!(j1 >= 0.0, "case {case}");
+        assert!(j2 <= j1 + 1e-12, "case {case}: J⊥ must fall as Γ grows");
+    });
+}
 
-    /// Majority-vote unembedding returns ±1 spins and counts breaks.
-    #[test]
-    fn unembed_majority_invariants(spins in prop::collection::vec(prop::bool::ANY, 8)) {
-        let physical: Vec<i8> = spins.iter().map(|&b| if b { 1 } else { -1 }).collect();
+/// Majority-vote unembedding returns ±1 spins and counts breaks.
+#[test]
+fn unembed_majority_invariants() {
+    for_cases(64, |rng, case| {
+        let physical: Vec<i8> = (0..8).map(|_| if rng.random::<bool>() { 1 } else { -1 }).collect();
         let embedding = Embedding { chains: vec![vec![0, 1, 2], vec![3], vec![4, 5, 6, 7]] };
         let read = unembed_majority(&embedding, &physical);
-        prop_assert_eq!(read.spins.len(), 3);
-        prop_assert!(read.spins.iter().all(|&s| s == 1 || s == -1));
-        prop_assert!(read.broken_chains <= 3);
-    }
+        assert_eq!(read.spins.len(), 3, "case {case}");
+        assert!(read.spins.iter().all(|&s| s == 1 || s == -1), "case {case}");
+        assert!(read.broken_chains <= 3, "case {case}");
+    });
+}
 
-    /// Normalisation brings every coefficient into [−1, 1] and preserves
-    /// the argmin of the energy landscape.
-    #[test]
-    fn normalize_preserves_argmin(m in arb_ising(5)) {
+/// Normalisation brings every coefficient into [−1, 1] and preserves
+/// the argmin of the energy landscape.
+#[test]
+fn normalize_preserves_argmin() {
+    for_cases(32, |rng, case| {
+        let m = arb_ising(rng, 5);
         let mut scaled = m.clone();
         let factor = normalize(&mut scaled);
-        prop_assert!(factor > 0.0 && factor <= 1.0);
-        prop_assert!(scaled.max_abs_coefficient() <= 1.0 + 1e-12);
+        assert!(factor > 0.0 && factor <= 1.0, "case {case}");
+        assert!(scaled.max_abs_coefficient() <= 1.0 + 1e-12, "case {case}");
         let mut best_orig = (f64::INFINITY, 0u32);
         let mut best_scaled = (f64::INFINITY, 0u32);
         for bits in 0..32u32 {
@@ -138,54 +156,80 @@ proptest! {
                 best_scaled = (es, bits);
             }
         }
-        prop_assert_eq!(best_orig.1, best_scaled.1, "argmin moved under scaling");
-    }
+        assert_eq!(best_orig.1, best_scaled.1, "case {case}: argmin moved under scaling");
+    });
+}
 
-    /// ICE noise keeps the coupling graph: no new interactions invented.
-    #[test]
-    fn ice_preserves_structure(m in arb_ising(5), seed in 0u64..100) {
-        use rand::SeedableRng;
+/// ICE noise keeps the coupling graph: no new interactions invented.
+#[test]
+fn ice_preserves_structure() {
+    for_cases(32, |rng, case| {
+        let m = arb_ising(rng, 5);
+        let seed = rng.random_range(0u64..100);
         let mut normalized = m.clone();
         normalize(&mut normalized);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let noisy = IceNoise::advantage().apply(&normalized, &mut rng);
+        let mut noise_rng = StdRng::seed_from_u64(seed);
+        let noisy = IceNoise::advantage().apply(&normalized, &mut noise_rng);
         for (i, j, v) in noisy.couplings() {
             if v != 0.0 {
-                prop_assert!(
+                assert!(
                     normalized.coupling(i, j) != 0.0,
-                    "noise invented coupling ({i},{j})"
+                    "case {case}: noise invented coupling ({i},{j})"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Spin-reversal gauges preserve the spectrum: for every configuration,
-    /// the original energy equals the transformed problem's energy at the
-    /// gauged configuration, and untransform inverts the mapping.
-    #[test]
-    fn gauges_preserve_the_spectrum(m in arb_ising(5), seed in 0u64..100) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let g = Gauge::random(5, &mut rng);
+/// Spin-reversal gauges preserve the spectrum: for every configuration,
+/// the original energy equals the transformed problem's energy at the
+/// gauged configuration, and untransform inverts the mapping.
+#[test]
+fn gauges_preserve_the_spectrum() {
+    for_cases(32, |rng, case| {
+        let m = arb_ising(rng, 5);
+        let seed = rng.random_range(0u64..100);
+        let mut gauge_rng = StdRng::seed_from_u64(seed);
+        let g = Gauge::random(5, &mut gauge_rng);
         let t = g.transform(&m);
         for bits in 0..32u32 {
             let s: Vec<i8> = (0..5).map(|i| if bits >> i & 1 == 1 { 1 } else { -1 }).collect();
-            let gauged: Vec<i8> =
-                s.iter().zip(0..5).map(|(&v, i)| v * g.sign(i)).collect();
-            prop_assert!((m.energy(&s) - t.energy(&gauged)).abs() < 1e-9);
-            prop_assert_eq!(g.untransform_spins(&gauged), s.clone());
+            let gauged: Vec<i8> = s.iter().zip(0..5).map(|(&v, i)| v * g.sign(i)).collect();
+            assert!((m.energy(&s) - t.energy(&gauged)).abs() < 1e-9, "case {case}");
+            assert_eq!(g.untransform_spins(&gauged), s, "case {case}");
         }
         // Gauge sets always lead with the identity.
         let gs = gauge_set(5, 3, seed);
-        prop_assert_eq!(&gs[0], &Gauge::identity(5));
-    }
+        assert_eq!(&gs[0], &Gauge::identity(5), "case {case}");
+    });
+}
 
-    /// Chain strength is at least the problem scale for any model.
-    #[test]
-    fn chain_strength_dominates_scale(m in arb_ising(5)) {
+/// Chain strength is at least the problem scale for any model.
+#[test]
+fn chain_strength_dominates_scale() {
+    for_cases(32, |rng, case| {
+        let m = arb_ising(rng, 5);
         let s = uniform_torque_compensation(&m, 1.414);
-        prop_assert!(s >= m.max_abs_coefficient() - 1e-12);
-    }
+        assert!(s >= m.max_abs_coefficient() - 1e-12, "case {case}");
+    });
+}
+
+/// SQA reads are bit-identical at any thread count on random models —
+/// the workspace determinism contract at the sampler level.
+#[test]
+fn sqa_reads_are_thread_count_invariant() {
+    for_cases(8, |rng, case| {
+        let m = arb_ising(rng, 6);
+        let at = |threads| {
+            let cfg =
+                SqaConfig { seed: 5, parallelism: Parallelism::new(threads), ..Default::default() };
+            sample(&m, &cfg, 20.0, 6)
+        };
+        let sequential = at(1);
+        for threads in [2, 8] {
+            assert_eq!(sequential, at(threads), "case {case}: {threads} threads");
+        }
+    });
 }
 
 #[test]

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use qjo_anneal::hardware::{chimera, pegasus_like};
 use qjo_anneal::sqa::{sample, SqaConfig};
 use qjo_anneal::{pegasus_clique_embedding, AnnealerSampler, Embedder};
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 use qjo_qubo::IsingModel;
 
 fn bench_embedding(c: &mut Criterion) {

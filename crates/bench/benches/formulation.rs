@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use qjo_core::bounds::qubit_upper_bound_raw;
 use qjo_core::formulate::{bilp_to_qubo, build_milp, milp_to_bilp, JoMilpConfig, QuboEncodeConfig};
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 
 fn bench_formulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("formulation");

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 use qjo_gatesim::{
     qaoa_circuit, Gate, NoiseModel, NoisySimulator, QaoaParams, QaoaSimulator, StateVector,
 };
@@ -57,7 +57,10 @@ fn bench_qaoa(c: &mut Criterion) {
     });
     group.bench_function("noisy_sample_128_shots", |b| {
         let circuit = qaoa_circuit(&enc.qubo.to_ising(), &params);
-        let noisy = NoisySimulator { trajectories: 4, ..NoisySimulator::new(NoiseModel::ibm_auckland(), 0) };
+        let noisy = NoisySimulator {
+            trajectories: 4,
+            ..NoisySimulator::new(NoiseModel::ibm_auckland(), 0)
+        };
         b.iter(|| noisy.sample(black_box(&circuit), 128));
     });
     group.finish();

@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use qjo_core::classical::{dp_optimal, greedy_min_cost};
 use qjo_core::formulate::BilpSolver;
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 use qjo_qubo::fix_variables;
 use qjo_qubo::solve::{ExactSolver, SimulatedAnnealing, TabuSearch};
 

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
 use qjo_gatesim::{qaoa_circuit, QaoaParams};
 use qjo_transpile::density::densify;
 use qjo_transpile::{Device, NativeGateSet, Strategy, Transpiler};
@@ -17,8 +17,7 @@ fn workload(t: usize) -> qjo_gatesim::Circuit {
         ..QueryGenerator::paper_defaults(QueryGraph::Cycle, t)
     };
     let query = gen.generate(0);
-    let enc = JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }
-        .encode(&query);
+    let enc = JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }.encode(&query);
     qaoa_circuit(&enc.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] })
 }
 
@@ -37,10 +36,9 @@ fn bench_transpile(c: &mut Criterion) {
             b.iter(|| t.transpile(black_box(&circuit), &device.topology, device.gate_set));
         });
     }
-    for (label, gate_set) in [
-        ("ibm_native", NativeGateSet::Ibm),
-        ("unrestricted", NativeGateSet::Unrestricted),
-    ] {
+    for (label, gate_set) in
+        [("ibm_native", NativeGateSet::Ibm), ("unrestricted", NativeGateSet::Unrestricted)]
+    {
         group.bench_function(BenchmarkId::new("gate_set", label), |b| {
             let device = Device::ibm_auckland();
             let t = Transpiler::new(Strategy::QiskitLike, 0);

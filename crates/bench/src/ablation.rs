@@ -14,7 +14,7 @@
 use qjo_anneal::hardware::pegasus_like;
 use qjo_anneal::{AnnealerSampler, SqaConfig};
 use qjo_core::classical::dp_optimal;
-use qjo_core::{assess_samples, JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{assess_samples, JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
 
 use crate::report::{pct, Table};
 
@@ -103,32 +103,30 @@ pub fn run_noise(factors: &[f64], shots: usize, seed: u64) -> Vec<NoiseRow> {
     let params = QaoaParams::from_flat(1, &opt.x);
     let circuit = qaoa_circuit(&enc.qubo.to_ising(), &params);
 
-    factors
-        .iter()
-        .map(|&factor| {
-            let base = NoiseModel::ibm_auckland();
-            let model = NoiseModel {
-                p_depol_1q: base.p_depol_1q * factor,
-                p_depol_2q: base.p_depol_2q * factor,
-                readout_error: (base.readout_error * factor).min(0.45),
-                // Scale decoherence by shrinking T1/T2 proportionally
-                // (guarding the noiseless case).
-                t1: if factor > 0.0 { base.t1 / factor } else { f64::INFINITY },
-                t2: if factor > 0.0 { base.t2 / factor } else { f64::INFINITY },
-                ..base
-            };
-            let sim = NoisySimulator { model, trajectories: 8, seed };
-            let reads = sim.sample(&circuit, shots);
-            let samples =
-                SampleSet::from_reads(reads, |x| enc.qubo.energy(x).expect("length"));
-            let quality = assess_samples(&samples, &enc.registry, &query, optimal_cost);
-            NoiseRow {
-                factor,
-                valid: quality.valid_fraction,
-                optimal: quality.optimal_fraction,
-            }
-        })
-        .collect()
+    // Each noise factor is an independent work unit; the simulator inside
+    // is pinned to sequential so the sweep is the only source of threads.
+    qjo_exec::par_map(factors.to_vec(), qjo_exec::Parallelism::auto(), |factor| {
+        let base = NoiseModel::ibm_auckland();
+        let model = NoiseModel {
+            p_depol_1q: base.p_depol_1q * factor,
+            p_depol_2q: base.p_depol_2q * factor,
+            readout_error: (base.readout_error * factor).min(0.45),
+            // Scale decoherence by shrinking T1/T2 proportionally
+            // (guarding the noiseless case).
+            t1: if factor > 0.0 { base.t1 / factor } else { f64::INFINITY },
+            t2: if factor > 0.0 { base.t2 / factor } else { f64::INFINITY },
+            ..base
+        };
+        let sim = NoisySimulator {
+            trajectories: 8,
+            parallelism: qjo_exec::Parallelism::sequential(),
+            ..NoisySimulator::new(model, seed)
+        };
+        let reads = sim.sample(&circuit, shots);
+        let samples = SampleSet::from_reads(reads, |x| enc.qubo.energy(x).expect("length"));
+        let quality = assess_samples(&samples, &enc.registry, &query, optimal_cost);
+        NoiseRow { factor, valid: quality.valid_fraction, optimal: quality.optimal_fraction }
+    })
 }
 
 /// Renders the noise sweep.

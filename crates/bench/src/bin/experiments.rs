@@ -28,9 +28,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--full" => full = true,
             "--csv" => {
-                csv_dir = Some(PathBuf::from(
-                    args.next().expect("--csv requires a directory"),
-                ));
+                csv_dir = Some(PathBuf::from(args.next().expect("--csv requires a directory")));
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -42,10 +40,13 @@ fn parse_args() -> Options {
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["table1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "timing", "ablation", "scaling"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = [
+            "table1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "timing", "ablation",
+            "scaling",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     Options { which, full, csv_dir }
 }
@@ -69,14 +70,24 @@ fn main() {
         match which.as_str() {
             "table1" => {
                 let cfg = table1::Table1Config::default();
-                emit(&options, "table1", "Table 1: original vs pruned MILP model", table1::render(&table1::run(&cfg)));
+                emit(
+                    &options,
+                    "table1",
+                    "Table 1: original vs pruned MILP model",
+                    table1::render(&table1::run(&cfg)),
+                );
             }
             "fig2" => {
                 let cfg = fig2::Fig2Config {
                     repetitions: if options.full { 20 } else { 10 },
                     ..Default::default()
                 };
-                emit(&options, "fig2", "Figure 2: transpiled QAOA circuit depths on IBM Q", fig2::render(&fig2::run(&cfg)));
+                emit(
+                    &options,
+                    "fig2",
+                    "Figure 2: transpiled QAOA circuit depths on IBM Q",
+                    fig2::render(&fig2::run(&cfg)),
+                );
             }
             "table2" => {
                 let cfg = table2::Table2Config {
@@ -84,7 +95,12 @@ fn main() {
                     trajectories: if options.full { 16 } else { 8 },
                     ..Default::default()
                 };
-                emit(&options, "table2", "Table 2: QAOA solution quality under the Auckland noise model", table2::render(&table2::run(&cfg)));
+                emit(
+                    &options,
+                    "table2",
+                    "Table 2: QAOA solution quality under the Auckland noise model",
+                    table2::render(&table2::run(&cfg)),
+                );
             }
             "fig3" => {
                 let cfg = fig3::Fig3Config {
@@ -97,7 +113,12 @@ fn main() {
                     },
                     ..Default::default()
                 };
-                emit(&options, "fig3", "Figure 3: physical qubits to embed JO on the Pegasus-like annealer", fig3::render(&fig3::run(&cfg)));
+                emit(
+                    &options,
+                    "fig3",
+                    "Figure 3: physical qubits to embed JO on the Pegasus-like annealer",
+                    fig3::render(&fig3::run(&cfg)),
+                );
             }
             "table3" => {
                 let cfg = table3::Table3Config {
@@ -105,11 +126,21 @@ fn main() {
                     num_reads: if options.full { 1000 } else { 200 },
                     ..Default::default()
                 };
-                emit(&options, "table3", "Table 3: annealing solution quality (SQA + ICE noise)", table3::render(&table3::run(&cfg)));
+                emit(
+                    &options,
+                    "table3",
+                    "Table 3: annealing solution quality (SQA + ICE noise)",
+                    table3::render(&table3::run(&cfg)),
+                );
             }
             "fig4" => {
                 let cfg = fig4::Fig4Config::default();
-                emit(&options, "fig4", "Figure 4: Theorem 5.3 logical-qubit upper bounds", fig4::render(&fig4::run(&cfg)));
+                emit(
+                    &options,
+                    "fig4",
+                    "Figure 4: Theorem 5.3 logical-qubit upper bounds",
+                    fig4::render(&fig4::run(&cfg)),
+                );
             }
             "fig5" => {
                 let cfg = fig5::Fig5Config {
@@ -117,23 +148,74 @@ fn main() {
                     seeds: if options.full { 5 } else { 3 },
                     ..Default::default()
                 };
-                emit(&options, "fig5", "Figure 5: circuit depths on hypothetical co-designed QPUs", fig5::render(&fig5::run(&cfg)));
+                emit(
+                    &options,
+                    "fig5",
+                    "Figure 5: circuit depths on hypothetical co-designed QPUs",
+                    fig5::render(&fig5::run(&cfg)),
+                );
             }
             "ablation" => {
                 let cfg = ablation::AblationConfig::default();
-                emit(&options, "ablation_penalty", "Ablation: penalty weight A vs annealed quality", ablation::render_penalty(&ablation::run_penalty(&cfg)));
-                emit(&options, "ablation_pruning", "Ablation: pruned vs original model, end to end", ablation::render_pruning(&ablation::run_pruning(&cfg)));
-                emit(&options, "ablation_noise", "Ablation: gate-noise scale vs QAOA quality", ablation::render_noise(&ablation::run_noise(&[0.0, 0.5, 1.0, 2.0, 4.0], 1024, 0)));
+                emit(
+                    &options,
+                    "ablation_penalty",
+                    "Ablation: penalty weight A vs annealed quality",
+                    ablation::render_penalty(&ablation::run_penalty(&cfg)),
+                );
+                emit(
+                    &options,
+                    "ablation_pruning",
+                    "Ablation: pruned vs original model, end to end",
+                    ablation::render_pruning(&ablation::run_pruning(&cfg)),
+                );
+                emit(
+                    &options,
+                    "ablation_noise",
+                    "Ablation: gate-noise scale vs QAOA quality",
+                    ablation::render_noise(&ablation::run_noise(
+                        &[0.0, 0.5, 1.0, 2.0, 4.0],
+                        1024,
+                        0,
+                    )),
+                );
             }
             "scaling" => {
                 let cfg = scaling::ClassicalScalingConfig::default();
-                emit(&options, "scaling_classical", "Scaling: classical join-ordering optimisers", scaling::render_classical(&scaling::run_classical(&cfg)));
-                emit(&options, "scaling_generations", "Scaling: annealer hardware generations (equal 2048-qubit budgets)", scaling::render_generations(&scaling::run_hardware_generations(&[3, 4, 5], 0, 16)));
-                emit(&options, "scaling_qaoa_depth", "Scaling: QAOA quality vs depth p (noiseless)", scaling::render_qaoa_depth(&scaling::run_qaoa_depth(if options.full { 3 } else { 2 }, 0)));
+                emit(
+                    &options,
+                    "scaling_classical",
+                    "Scaling: classical join-ordering optimisers",
+                    scaling::render_classical(&scaling::run_classical(&cfg)),
+                );
+                emit(
+                    &options,
+                    "scaling_generations",
+                    "Scaling: annealer hardware generations (equal 2048-qubit budgets)",
+                    scaling::render_generations(&scaling::run_hardware_generations(
+                        &[3, 4, 5],
+                        0,
+                        16,
+                    )),
+                );
+                emit(
+                    &options,
+                    "scaling_qaoa_depth",
+                    "Scaling: QAOA quality vs depth p (noiseless)",
+                    scaling::render_qaoa_depth(&scaling::run_qaoa_depth(
+                        if options.full { 3 } else { 2 },
+                        0,
+                    )),
+                );
             }
             "timing" => {
                 let cfg = timing::TimingConfig::default();
-                emit(&options, "timing", "Section 4.2.1: sampling vs total QPU time", timing::render(&timing::run(&cfg)));
+                emit(
+                    &options,
+                    "timing",
+                    "Section 4.2.1: sampling vs total QPU time",
+                    timing::render(&timing::run(&cfg)),
+                );
             }
             other => {
                 eprintln!("unknown experiment '{other}' (see --help)");

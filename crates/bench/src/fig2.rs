@@ -6,7 +6,7 @@
 //! predicate sweep on Auckland (Falcon, 27q) vs. Washington (Eagle, 127q).
 //! 20 transpilation repetitions per scenario give the depth distributions.
 
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
 use qjo_gatesim::{qaoa_circuit, QaoaParams};
 use qjo_transpile::{DepthStats, Device, Strategy, Transpiler};
 
@@ -65,8 +65,7 @@ fn encode_scenario(seed: u64, knob: Knob) -> qjo_core::JoQubo {
         }
         Knob::Predicates(p) => (gen.with_predicate_count(seed, p), 1.0),
     };
-    JoEncoder { thresholds: ThresholdSpec::Auto(1), omega, ..Default::default() }
-        .encode(&query)
+    JoEncoder { thresholds: ThresholdSpec::Auto(1), omega, ..Default::default() }.encode(&query)
 }
 
 fn measure(device: &Device, encoded: &qjo_core::JoQubo, repetitions: usize) -> DepthStats {
@@ -82,51 +81,37 @@ fn measure(device: &Device, encoded: &qjo_core::JoQubo, repetitions: usize) -> D
 }
 
 /// Runs both panels.
+///
+/// Every `(device, knob)` scenario is an independent work unit; the sweep
+/// fans them out with [`qjo_exec::par_map`], which preserves scenario order
+/// regardless of thread count.
 pub fn run(config: &Fig2Config) -> Vec<Fig2Row> {
-    let auckland = Device::ibm_auckland();
-    let washington = Device::ibm_washington();
-    let mut rows = Vec::new();
+    let devices = [Device::ibm_auckland(), Device::ibm_washington()];
+    let (auckland, washington) = (0usize, 1usize);
 
     // Left panel on Auckland: precision sweep, then predicate sweep.
-    for d in 0..=config.max_knob {
-        let knob = Knob::Precision(d);
-        let enc = encode_scenario(config.seed, knob);
-        rows.push(Fig2Row {
-            device: auckland.name.clone(),
-            knob,
-            qubits: enc.num_qubits(),
-            depth: measure(&auckland, &enc, config.repetitions),
-        });
-    }
-    for p in 0..=config.max_knob {
-        let knob = Knob::Predicates(p);
-        let enc = encode_scenario(config.seed, knob);
-        rows.push(Fig2Row {
-            device: auckland.name.clone(),
-            knob,
-            qubits: enc.num_qubits(),
-            depth: measure(&auckland, &enc, config.repetitions),
-        });
-    }
     // Right panel: predicate sweep on Washington.
-    for p in 0..=config.max_knob {
-        let knob = Knob::Predicates(p);
+    let mut scenarios: Vec<(usize, Knob)> = Vec::new();
+    scenarios.extend((0..=config.max_knob).map(|d| (auckland, Knob::Precision(d))));
+    scenarios.extend((0..=config.max_knob).map(|p| (auckland, Knob::Predicates(p))));
+    scenarios.extend((0..=config.max_knob).map(|p| (washington, Knob::Predicates(p))));
+
+    qjo_exec::par_map(scenarios, qjo_exec::Parallelism::auto(), |(dev, knob)| {
+        let device = &devices[dev];
         let enc = encode_scenario(config.seed, knob);
-        rows.push(Fig2Row {
-            device: washington.name.clone(),
+        Fig2Row {
+            device: device.name.clone(),
             knob,
             qubits: enc.num_qubits(),
-            depth: measure(&washington, &enc, config.repetitions),
-        });
-    }
-    rows
+            depth: measure(device, &enc, config.repetitions),
+        }
+    })
 }
 
 /// Renders the rows.
 pub fn render(rows: &[Fig2Row]) -> Table {
-    let mut t = Table::new(vec![
-        "device", "knob", "value", "qubits", "depth min", "median", "max", "mean",
-    ]);
+    let mut t =
+        Table::new(vec!["device", "knob", "value", "qubits", "depth min", "median", "max", "mean"]);
     for r in rows {
         let (kind, value) = match r.knob {
             Knob::Precision(d) => ("precision (decimals)", d),

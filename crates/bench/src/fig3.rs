@@ -9,7 +9,7 @@
 
 use qjo_anneal::hardware::pegasus_like;
 use qjo_anneal::Embedder;
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
 use qjo_transpile::Topology;
 
 use crate::report::Table;
@@ -88,12 +88,9 @@ fn embed_one(
     passes: usize,
 ) -> Fig3Row {
     let query = QueryGenerator::paper_defaults(graph, relations).generate(seed);
-    let enc = JoEncoder {
-        thresholds: ThresholdSpec::Auto(thresholds),
-        omega,
-        ..Default::default()
-    }
-    .encode(&query);
+    let enc =
+        JoEncoder { thresholds: ThresholdSpec::Auto(thresholds), omega, ..Default::default() }
+            .encode(&query);
     let edges: Vec<(usize, usize)> = enc.qubo.quadratic_iter().map(|(i, j, _)| (i, j)).collect();
     let embedder = Embedder {
         max_tries: tries,
@@ -160,7 +157,14 @@ pub fn run(config: &Fig3Config) -> Vec<Fig3Row> {
 /// Renders the rows.
 pub fn render(rows: &[Fig3Row]) -> Table {
     let mut t = Table::new(vec![
-        "panel", "graph", "relations", "thresholds", "omega", "logical", "physical", "max chain",
+        "panel",
+        "graph",
+        "relations",
+        "thresholds",
+        "omega",
+        "logical",
+        "physical",
+        "max chain",
     ]);
     for r in rows {
         t.push_row(vec![

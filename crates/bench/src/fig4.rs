@@ -82,10 +82,7 @@ mod tests {
     fn covers_full_grid() {
         let cfg = Fig4Config::default();
         let rows = run(&cfg);
-        assert_eq!(
-            rows.len(),
-            cfg.relations.len() * cfg.threshold_counts.len() * cfg.omegas.len()
-        );
+        assert_eq!(rows.len(), cfg.relations.len() * cfg.threshold_counts.len() * cfg.omegas.len());
     }
 
     #[test]

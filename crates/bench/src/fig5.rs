@@ -6,7 +6,7 @@
 //! onto fully-connected IonQ devices, with both native and unrestricted
 //! gate sets and both transpiler pipelines (Qiskit-like and tket-like).
 
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
 use qjo_gatesim::{qaoa_circuit, QaoaParams};
 use qjo_transpile::{Device, NativeGateSet, Strategy, Transpiler};
 
@@ -69,28 +69,24 @@ pub struct Fig5Row {
 /// Runs the sweep, parallelised over relation counts (the transpilation
 /// workload per relation count is independent).
 pub fn run(config: &Fig5Config) -> Vec<Fig5Row> {
-    let per_relation = crate::par::par_map(config.relations.clone(), 2, |t| {
-        run_for_relations(config, t)
-    });
+    let per_relation =
+        qjo_exec::par_map(config.relations.clone(), qjo_exec::Parallelism::auto(), |t| {
+            run_for_relations(config, t)
+        });
     per_relation.into_iter().flatten().collect()
 }
 
 fn run_for_relations(config: &Fig5Config, t: usize) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
     {
-        let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, t)
-            .generate(config.query_seed);
-        let enc = JoEncoder {
-            thresholds: ThresholdSpec::Auto(2),
-            omega: 1.0,
-            ..Default::default()
-        }
-        .encode(&query);
+        let query =
+            QueryGenerator::paper_defaults(QueryGraph::Cycle, t).generate(config.query_seed);
+        let enc =
+            JoEncoder { thresholds: ThresholdSpec::Auto(2), omega: 1.0, ..Default::default() }
+                .encode(&query);
         let n = enc.num_qubits();
-        let circuit = qaoa_circuit(
-            &enc.qubo.to_ising(),
-            &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
-        );
+        let circuit =
+            qaoa_circuit(&enc.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
 
         for vendor in [Vendor::Ibm, Vendor::Rigetti, Vendor::Ionq] {
             let base = match vendor {
@@ -98,22 +94,16 @@ fn run_for_relations(config: &Fig5Config, t: usize) -> Vec<Fig5Row> {
                 Vendor::Rigetti => Device::rigetti_extrapolated(n),
                 Vendor::Ionq => Device::ionq(n),
             };
-            let densities: &[f64] =
-                if vendor == Vendor::Ionq { &[0.0] } else { &config.densities };
+            let densities: &[f64] = if vendor == Vendor::Ionq { &[0.0] } else { &config.densities };
             for &density in densities {
-                let device = if density == 0.0 {
-                    base.clone()
-                } else {
-                    base.with_density(density, 17)
-                };
-                for (gate_label, gate_set) in [
-                    ("native", base.gate_set),
-                    ("unrestricted", NativeGateSet::Unrestricted),
-                ] {
-                    for (tr_label, strategy) in [
-                        ("qiskit-like", Strategy::QiskitLike),
-                        ("tket-like", Strategy::TketLike),
-                    ] {
+                let device =
+                    if density == 0.0 { base.clone() } else { base.with_density(density, 17) };
+                for (gate_label, gate_set) in
+                    [("native", base.gate_set), ("unrestricted", NativeGateSet::Unrestricted)]
+                {
+                    for (tr_label, strategy) in
+                        [("qiskit-like", Strategy::QiskitLike), ("tket-like", Strategy::TketLike)]
+                    {
                         let depths = Transpiler::new(strategy, 0).depth_distribution(
                             &circuit,
                             &device.topology,
@@ -139,11 +129,16 @@ fn run_for_relations(config: &Fig5Config, t: usize) -> Vec<Fig5Row> {
     rows
 }
 
-
 /// Renders the rows.
 pub fn render(rows: &[Fig5Row]) -> Table {
     let mut t = Table::new(vec![
-        "vendor", "relations", "qubits", "density", "gates", "transpiler", "median depth",
+        "vendor",
+        "relations",
+        "qubits",
+        "density",
+        "gates",
+        "transpiler",
+        "median depth",
     ]);
     for r in rows {
         t.push_row(vec![
@@ -164,12 +159,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Fig5Config {
-        Fig5Config {
-            relations: vec![3],
-            densities: vec![0.0, 0.1, 1.0],
-            seeds: 2,
-            query_seed: 0,
-        }
+        Fig5Config { relations: vec![3], densities: vec![0.0, 0.1, 1.0], seeds: 2, query_seed: 0 }
     }
 
     fn find<'a>(
@@ -224,8 +214,7 @@ mod tests {
         // synthesis) more than on IBM.
         let rows = run(&tiny());
         let native = find(&rows, Vendor::Rigetti, 0.0, "native", "qiskit-like").depth;
-        let unrestricted =
-            find(&rows, Vendor::Rigetti, 0.0, "unrestricted", "qiskit-like").depth;
+        let unrestricted = find(&rows, Vendor::Rigetti, 0.0, "unrestricted", "qiskit-like").depth;
         assert!(native > unrestricted, "native {native} vs unrestricted {unrestricted}");
     }
 

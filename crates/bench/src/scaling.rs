@@ -20,7 +20,7 @@ use qjo_anneal::Embedder;
 use qjo_core::classical::{
     dp_optimal, greedy_min_cost, iterative_improvement, simulated_annealing_jo,
 };
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 use qjo_gatesim::optim::NelderMead;
 use qjo_gatesim::{QaoaParams, QaoaSimulator};
 
@@ -88,11 +88,7 @@ pub fn run_classical(config: &ClassicalScalingConfig) -> Vec<ClassicalRow> {
         let (_, sa_cost) = simulated_annealing_jo(&query, 60, config.seed);
         let sa_us = start.elapsed().as_secs_f64() * 1e6;
 
-        let best = dp_cost
-            .unwrap_or(f64::INFINITY)
-            .min(greedy_cost)
-            .min(ii_cost)
-            .min(sa_cost);
+        let best = dp_cost.unwrap_or(f64::INFINITY).min(greedy_cost).min(ii_cost).min(sa_cost);
         rows.push(ClassicalRow {
             relations: t,
             dp_us,
@@ -110,7 +106,14 @@ pub fn run_classical(config: &ClassicalScalingConfig) -> Vec<ClassicalRow> {
 /// Renders the classical-scaling rows.
 pub fn render_classical(rows: &[ClassicalRow]) -> Table {
     let mut t = Table::new(vec![
-        "relations", "DP [µs]", "greedy [µs]", "greedy ×", "II [µs]", "II ×", "SA [µs]", "SA ×",
+        "relations",
+        "DP [µs]",
+        "greedy [µs]",
+        "greedy ×",
+        "II [µs]",
+        "II ×",
+        "SA [µs]",
+        "SA ×",
     ]);
     for r in rows {
         t.push_row(vec![
@@ -157,9 +160,7 @@ pub fn run_hardware_generations(relations: &[usize], seed: u64, m: usize) -> Vec
             let edges: Vec<(usize, usize)> =
                 enc.qubo.quadratic_iter().map(|(i, j, _)| (i, j)).collect();
             let on = |target| {
-                embedder
-                    .embed(enc.num_qubits(), &edges, target)
-                    .map(|e| e.num_physical_qubits())
+                embedder.embed(enc.num_qubits(), &edges, target).map(|e| e.num_physical_qubits())
             };
             GenerationRow {
                 relations: t,
@@ -253,10 +254,7 @@ mod tests {
 
     #[test]
     fn classical_scaling_produces_sane_timings() {
-        let rows = run_classical(&ClassicalScalingConfig {
-            relations: vec![5, 8],
-            seed: 0,
-        });
+        let rows = run_classical(&ClassicalScalingConfig { relations: vec![5, 8], seed: 0 });
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.dp_us.is_some());

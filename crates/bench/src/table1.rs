@@ -5,7 +5,7 @@
 //! category, confirming the formulas.
 
 use qjo_core::formulate::{build_milp, ConstraintKind, JoMilpConfig};
-use qjo_core::{QueryGraph, QueryGenerator};
+use qjo_core::{QueryGenerator, QueryGraph};
 
 use crate::report::Table;
 
@@ -98,7 +98,14 @@ pub fn run(config: &Table1Config) -> Vec<Table1Row> {
 /// Renders the rows as a text table.
 pub fn render(rows: &[Table1Row]) -> Table {
     let mut t = Table::new(vec![
-        "T", "P", "pao o/p", "cto o/p", "disj o/p", "pred o/p", "card o/p", "qubits o/p",
+        "T",
+        "P",
+        "pao o/p",
+        "cto o/p",
+        "disj o/p",
+        "pred o/p",
+        "card o/p",
+        "qubits o/p",
     ]);
     for r in rows {
         let pair = |(a, b): (usize, usize)| format!("{a}/{b}");
@@ -152,10 +159,7 @@ mod tests {
 
     #[test]
     fn render_emits_one_line_per_row() {
-        let rows = run(&Table1Config {
-            relations: vec![3, 4, 5],
-            ..Default::default()
-        });
+        let rows = run(&Table1Config { relations: vec![3, 4, 5], ..Default::default() });
         let table = render(&rows);
         assert_eq!(table.num_rows(), 3);
         assert!(table.render().contains("qubits o/p"));

@@ -12,7 +12,8 @@
 //! reachable via [`Table2Config::max_predicates`] given time and memory.
 
 use qjo_core::classical::dp_optimal;
-use qjo_core::{assess_samples, JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{assess_samples, JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
+use qjo_exec::{par_map, Parallelism};
 use qjo_gatesim::optim::GradientDescent;
 use qjo_gatesim::{qaoa_circuit, NoiseModel, NoisySimulator, QaoaParams, QaoaSimulator};
 use qjo_qubo::SampleSet;
@@ -68,32 +69,30 @@ pub struct Table2Row {
 }
 
 /// Runs the sweep.
+///
+/// The per-predicate scenarios are independent and run in parallel; the
+/// samplers inside each scenario are pinned to [`Parallelism::sequential`]
+/// so the sweep-level fan-out is the only source of threads.
 pub fn run(config: &Table2Config) -> Vec<Table2Row> {
     let gen = QueryGenerator {
         log_card_range: config.log_card_range,
         ..QueryGenerator::paper_defaults(QueryGraph::Cycle, 3)
     };
-    let mut rows = Vec::new();
-    for predicates in 0..=config.max_predicates {
+    let predicate_counts: Vec<usize> = (0..=config.max_predicates).collect();
+    let per_predicate = par_map(predicate_counts, Parallelism::auto(), |predicates| {
         let query = gen.with_predicate_count(config.seed, predicates);
-        let enc = JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }
-            .encode(&query);
+        let enc =
+            JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }.encode(&query);
         let (_, optimal_cost) = dp_optimal(&query);
         let sim = QaoaSimulator::new(&enc.qubo);
         let ising = enc.qubo.to_ising();
 
+        let mut rows = Vec::new();
         for &iterations in &config.iteration_budgets {
             // Classical loop: the fast diagonal engine evaluates ⟨H⟩, the
             // optimiser is the AQGD stand-in at the paper's budget.
-            let opt = GradientDescent {
-                iterations,
-                learning_rate: 0.05,
-                fd_step: 1e-3,
-            }
-            .minimize(
-                |x| sim.expectation(&QaoaParams::from_flat(1, x)),
-                &[0.1, 0.1],
-            );
+            let opt = GradientDescent { iterations, learning_rate: 0.05, fd_step: 1e-3 }
+                .minimize(|x| sim.expectation(&QaoaParams::from_flat(1, x)), &[0.1, 0.1]);
             let params = QaoaParams::from_flat(1, &opt.x);
 
             // Quantum step: sample the tuned circuit under Auckland noise.
@@ -102,6 +101,7 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
                 model: NoiseModel::ibm_auckland(),
                 trajectories: config.trajectories,
                 seed: config.seed ^ (iterations as u64) << 8 ^ (predicates as u64),
+                parallelism: Parallelism::sequential(),
             };
             let reads = noisy.sample(&circuit, config.shots);
             let samples = SampleSet::from_reads(reads, |x| {
@@ -116,8 +116,9 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
                 optimal: quality.optimal_fraction,
             });
         }
-    }
-    rows
+        rows
+    });
+    per_predicate.into_iter().flatten().collect()
 }
 
 /// Renders the rows.

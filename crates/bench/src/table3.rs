@@ -10,7 +10,8 @@
 use qjo_anneal::hardware::pegasus_like;
 use qjo_anneal::{AnnealerSampler, SqaConfig};
 use qjo_core::classical::dp_optimal;
-use qjo_core::{assess_samples, JoEncoder, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{assess_samples, JoEncoder, QueryGenerator, QueryGraph, ThresholdSpec};
+use qjo_exec::{par_map, Parallelism};
 
 use crate::report::{pct, Table};
 
@@ -67,76 +68,86 @@ pub struct Table3Row {
 }
 
 /// Runs the sweep.
+///
+/// The `(graph, relations)` cells are independent and run in parallel; the
+/// samplers inside each cell are pinned to [`Parallelism::sequential`] so
+/// the sweep-level fan-out is the only source of threads. Cell results are
+/// flattened in sweep order, so row order matches the sequential version.
 pub fn run(config: &Table3Config) -> Vec<Table3Row> {
     let target = pegasus_like(config.pegasus_m);
-    let mut rows = Vec::new();
-    for &graph in &config.graphs {
-        for &t in &config.relations {
-            // A 3-relation star is identical to a 3-relation chain; the
-            // paper leaves those cells blank.
-            if graph == QueryGraph::Star && t < 4 {
-                continue;
-            }
-            // Accumulators per annealing time, filled instance by instance
-            // so each instance is embedded exactly once.
-            let n_dt = config.annealing_times_us.len();
-            let mut valid_sum = vec![0.0; n_dt];
-            let mut optimal_sum = vec![0.0; n_dt];
-            let mut cbf_sum = vec![0.0; n_dt];
-            let mut ok = 0usize;
-            let mut failures = 0usize;
-            for inst in 0..config.instances {
-                let seed = config.seed + inst as u64;
-                let query = QueryGenerator::paper_defaults(graph, t).generate(seed);
-                let enc = JoEncoder {
-                    thresholds: ThresholdSpec::Auto(1),
-                    ..Default::default()
-                }
+    // A 3-relation star is identical to a 3-relation chain; the paper
+    // leaves those cells blank.
+    let cells: Vec<(QueryGraph, usize)> = config
+        .graphs
+        .iter()
+        .flat_map(|&graph| config.relations.iter().map(move |&t| (graph, t)))
+        .filter(|&(graph, t)| !(graph == QueryGraph::Star && t < 4))
+        .collect();
+
+    let per_cell = par_map(cells, Parallelism::auto(), |(graph, t)| {
+        // Accumulators per annealing time, filled instance by instance
+        // so each instance is embedded exactly once.
+        let n_dt = config.annealing_times_us.len();
+        let mut valid_sum = vec![0.0; n_dt];
+        let mut optimal_sum = vec![0.0; n_dt];
+        let mut cbf_sum = vec![0.0; n_dt];
+        let mut ok = 0usize;
+        let mut failures = 0usize;
+        for inst in 0..config.instances {
+            let seed = config.seed + inst as u64;
+            let query = QueryGenerator::paper_defaults(graph, t).generate(seed);
+            let enc = JoEncoder { thresholds: ThresholdSpec::Auto(1), ..Default::default() }
                 .encode(&query);
-                let base = AnnealerSampler {
-                    num_reads: config.num_reads,
-                    sqa: SqaConfig { seed, ..Default::default() },
-                    ..AnnealerSampler::new(target.clone())
-                };
-                let Ok(embedding) = base.embed(&enc.qubo) else {
-                    failures += 1;
-                    continue;
-                };
-                ok += 1;
-                let (_, opt_cost) = dp_optimal(&query);
-                for (k, &dt) in config.annealing_times_us.iter().enumerate() {
-                    let sampler =
-                        AnnealerSampler { annealing_time_us: dt, ..base.clone() };
-                    let outcome =
-                        sampler.sample_qubo_with_embedding(&enc.qubo, embedding.clone());
-                    let quality =
-                        assess_samples(&outcome.samples, &enc.registry, &query, opt_cost);
-                    valid_sum[k] += quality.valid_fraction;
-                    optimal_sum[k] += quality.optimal_fraction;
-                    cbf_sum[k] += outcome.chain_break_fraction;
-                }
-            }
-            let denom = ok.max(1) as f64;
+            let base = AnnealerSampler {
+                num_reads: config.num_reads,
+                sqa: SqaConfig { seed, ..Default::default() },
+                parallelism: Parallelism::sequential(),
+                ..AnnealerSampler::new(target.clone())
+            };
+            let Ok(embedding) = base.embed(&enc.qubo) else {
+                failures += 1;
+                continue;
+            };
+            ok += 1;
+            let (_, opt_cost) = dp_optimal(&query);
             for (k, &dt) in config.annealing_times_us.iter().enumerate() {
-                rows.push(Table3Row {
-                    graph,
-                    relations: t,
-                    annealing_time_us: dt,
-                    valid: valid_sum[k] / denom,
-                    optimal: optimal_sum[k] / denom,
-                    chain_breaks: cbf_sum[k] / denom,
-                    embed_failures: failures,
-                });
+                let sampler = AnnealerSampler { annealing_time_us: dt, ..base.clone() };
+                let outcome = sampler.sample_qubo_with_embedding(&enc.qubo, embedding.clone());
+                let quality = assess_samples(&outcome.samples, &enc.registry, &query, opt_cost);
+                valid_sum[k] += quality.valid_fraction;
+                optimal_sum[k] += quality.optimal_fraction;
+                cbf_sum[k] += outcome.chain_break_fraction;
             }
         }
-    }
-    rows
+        let denom = ok.max(1) as f64;
+        config
+            .annealing_times_us
+            .iter()
+            .enumerate()
+            .map(|(k, &dt)| Table3Row {
+                graph,
+                relations: t,
+                annealing_time_us: dt,
+                valid: valid_sum[k] / denom,
+                optimal: optimal_sum[k] / denom,
+                chain_breaks: cbf_sum[k] / denom,
+                embed_failures: failures,
+            })
+            .collect::<Vec<_>>()
+    });
+    per_cell.into_iter().flatten().collect()
 }
 
 /// Renders the rows.
 pub fn render(rows: &[Table3Row]) -> Table {
     let mut t = Table::new(vec![
-        "graph", "relations", "Δt [µs]", "valid", "optimal", "chain breaks", "embed failures",
+        "graph",
+        "relations",
+        "Δt [µs]",
+        "valid",
+        "optimal",
+        "chain breaks",
+        "embed failures",
     ]);
     for r in rows {
         t.push_row(vec![

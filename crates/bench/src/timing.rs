@@ -1,7 +1,7 @@
 //! Section 4.2.1's timing decomposition: sampling time `t_s` vs. total QPU
 //! time `t_qpu`, and the local-coprocessor comparison motivating Figure 1.
 
-use qjo_core::{JoEncoder, QueryGraph, QueryGenerator};
+use qjo_core::{JoEncoder, QueryGenerator, QueryGraph};
 use qjo_gatesim::{qaoa_circuit, NoiseModel, QaoaParams, QpuTimingModel};
 
 use crate::report::Table;
@@ -51,10 +51,8 @@ pub fn run(config: &TimingConfig) -> Vec<TimingRow> {
     for &p in &config.predicate_counts {
         let query = gen.with_predicate_count(config.seed, p);
         let enc = JoEncoder::default().encode(&query);
-        let circuit = qaoa_circuit(
-            &enc.qubo.to_ising(),
-            &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
-        );
+        let circuit =
+            qaoa_circuit(&enc.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
         rows.push(TimingRow {
             predicates: p,
             qubits: enc.num_qubits(),
@@ -69,7 +67,12 @@ pub fn run(config: &TimingConfig) -> Vec<TimingRow> {
 /// Renders the rows.
 pub fn render(rows: &[TimingRow]) -> Table {
     let mut t = Table::new(vec![
-        "predicates", "qubits", "t_s [ms]", "t_qpu [s]", "local [ms]", "overhead ×",
+        "predicates",
+        "qubits",
+        "t_s [ms]",
+        "t_qpu [s]",
+        "local [ms]",
+        "overhead ×",
     ]);
     for r in rows {
         t.push_row(vec![

@@ -91,8 +91,7 @@ pub fn max_relations_for_budget(
     let mut t = 2;
     loop {
         let logs = vec![log_card; t + 1];
-        let bound =
-            qubit_upper_bound_raw(t + 1, t, t + 1, thresholds, omega, &logs).total();
+        let bound = qubit_upper_bound_raw(t + 1, t, t + 1, thresholds, omega, &logs).total();
         if bound > budget {
             return t;
         }
@@ -117,13 +116,8 @@ mod tests {
                 for r in 1..=3 {
                     for &omega in &[1.0, 0.1] {
                         let q = QueryGenerator::paper_defaults(graph, t).generate(7);
-                        let thresholds =
-                            crate::formulate::auto_thresholds(&q, r);
-                        let cfg = JoMilpConfig {
-                            log_thresholds: thresholds,
-                            omega,
-                            prune: true,
-                        };
+                        let thresholds = crate::formulate::auto_thresholds(&q, r);
+                        let cfg = JoMilpConfig { log_thresholds: thresholds, omega, prune: true };
                         let bilp = milp_to_bilp(&build_milp(&q, &cfg));
                         let bound = qubit_upper_bound(&q, r, omega).total();
                         assert!(

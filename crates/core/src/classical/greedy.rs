@@ -14,12 +14,7 @@ use crate::query::Query;
 pub fn greedy_min_cardinality(query: &Query) -> (JoinOrder, f64) {
     let t = query.num_relations();
     let start = (0..t)
-        .min_by(|&a, &b| {
-            query
-                .log_card(a)
-                .partial_cmp(&query.log_card(b))
-                .expect("finite logs")
-        })
+        .min_by(|&a, &b| query.log_card(a).partial_cmp(&query.log_card(b)).expect("finite logs"))
         .expect("at least two relations");
     let order = build_from(query, start);
     let cost = order.cost(query);
@@ -94,10 +89,8 @@ mod tests {
     #[test]
     fn greedy_prefers_selective_joins() {
         // Equal cardinalities; predicate makes {0,1} the cheap pair.
-        let q = Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q =
+            Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         let (order, cost) = greedy_min_cost(&q);
         let first_two: Vec<usize> = order.order[..2].to_vec();
         assert!(first_two == vec![0, 1] || first_two == vec![1, 0], "{order:?}");

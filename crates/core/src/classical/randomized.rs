@@ -90,11 +90,7 @@ pub fn iterative_improvement(
 }
 
 /// Simulated annealing over join orders with geometric cooling.
-pub fn simulated_annealing_jo(
-    query: &Query,
-    sweeps: usize,
-    seed: u64,
-) -> (JoinOrder, f64) {
+pub fn simulated_annealing_jo(query: &Query, sweeps: usize, seed: u64) -> (JoinOrder, f64) {
     assert!(sweeps >= 1, "need at least one sweep");
     let n = query.num_relations();
     let mut rng = StdRng::seed_from_u64(seed);

@@ -84,8 +84,7 @@ pub fn dp_optimal_with(query: &Query, model: CostModel) -> (JoinOrder, f64) {
             rest &= rest - 1;
             let prev = set & !(1u64 << r);
             let log_outer = query.log_card_of_set(prev);
-            let step =
-                model.join_cost(log_outer, query.log_card(r), log_result);
+            let step = model.join_cost(log_outer, query.log_card(r), log_result);
             let cand = best_cost[prev as usize] + step;
             if cand < best_cost[set as usize] {
                 best_cost[set as usize] = cand;
@@ -102,10 +101,7 @@ pub fn dp_optimal_with(query: &Query, model: CostModel) -> (JoinOrder, f64) {
         set &= !(1u64 << last);
     }
     order.reverse();
-    (
-        JoinOrder::new(order, t).expect("DP builds a permutation"),
-        best_cost[full as usize],
-    )
+    (JoinOrder::new(order, t).expect("DP builds a permutation"), best_cost[full as usize])
 }
 
 #[cfg(test)]
@@ -116,10 +112,7 @@ mod tests {
     use crate::querygen::QueryGenerator;
 
     fn example() -> Query {
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     #[test]
@@ -127,19 +120,14 @@ mod tests {
         let q = example();
         for perm in [[0, 1, 2], [0, 2, 1], [2, 0, 1]] {
             let order = JoinOrder::new(perm.to_vec(), 3).unwrap();
-            assert!(
-                (CostModel::Out.order_cost(&order, &q) - order.cost(&q)).abs() < 1e-9
-            );
+            assert!((CostModel::Out.order_cost(&order, &q) - order.cost(&q)).abs() < 1e-9);
         }
     }
 
     #[test]
     fn hash_join_adds_build_and_probe_costs() {
         // One join: outer 100, inner 100, sel 0.1 → result 1000.
-        let q = Query::new(
-            vec![2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q = Query::new(vec![2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         let order = JoinOrder::new(vec![0, 1], 2).unwrap();
         assert_eq!(CostModel::Out.order_cost(&order, &q), 1_000.0);
         assert_eq!(CostModel::HashJoin.order_cost(&order, &q), 100.0 + 100.0 + 1_000.0);

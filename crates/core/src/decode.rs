@@ -15,11 +15,7 @@ use crate::query::Query;
 
 /// Decodes one binary assignment into a join order, or `None` when the
 /// `tii` variables do not describe an unambiguous left-deep tree.
-pub fn decode_assignment(
-    x: &[bool],
-    registry: &VarRegistry,
-    query: &Query,
-) -> Option<JoinOrder> {
+pub fn decode_assignment(x: &[bool], registry: &VarRegistry, query: &Query) -> Option<JoinOrder> {
     let t_count = query.num_relations();
     let j_count = query.num_joins();
     let mut used = vec![false; t_count];
@@ -109,10 +105,8 @@ mod tests {
     use crate::query::Predicate;
 
     fn setup() -> (Query, VarRegistry) {
-        let q = Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q =
+            Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         let milp = build_milp(&q, &JoMilpConfig::minimal(&q));
         (q, milp.registry)
     }
@@ -181,13 +175,8 @@ mod tests {
         let valid_opt = with_tii(&reg, &[(1, 0), (2, 1)]); // cost 101000 (optimal)
         let valid_subopt = with_tii(&reg, &[(1, 1), (2, 0)]); // [0,2,1]: cross product first
         let invalid = with_tii(&reg, &[(0, 0), (1, 0)]);
-        let reads = vec![
-            valid_opt.clone(),
-            valid_opt.clone(),
-            valid_subopt,
-            invalid.clone(),
-            invalid,
-        ];
+        let reads =
+            vec![valid_opt.clone(), valid_opt.clone(), valid_subopt, invalid.clone(), invalid];
         let set = SampleSet::from_reads(reads, |_| 0.0);
         let quality = assess_samples(&set, &reg, &q, 101_000.0);
         assert!((quality.valid_fraction - 0.6).abs() < 1e-12);

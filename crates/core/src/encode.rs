@@ -155,8 +155,7 @@ impl JoQubo {
             }
             // Decompose the residual greedily over the (descending-weight)
             // slack bits; all weights are ω·2^i so greedy is exact.
-            slack_terms
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            slack_terms.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             for (var, coef) in slack_terms {
                 if residual >= coef - 1e-9 {
                     x[var] = true;
@@ -219,10 +218,7 @@ mod tests {
     use qjo_qubo::solve::{ExactSolver, SimulatedAnnealing};
 
     fn paper_example() -> Query {
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     #[test]
@@ -296,17 +292,12 @@ mod tests {
         let base = qubits_with_preds(0);
         for p in 1..=3 {
             let n = qubits_with_preds(p);
-            assert_eq!(
-                n,
-                base + 3 * p,
-                "each predicate adds pao + two slack bits = 3 qubits"
-            );
+            assert_eq!(n, base + 3 * p, "each predicate adds pao + two slack bits = 3 qubits");
         }
 
         let q = gen.with_predicate_count(0, 0);
-        let qubits_at = |omega: f64| {
-            JoEncoder { omega, ..Default::default() }.encode(&q).num_qubits()
-        };
+        let qubits_at =
+            |omega: f64| JoEncoder { omega, ..Default::default() }.encode(&q).num_qubits();
         assert!(qubits_at(0.1) > qubits_at(1.0));
         assert!(qubits_at(0.001) > qubits_at(0.1));
     }
@@ -325,11 +316,8 @@ mod tests {
         for graph in [QueryGraph::Chain, QueryGraph::Cycle] {
             for seed in 0..4 {
                 let q = QueryGenerator::paper_defaults(graph, 4).generate(seed);
-                let enc = JoEncoder {
-                    thresholds: ThresholdSpec::Auto(2),
-                    ..Default::default()
-                }
-                .encode(&q);
+                let enc = JoEncoder { thresholds: ThresholdSpec::Auto(2), ..Default::default() }
+                    .encode(&q);
                 for perm in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]] {
                     let order = JoinOrder::new(perm.to_vec(), 4).unwrap();
                     let x = enc

@@ -48,17 +48,14 @@ pub fn summarize(encoded: &JoQubo) -> EncodingSummary {
         (ConstraintKind::CardThreshold, "cardinality thresholds"),
     ];
     let counts = encoded.milp.constraint_counts();
-    let constraints = kinds
-        .iter()
-        .map(|&(k, label)| (label, counts.get(&k).copied().unwrap_or(0)))
-        .collect();
+    let constraints =
+        kinds.iter().map(|&(k, label)| (label, counts.get(&k).copied().unwrap_or(0))).collect();
     EncodingSummary {
         relations: encoded.query.num_relations(),
         predicates: encoded.query.num_predicates(),
         var_counts: encoded.registry.counts(),
         qubits: encoded.num_qubits(),
-        qubit_bound: qubit_upper_bound(&encoded.query, encoded.log_thresholds.len(), 1.0)
-            .total(),
+        qubit_bound: qubit_upper_bound(&encoded.query, encoded.log_thresholds.len(), 1.0).total(),
         constraints,
         log_thresholds: encoded.log_thresholds.clone(),
         penalty_a: encoded.penalty_a,
@@ -86,15 +83,10 @@ pub fn explain(encoded: &JoQubo) -> String {
             let _ = writeln!(out, "    {label:<26} {n}");
         }
     }
-    let thetas: Vec<String> =
-        s.log_thresholds.iter().map(|t| format!("10^{t}")).collect();
+    let thetas: Vec<String> = s.log_thresholds.iter().map(|t| format!("10^{t}")).collect();
     let _ = writeln!(out, "  thresholds θ: {}", thetas.join(", "));
     let _ = writeln!(out, "  penalty A = {}", s.penalty_a);
-    let _ = writeln!(
-        out,
-        "  QUBO: {} couplings, max degree {}",
-        s.interactions, s.max_degree
-    );
+    let _ = writeln!(out, "  QUBO: {} couplings, max degree {}", s.interactions, s.max_degree);
     out
 }
 
@@ -105,10 +97,8 @@ mod tests {
     use crate::query::{Predicate, Query};
 
     fn paper_example() -> JoQubo {
-        let q = Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q =
+            Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         JoEncoder::default().encode(&q)
     }
 
@@ -126,11 +116,8 @@ mod tests {
         assert!(s.max_degree >= 2);
         // The pruned 3-relation model keeps exactly T operand-disjointness
         // constraints.
-        let disjoint = s
-            .constraints
-            .iter()
-            .find(|(l, _)| *l == "operand disjointness")
-            .expect("kind present");
+        let disjoint =
+            s.constraints.iter().find(|(l, _)| *l == "operand disjointness").expect("kind present");
         assert_eq!(disjoint.1, 3);
     }
 

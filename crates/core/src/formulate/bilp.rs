@@ -92,10 +92,7 @@ mod tests {
     use crate::query::{Predicate, Query};
 
     fn paper_example() -> Query {
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     #[test]

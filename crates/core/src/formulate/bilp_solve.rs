@@ -70,10 +70,7 @@ impl<'a> Search<'a> {
         if let Some(best) = &self.best {
             // All objective coefficients are ≥ 0 in the JO model; negative
             // coefficients are accounted for pessimistically.
-            let optimistic: f64 = self.objective[var..]
-                .iter()
-                .filter(|&&c| c < 0.0)
-                .sum();
+            let optimistic: f64 = self.objective[var..].iter().filter(|&&c| c < 0.0).sum();
             if prefix_obj + optimistic >= best.objective - 1e-12 {
                 return;
             }
@@ -220,10 +217,8 @@ mod tests {
     fn solves_paper_example_to_known_optimum() {
         // Example 3.3: optimal orders put {R0, R1} first; with thresholds
         // θ = {100, 1000} the approximated cost is exactly 100.
-        let q = Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q =
+            Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
         let bilp = milp_to_bilp(&build_milp(&q, &cfg));
         let s = BilpSolver::default().solve(&bilp).expect("feasible model");

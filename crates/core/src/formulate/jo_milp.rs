@@ -29,11 +29,7 @@ impl JoMilpConfig {
     /// The paper's minimal evaluation setting: one auto-placed threshold,
     /// ω = 1 (zero decimal places), pruning on.
     pub fn minimal(query: &Query) -> Self {
-        JoMilpConfig {
-            log_thresholds: auto_thresholds(query, 1),
-            omega: 1.0,
-            prune: true,
-        }
+        JoMilpConfig { log_thresholds: auto_thresholds(query, 1), omega: 1.0, prune: true }
     }
 }
 
@@ -245,10 +241,7 @@ mod tests {
     use crate::querygen::QueryGenerator;
 
     fn paper_example() -> Query {
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     fn counts(m: &Milp, kind: ConstraintKind) -> usize {
@@ -265,7 +258,7 @@ mod tests {
         assert_eq!(tio, 6); // T·J
         assert_eq!(tii, 6);
         assert_eq!(pao, 1); // P(J−1)
-        // c_1_max = 4 > both thresholds → both cto survive.
+                            // c_1_max = 4 > both thresholds → both cto survive.
         assert_eq!(cto, 2);
         assert_eq!(counts(&m, ConstraintKind::OperandDisjoint), 3); // T
         assert_eq!(counts(&m, ConstraintKind::PredApplicable), 2); // 2P(J−1)
@@ -283,10 +276,8 @@ mod tests {
             &q,
             &JoMilpConfig { log_thresholds: thresholds.clone(), omega: 1.0, prune: true },
         );
-        let original = build_milp(
-            &q,
-            &JoMilpConfig { log_thresholds: thresholds, omega: 1.0, prune: false },
-        );
+        let original =
+            build_milp(&q, &JoMilpConfig { log_thresholds: thresholds, omega: 1.0, prune: false });
         // Table 1's accounting: pao PJ vs P(J−1); cto RJ vs ≤R(J−1);
         // disjointness TJ vs T; predicate constraints 2PJ vs 2P(J−1).
         let (_, _, pao_o, cto_o, _) = original.registry.counts();
@@ -452,10 +443,7 @@ mod tests {
         };
         let even = fidelity(&auto_thresholds(&q, 2));
         let quant = fidelity(&quantile_thresholds(&q, 2, 500, 3));
-        assert!(
-            quant >= even - 1e-9,
-            "quantile fidelity {quant:.3} below even {even:.3}"
-        );
+        assert!(quant >= even - 1e-9, "quantile fidelity {quant:.3} below even {even:.3}");
     }
 
     fn permute<F: FnMut(&[usize])>(p: &mut Vec<usize>, k: usize, f: &mut F) {

@@ -131,7 +131,13 @@ mod tests {
         assert!(!c.satisfied(&[true, true]));
         assert!(!c.satisfied(&[false, false]));
 
-        let le = Constraint::le(ConstraintKind::OperandDisjoint, vec![(0, 1.0), (1, 1.0)], 1.0, 1.0, 1.0);
+        let le = Constraint::le(
+            ConstraintKind::OperandDisjoint,
+            vec![(0, 1.0), (1, 1.0)],
+            1.0,
+            1.0,
+            1.0,
+        );
         assert!(le.satisfied(&[true, false]));
         assert!(!le.satisfied(&[true, true]));
     }

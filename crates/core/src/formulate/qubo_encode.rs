@@ -57,9 +57,8 @@ pub fn bilp_to_qubo(bilp: &Bilp, config: &QuboEncodeConfig) -> EncodedQubo {
     assert!(config.omega > 0.0, "ω must be positive");
     let n = bilp.num_vars();
     let c_sum: f64 = bilp.objective.iter().map(|&(_, c)| c.abs()).sum();
-    let penalty_a = config
-        .penalty_override
-        .unwrap_or(c_sum / (config.omega * config.omega) + config.epsilon);
+    let penalty_a =
+        config.penalty_override.unwrap_or(c_sum / (config.omega * config.omega) + config.epsilon);
     assert!(penalty_a > 0.0, "penalty must be positive");
 
     let mut qubo = Qubo::new(n);
@@ -113,11 +112,7 @@ mod tests {
     fn penalty_energy_is_zero_exactly_on_feasible_points() {
         // x0 + x1 = 1, no objective: feasible points at energy 0, the rest
         // penalised by A.
-        let b = tiny_bilp(
-            vec![BilpRow { terms: vec![(0, 1.0), (1, 1.0)], rhs: 1.0 }],
-            2,
-            vec![],
-        );
+        let b = tiny_bilp(vec![BilpRow { terms: vec![(0, 1.0), (1, 1.0)], rhs: 1.0 }], 2, vec![]);
         let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
         assert_eq!(e.qubo.energy(&[true, false]).unwrap(), 0.0);
         assert_eq!(e.qubo.energy(&[false, true]).unwrap(), 0.0);
@@ -162,10 +157,8 @@ mod tests {
 
     #[test]
     fn qubo_minimum_matches_bilp_optimum_on_paper_example() {
-        let q = Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        );
+        let q =
+            Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
         let cfg = JoMilpConfig { log_thresholds: vec![2.0, 3.0], omega: 1.0, prune: true };
         let bilp = milp_to_bilp(&build_milp(&q, &cfg));
         let bilp_opt = BilpSolver::default().solve(&bilp).expect("feasible");
@@ -187,22 +180,15 @@ mod tests {
     fn coefficient_rounding_keeps_valid_energies_exact() {
         // A nearly-integral coefficient (2.0000004) must round so the
         // feasible point's penalty is exactly zero.
-        let b = tiny_bilp(
-            vec![BilpRow { terms: vec![(0, 2.0000004), (1, 1.0)], rhs: 3.0 }],
-            2,
-            vec![],
-        );
+        let b =
+            tiny_bilp(vec![BilpRow { terms: vec![(0, 2.0000004), (1, 1.0)], rhs: 3.0 }], 2, vec![]);
         let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
         assert_eq!(e.qubo.energy(&[true, true]).unwrap(), 0.0);
     }
 
     #[test]
     fn zero_coefficient_terms_are_dropped() {
-        let b = tiny_bilp(
-            vec![BilpRow { terms: vec![(0, 0.2), (1, 1.0)], rhs: 1.0 }],
-            2,
-            vec![],
-        );
+        let b = tiny_bilp(vec![BilpRow { terms: vec![(0, 0.2), (1, 1.0)], rhs: 1.0 }], 2, vec![]);
         // ω = 1 rounds 0.2 → 0, so x0 must vanish from the penalty graph.
         let e = bilp_to_qubo(&b, &QuboEncodeConfig::paper_default(1.0));
         assert_eq!(e.qubo.num_interactions(), 0);

@@ -87,10 +87,7 @@ mod tests {
     /// The running example of the paper (Example 3.3): three relations of
     /// cardinality 100 and one predicate R⋈S with selectivity 0.1.
     fn example_query() -> Query {
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     #[test]

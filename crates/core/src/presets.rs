@@ -21,19 +21,19 @@ pub struct CatalogRelation {
 
 /// The IMDB-like catalogue used by the Join Order Benchmark.
 pub const IMDB_CATALOG: &[CatalogRelation] = &[
-    CatalogRelation { name: "title", log_card: 6.4 },            // ~2.5 M
-    CatalogRelation { name: "movie_info", log_card: 7.2 },       // ~14.8 M
-    CatalogRelation { name: "cast_info", log_card: 7.6 },        // ~36 M
-    CatalogRelation { name: "name", log_card: 6.6 },             // ~4.2 M
-    CatalogRelation { name: "movie_keyword", log_card: 6.7 },    // ~4.5 M
-    CatalogRelation { name: "keyword", log_card: 5.1 },          // ~134 k
-    CatalogRelation { name: "movie_companies", log_card: 6.4 },  // ~2.6 M
-    CatalogRelation { name: "company_name", log_card: 5.4 },     // ~235 k
-    CatalogRelation { name: "company_type", log_card: 0.6 },     // 4
-    CatalogRelation { name: "info_type", log_card: 2.0 },        // 113
-    CatalogRelation { name: "movie_info_idx", log_card: 6.1 },   // ~1.4 M
-    CatalogRelation { name: "kind_type", log_card: 0.8 },        // 7
-    CatalogRelation { name: "aka_name", log_card: 5.9 },         // ~900 k
+    CatalogRelation { name: "title", log_card: 6.4 }, // ~2.5 M
+    CatalogRelation { name: "movie_info", log_card: 7.2 }, // ~14.8 M
+    CatalogRelation { name: "cast_info", log_card: 7.6 }, // ~36 M
+    CatalogRelation { name: "name", log_card: 6.6 },  // ~4.2 M
+    CatalogRelation { name: "movie_keyword", log_card: 6.7 }, // ~4.5 M
+    CatalogRelation { name: "keyword", log_card: 5.1 }, // ~134 k
+    CatalogRelation { name: "movie_companies", log_card: 6.4 }, // ~2.6 M
+    CatalogRelation { name: "company_name", log_card: 5.4 }, // ~235 k
+    CatalogRelation { name: "company_type", log_card: 0.6 }, // 4
+    CatalogRelation { name: "info_type", log_card: 2.0 }, // 113
+    CatalogRelation { name: "movie_info_idx", log_card: 6.1 }, // ~1.4 M
+    CatalogRelation { name: "kind_type", log_card: 0.8 }, // 7
+    CatalogRelation { name: "aka_name", log_card: 5.9 }, // ~900 k
 ];
 
 /// Builds a JOB-style star-with-dimension query over the first
@@ -50,13 +50,9 @@ pub fn imdb_star_query(num_relations: usize, log_sel: f64) -> (Query, Vec<&'stat
     assert!(log_sel <= 0.0, "selectivity logs are non-positive");
     let relations = &IMDB_CATALOG[..num_relations];
     let log_cards = relations.iter().map(|r| r.log_card).collect();
-    let predicates = (1..num_relations)
-        .map(|i| Predicate { rel_a: 0, rel_b: i, log_sel })
-        .collect();
-    (
-        Query::new(log_cards, predicates),
-        relations.iter().map(|r| r.name).collect(),
-    )
+    let predicates =
+        (1..num_relations).map(|i| Predicate { rel_a: 0, rel_b: i, log_sel }).collect();
+    (Query::new(log_cards, predicates), relations.iter().map(|r| r.name).collect())
 }
 
 /// Builds a JOB-style chain query (fact → dimension → sub-dimension …)
@@ -70,13 +66,9 @@ pub fn imdb_chain_query(num_relations: usize, log_sel: f64) -> (Query, Vec<&'sta
     assert!(log_sel <= 0.0, "selectivity logs are non-positive");
     let relations = &IMDB_CATALOG[..num_relations];
     let log_cards = relations.iter().map(|r| r.log_card).collect();
-    let predicates = (1..num_relations)
-        .map(|i| Predicate { rel_a: i - 1, rel_b: i, log_sel })
-        .collect();
-    (
-        Query::new(log_cards, predicates),
-        relations.iter().map(|r| r.name).collect(),
-    )
+    let predicates =
+        (1..num_relations).map(|i| Predicate { rel_a: i - 1, rel_b: i, log_sel }).collect();
+    (Query::new(log_cards, predicates), relations.iter().map(|r| r.name).collect())
 }
 
 #[cfg(test)]

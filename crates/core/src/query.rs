@@ -55,10 +55,7 @@ impl Query {
         for p in &predicates {
             assert!(p.rel_a < t && p.rel_b < t, "predicate references unknown relation");
             assert_ne!(p.rel_a, p.rel_b, "self-join predicates are not supported");
-            assert!(
-                p.log_sel <= 0.0 && p.log_sel.is_finite(),
-                "selectivities must be in (0, 1]"
-            );
+            assert!(p.log_sel <= 0.0 && p.log_sel.is_finite(), "selectivities must be in (0, 1]");
         }
         Query { log_cards, predicates }
     }
@@ -146,10 +143,7 @@ mod tests {
 
     fn three_rel() -> Query {
         // Cards 100, 100, 100; one predicate R0–R1 with selectivity 0.1.
-        Query::new(
-            vec![2.0, 2.0, 2.0],
-            vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-        )
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
     }
 
     #[test]

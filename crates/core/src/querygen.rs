@@ -44,19 +44,12 @@ impl QueryGenerator {
     /// Generates one query from the given seed.
     pub fn generate(&self, seed: u64) -> Query {
         assert!(self.num_relations >= 2, "need at least two relations");
-        assert!(
-            self.log_sel_range.1 <= 0.0,
-            "selectivity logs must be non-positive"
-        );
+        assert!(self.log_sel_range.1 <= 0.0, "selectivity logs must be non-positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let t = self.num_relations;
 
         let mut draw = |range: (f64, f64)| -> f64 {
-            let v = if range.0 == range.1 {
-                range.0
-            } else {
-                rng.random_range(range.0..=range.1)
-            };
+            let v = if range.0 == range.1 { range.0 } else { rng.random_range(range.0..=range.1) };
             if self.integer_log {
                 v.round()
             } else {
@@ -105,8 +98,7 @@ impl QueryGenerator {
     /// relations" scenario (0 predicates forces cross products everywhere).
     pub fn with_predicate_count(&self, seed: u64, predicates: usize) -> Query {
         let full = self.generate(seed);
-        let kept: Vec<Predicate> =
-            full.predicates().iter().copied().take(predicates).collect();
+        let kept: Vec<Predicate> = full.predicates().iter().copied().take(predicates).collect();
         Query::new(full.log_cards().to_vec(), kept)
     }
 }

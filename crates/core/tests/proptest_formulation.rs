@@ -1,101 +1,137 @@
-//! Property-based tests for the JO → MILP → BILP → QUBO chain.
+//! Property-style tests for the JO → MILP → BILP → QUBO chain.
+//!
+//! Each property runs over a deterministic family of random queries drawn
+//! from a seeded [`StdRng`] — the hermetic stand-in for the proptest
+//! strategies the suite originally used. Seeds are fixed so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use qjo_core::classical::dp_optimal;
 use qjo_core::decode::decode_assignment;
 use qjo_core::formulate::{milp_to_bilp, BilpSolver, JoVar};
-use qjo_core::{qubit_upper_bound, JoEncoder, Predicate, Query, QueryGraph, QueryGenerator, ThresholdSpec};
+use qjo_core::{
+    qubit_upper_bound, JoEncoder, Predicate, Query, QueryGenerator, QueryGraph, ThresholdSpec,
+};
 use qjo_qubo::solve::ExactSolver;
 
-/// Strategy for small random integer-log queries.
-fn arb_query() -> impl Strategy<Value = Query> {
-    (2usize..=4, 0u64..1000, prop::sample::select(vec![
-        QueryGraph::Chain,
-        QueryGraph::Star,
-        QueryGraph::Cycle,
-    ]))
-        .prop_filter("cycle needs 3 relations", |(t, _, g)| {
-            !(matches!(g, QueryGraph::Cycle) && *t < 3)
-        })
-        .prop_map(|(t, seed, graph)| QueryGenerator::paper_defaults(graph, t).generate(seed))
+/// Draws a small random integer-log query (2–4 relations; cycles need 3+).
+fn arb_query(rng: &mut StdRng) -> Query {
+    loop {
+        let t = rng.random_range(2usize..=4);
+        let graph =
+            [QueryGraph::Chain, QueryGraph::Star, QueryGraph::Cycle][rng.random_range(0..3usize)];
+        if matches!(graph, QueryGraph::Cycle) && t < 3 {
+            continue;
+        }
+        let seed = rng.random_range(0u64..1000);
+        return QueryGenerator::paper_defaults(graph, t).generate(seed);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorem 5.3: the bound dominates the exact variable count for any
-    /// query, threshold count, and precision.
-    #[test]
-    fn qubit_bound_dominates(query in arb_query(), r in 1usize..4, d in 0u32..3) {
-        let omega = 10f64.powi(-(d as i32));
-        let enc = JoEncoder {
-            thresholds: ThresholdSpec::Auto(r),
-            omega,
-            ..Default::default()
-        }
-        .encode(&query);
-        let bound = qubit_upper_bound(&query, r, omega).total();
-        prop_assert!(enc.num_qubits() <= bound, "{} > {bound}", enc.num_qubits());
+fn for_cases(cases: u64, mut body: impl FnMut(&mut StdRng, u64)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xF0_2000 + case);
+        body(&mut rng, case);
     }
+}
 
-    /// The QUBO ground state always decodes to a *valid* join order, and
-    /// its BILP image is feasible with matching objective.
-    #[test]
-    fn ground_state_is_valid(query in arb_query()) {
+/// Theorem 5.3: the bound dominates the exact variable count for any
+/// query, threshold count, and precision.
+#[test]
+fn qubit_bound_dominates() {
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
+        let r = rng.random_range(1usize..4);
+        let d = rng.random_range(0u32..3);
+        let omega = 10f64.powi(-(d as i32));
+        let enc = JoEncoder { thresholds: ThresholdSpec::Auto(r), omega, ..Default::default() }
+            .encode(&query);
+        let bound = qubit_upper_bound(&query, r, omega).total();
+        assert!(enc.num_qubits() <= bound, "case {case}: {} > {bound}", enc.num_qubits());
+    });
+}
+
+/// The QUBO ground state always decodes to a *valid* join order, and
+/// its BILP image is feasible with matching objective.
+#[test]
+fn ground_state_is_valid() {
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
         let enc = JoEncoder::default().encode(&query);
-        prop_assume!(enc.num_qubits() <= 24); // exact-solver budget
+        if enc.num_qubits() > 24 {
+            return; // exact-solver budget
+        }
         let ground = ExactSolver::new().solve(&enc.qubo).expect("fits");
         let order = decode_assignment(&ground.assignment, &enc.registry, &query);
-        prop_assert!(order.is_some(), "invalid ground state");
-        prop_assert!(enc.bilp.feasible(&ground.assignment, 1e-6));
+        assert!(order.is_some(), "case {case}: invalid ground state");
+        assert!(enc.bilp.feasible(&ground.assignment, 1e-6), "case {case}");
         let obj = enc.bilp.objective_value(&ground.assignment);
-        prop_assert!((obj - ground.energy).abs() < 1e-6, "{obj} vs {ground:?}");
-    }
+        assert!((obj - ground.energy).abs() < 1e-6, "case {case}: {obj} vs {ground:?}");
+    });
+}
 
-    /// The QUBO minimum equals the BILP optimum (penalty encoding is tight).
-    #[test]
-    fn qubo_matches_bilp_optimum(query in arb_query()) {
+/// The QUBO minimum equals the BILP optimum (penalty encoding is tight).
+#[test]
+fn qubo_matches_bilp_optimum() {
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
         let enc = JoEncoder::default().encode(&query);
-        prop_assume!(enc.num_qubits() <= 22); // keep branch & bound fast too
+        if enc.num_qubits() > 22 {
+            return; // keep branch & bound fast too
+        }
         let qubo_min = ExactSolver::new().min_energy(&enc.qubo).expect("fits");
         let bilp_opt = BilpSolver::default().solve(&enc.bilp).expect("feasible");
-        prop_assert!(
+        assert!(
             (qubo_min - bilp_opt.objective).abs() < 1e-6,
-            "QUBO {qubo_min} vs BILP {}",
+            "case {case}: QUBO {qubo_min} vs BILP {}",
             bilp_opt.objective
         );
-    }
+    });
+}
 
-    /// Pruning shrinks the model, keeps the ground state valid, and never
-    /// raises the optimum. (The optima need not be *equal*: the original
-    /// Trummer–Koch model also charges the j = 0 outer operand — the base
-    /// relation scan — which the paper's `C_out`-based pruning drops, so
-    /// the original objective carries extra non-negative terms.)
-    #[test]
-    fn pruning_shrinks_without_breaking_validity(query in arb_query()) {
+/// Pruning shrinks the model, keeps the ground state valid, and never
+/// raises the optimum. (The optima need not be *equal*: the original
+/// Trummer–Koch model also charges the j = 0 outer operand — the base
+/// relation scan — which the paper's `C_out`-based pruning drops, so
+/// the original objective carries extra non-negative terms.)
+#[test]
+fn pruning_shrinks_without_breaking_validity() {
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
         let pruned = JoEncoder::default().encode(&query);
         let original = JoEncoder { prune: false, ..Default::default() }.encode(&query);
-        prop_assume!(original.num_qubits() <= 24);
-        prop_assert!(pruned.num_qubits() < original.num_qubits());
+        if original.num_qubits() > 24 {
+            return;
+        }
+        assert!(pruned.num_qubits() < original.num_qubits(), "case {case}");
         let a = ExactSolver::new().solve(&pruned.qubo).expect("fits");
         let b = ExactSolver::new().solve(&original.qubo).expect("fits");
-        prop_assert!(a.energy <= b.energy + 1e-6, "pruned {} vs original {}", a.energy, b.energy);
+        assert!(
+            a.energy <= b.energy + 1e-6,
+            "case {case}: pruned {} vs original {}",
+            a.energy,
+            b.energy
+        );
         // Both ground states decode to valid join orders.
-        prop_assert!(decode_assignment(&a.assignment, &pruned.registry, &query).is_some());
-        prop_assert!(decode_assignment(&b.assignment, &original.registry, &query).is_some());
-    }
+        assert!(decode_assignment(&a.assignment, &pruned.registry, &query).is_some());
+        assert!(decode_assignment(&b.assignment, &original.registry, &query).is_some());
+    });
+}
 
-    /// Decoding is the inverse of hand-encoding a join order through the
-    /// tii variables.
-    #[test]
-    fn encode_decode_round_trip(query in arb_query(), perm_seed in 0u64..100) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+/// Decoding is the inverse of hand-encoding a join order through the
+/// tii variables.
+#[test]
+fn encode_decode_round_trip() {
+    use rand::seq::SliceRandom;
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
+        let perm_seed = rng.random_range(0u64..100);
         let t = query.num_relations();
         let mut order: Vec<usize> = (0..t).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(perm_seed);
-        order.shuffle(&mut rng);
+        let mut perm_rng = StdRng::seed_from_u64(perm_seed);
+        order.shuffle(&mut perm_rng);
 
         let enc = JoEncoder::default().encode(&query);
         let mut x = vec![false; enc.num_qubits()];
@@ -104,31 +140,34 @@ proptest! {
             x[idx] = true;
         }
         let decoded = decode_assignment(&x, &enc.registry, &query).expect("valid by construction");
-        prop_assert_eq!(decoded.order, order);
-    }
+        assert_eq!(decoded.order, order, "case {case}");
+    });
+}
 
-    /// The milp→bilp conversion preserves feasibility status on the
-    /// ground-state assignment restricted to original variables.
-    #[test]
-    fn milp_and_bilp_agree_on_ground_state(query in arb_query()) {
+/// The milp→bilp conversion preserves feasibility status on the
+/// ground-state assignment restricted to original variables.
+#[test]
+fn milp_and_bilp_agree_on_ground_state() {
+    for_cases(24, |rng, case| {
+        let query = arb_query(rng);
         let enc = JoEncoder::default().encode(&query);
-        prop_assume!(enc.num_qubits() <= 24);
+        if enc.num_qubits() > 24 {
+            return;
+        }
         let ground = ExactSolver::new().solve(&enc.qubo).expect("fits");
         // BILP feasibility (with slack) must imply MILP feasibility of the
         // original-variable projection.
-        prop_assert!(enc.bilp.feasible(&ground.assignment, 1e-6));
-        prop_assert!(enc.milp.feasible(&ground.assignment[..enc.milp.registry.len()]));
-    }
+        assert!(enc.bilp.feasible(&ground.assignment, 1e-6), "case {case}");
+        assert!(enc.milp.feasible(&ground.assignment[..enc.milp.registry.len()]), "case {case}");
+    });
 }
 
 #[test]
 fn dp_is_a_lower_bound_for_all_decodable_assignments() {
     // Deterministic spot check: every decodable assignment costs at least
     // the DP optimum.
-    let query = Query::new(
-        vec![2.0, 2.0, 2.0],
-        vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-    );
+    let query =
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
     let enc = JoEncoder::default().encode(&query);
     let (_, optimal) = dp_optimal(&query);
     let exact = ExactSolver::new();

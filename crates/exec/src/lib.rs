@@ -1,0 +1,305 @@
+//! Deterministic parallel execution for solvers, samplers, and sweeps.
+//!
+//! Every Monte-Carlo quantity in this workspace — SA/tabu restarts, SQA
+//! reads, noisy-trajectory shots, grid evaluations, experiment cells — is
+//! a map over independent work units. This crate provides that map in a
+//! form whose output is **bit-identical at any thread count**:
+//!
+//! * [`par_map`] preserves input order and never lets scheduling reach
+//!   the results: unit `i`'s output always lands in slot `i`.
+//! * [`par_map_seeded`] additionally hands unit `i` its own
+//!   [`StdRng`] derived from `(base_seed, i)` via [`stream_seed`], so no
+//!   RNG is shared across units and the draw sequence seen by a unit
+//!   cannot depend on which thread ran it or in what order.
+//! * [`Parallelism`] is the thread-count knob plumbed through solver and
+//!   sampler configs; it changes wall-clock only, never results.
+//!
+//! # Seed-stream derivation
+//!
+//! `stream_seed(base, i)` is the `(i + 1)`-th output of a SplitMix64
+//! generator seeded with `base`: the counter is advanced `i + 1`
+//! golden-ratio steps and finalised. Streams for different units are
+//! therefore as statistically independent as SplitMix64's split
+//! operation provides, and the mapping is a pure function — re-running
+//! with the same `(base, i)` always yields the same stream.
+//!
+//! # Panic propagation
+//!
+//! If a work-unit closure panics, [`par_map`] finishes cleanly (no
+//! poisoned locks, no secondary worker deaths) and re-raises the payload
+//! of the **lowest-indexed** failing unit on the caller's thread, so the
+//! surfaced panic is deterministic too.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread-count configuration for parallel maps.
+///
+/// `threads == 0` means "auto": one thread per available core. Any other
+/// value is used as given (and still capped at the number of work units).
+/// The setting affects wall-clock time only — results are identical for
+/// every value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads to use; `0` resolves to the available core count.
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// One thread per available core.
+    pub fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Exactly one thread: runs on the caller, no spawning.
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// A fixed thread count (`0` means auto).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn resolve(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for Parallelism {
+    /// Auto: one thread per available core.
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// Derives the seed of work unit `unit_index`'s RNG stream from a base
+/// seed.
+///
+/// This is the `(unit_index + 1)`-th output of a SplitMix64 sequence
+/// seeded with `base_seed`; see the module docs for the independence
+/// argument.
+#[inline]
+pub fn stream_seed(base_seed: u64, unit_index: u64) -> u64 {
+    let counter =
+        base_seed.wrapping_add(unit_index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = counter;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `items` on up to `parallelism.resolve()` scoped threads,
+/// preserving input order in the output.
+///
+/// Work units are handed out dynamically (an atomic cursor), but each
+/// unit's result is written to its input slot, so the output is
+/// independent of scheduling. With one thread (or one item) the map runs
+/// inline on the caller with no spawning.
+///
+/// # Panics
+/// Re-raises the panic payload of the lowest-indexed failing unit after
+/// all workers have stopped.
+pub fn par_map<T, R, F>(items: Vec<T>, parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_indexed(items, parallelism, |_, item| f(item))
+}
+
+/// [`par_map`] where each unit also receives its own deterministic RNG,
+/// seeded with [`stream_seed`]`(base_seed, index)`.
+///
+/// This is the primitive behind every parallelised restart/read/
+/// trajectory loop: one generator per unit, derived from the unit index,
+/// shared with nobody.
+pub fn par_map_seeded<T, R, F>(
+    items: Vec<T>,
+    base_seed: u64,
+    parallelism: Parallelism,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, &mut StdRng) -> R + Sync,
+{
+    par_map_indexed(items, parallelism, |index, item| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, index as u64));
+        f(item, &mut rng)
+    })
+}
+
+/// Order-preserving parallel map where the closure also sees the unit
+/// index.
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, parallelism: Parallelism, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = parallelism.resolve().max(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Jobs are taken via an atomic cursor; each worker owns the item it
+    // claimed. Results are pushed with their index and sorted afterwards,
+    // so no lock is ever held across `f` and a panic cannot poison
+    // anything another worker needs.
+    let jobs: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let item = jobs[index]
+                    .lock()
+                    .expect("job slot is locked once and f runs outside it")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                    Ok(out) => {
+                        results
+                            .lock()
+                            .expect("no panic ever unwinds while holding the results lock")
+                            .push((index, out));
+                    }
+                    Err(payload) => {
+                        failed.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic
+                            .lock()
+                            .expect("no panic ever unwinds while holding the panic slot");
+                        match &*slot {
+                            Some((earlier, _)) if *earlier <= index => {}
+                            _ => *slot = Some((index, payload)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, payload)) = first_panic.into_inner().expect("workers joined") {
+        resume_unwind(payload);
+    }
+    let mut indexed = results.into_inner().expect("workers joined");
+    indexed.sort_unstable_by_key(|&(index, _)| index);
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn preserves_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map(items.clone(), Parallelism::new(threads), |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seeded_map_is_identical_across_thread_counts() {
+        let draw = |_: usize, rng: &mut StdRng| -> Vec<f64> {
+            (0..16).map(|_| rng.random::<f64>()).collect()
+        };
+        let items: Vec<usize> = (0..37).collect();
+        let sequential = par_map_seeded(items.clone(), 42, Parallelism::sequential(), draw);
+        for threads in [2, 4, 8] {
+            let parallel = par_map_seeded(items.clone(), 42, Parallelism::new(threads), draw);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_reproducible() {
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1, u64::MAX] {
+            for i in 0..1_000 {
+                assert_eq!(stream_seed(base, i), stream_seed(base, i));
+                seen.insert(stream_seed(base, i));
+            }
+        }
+        assert_eq!(seen.len(), 3_000, "stream seeds collided");
+    }
+
+    #[test]
+    fn stream_seed_matches_splitmix_sequence() {
+        // Unit i's seed is the (i+1)-th output of SplitMix64(base).
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..10 {
+            assert_eq!(rng.next_u64(), stream_seed(99, i));
+        }
+    }
+
+    use rand::RngCore;
+
+    #[test]
+    #[should_panic(expected = "boom at unit 13")]
+    fn propagates_the_original_panic_payload() {
+        par_map((0..64).collect::<Vec<usize>>(), Parallelism::new(4), |x| {
+            if x == 13 {
+                panic!("boom at unit 13");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn propagates_the_lowest_indexed_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_indexed((0..32).collect::<Vec<usize>>(), Parallelism::sequential(), |i, _| {
+                if i >= 5 {
+                    panic!("unit {i} failed");
+                }
+                i
+            })
+        })
+        .expect_err("must panic");
+        let message =
+            caught.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string payload".into());
+        assert_eq!(message, "unit 5 failed");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u32> = par_map(Vec::new(), Parallelism::auto(), |x: u32| x);
+        assert!(empty.is_empty());
+        let one = par_map(vec![7], Parallelism::auto(), |x| x + 1);
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one_thread() {
+        assert!(Parallelism::auto().resolve() >= 1);
+        assert_eq!(Parallelism::sequential().resolve(), 1);
+        assert_eq!(Parallelism::new(5).resolve(), 5);
+    }
+}

@@ -51,8 +51,17 @@ impl Gate {
     pub fn qubits(&self) -> GateQubits {
         use Gate::*;
         match *self {
-            H(q) | X(q) | Y(q) | Z(q) | S(q) | Sdg(q) | Sx(q) | Rx(q, _) | Ry(q, _)
-            | Rz(q, _) | Phase(q, _) => GateQubits::One(q),
+            H(q)
+            | X(q)
+            | Y(q)
+            | Z(q)
+            | S(q)
+            | Sdg(q)
+            | Sx(q)
+            | Rx(q, _)
+            | Ry(q, _)
+            | Rz(q, _)
+            | Phase(q, _) => GateQubits::One(q),
             Cx(a, b) | Cz(a, b) | Swap(a, b) | Rzz(a, b, _) | Rxx(a, b, _) => GateQubits::Two(a, b),
         }
     }
@@ -114,12 +123,9 @@ impl Gate {
             Z(_) => [ONE, ZERO, ZERO, C64::real(-1.0)],
             S(_) => [ONE, ZERO, ZERO, I],
             Sdg(_) => [ONE, ZERO, ZERO, -I],
-            Sx(_) => [
-                C64::new(0.5, 0.5),
-                C64::new(0.5, -0.5),
-                C64::new(0.5, -0.5),
-                C64::new(0.5, 0.5),
-            ],
+            Sx(_) => {
+                [C64::new(0.5, 0.5), C64::new(0.5, -0.5), C64::new(0.5, -0.5), C64::new(0.5, 0.5)]
+            }
             Rx(_, t) => {
                 let (s, c) = (t / 2.0).sin_cos();
                 [C64::real(c), C64::new(0.0, -s), C64::new(0.0, -s), C64::real(c)]

@@ -53,9 +53,7 @@ impl ReadoutMitigator {
 
     /// Mitigated mean bits for every variable of a sample set.
     pub fn mean_bits(&self, samples: &SampleSet, num_vars: usize) -> Vec<f64> {
-        (0..num_vars)
-            .map(|i| self.corrected_mean_bit(samples.mean_bit(i)))
-            .collect()
+        (0..num_vars).map(|i| self.corrected_mean_bit(samples.mean_bit(i))).collect()
     }
 
     /// Mitigated spin correlation between two variables of a sample set.

@@ -10,9 +10,13 @@
 //! This reproduces the property the paper's evaluation hinges on: result
 //! quality collapses once circuit duration approaches `min(T1, T2)`, and
 //! deeper circuits (more gates) accumulate proportionally more error.
+//!
+//! Trajectories are independent work units: trajectory `i` derives its
+//! own RNG stream from `(seed, i)` via [`qjo_exec::stream_seed`], so the
+//! returned shots are bit-identical at any [`Parallelism`] setting.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use qjo_exec::{par_map_seeded, Parallelism};
+use rand::RngExt;
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
@@ -119,44 +123,50 @@ pub struct NoisySimulator {
     pub trajectories: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the trajectory loop; affects wall-clock only,
+    /// never results.
+    pub parallelism: Parallelism,
 }
 
 impl NoisySimulator {
     /// Creates an executor with a default of 16 trajectories.
     pub fn new(model: NoiseModel, seed: u64) -> Self {
-        NoisySimulator { model, trajectories: 16, seed }
+        NoisySimulator { model, trajectories: 16, seed, parallelism: Parallelism::auto() }
     }
 
     /// Runs `shots` measurements of `circuit` under the noise model.
+    ///
+    /// Trajectory `i` derives its own RNG stream from `(self.seed, i)`,
+    /// so the result does not depend on [`Self::parallelism`].
     pub fn sample(&self, circuit: &Circuit, shots: usize) -> Vec<Vec<bool>> {
         assert!(self.trajectories >= 1, "need at least one trajectory");
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let n = circuit.num_qubits();
-        let mut out = Vec::with_capacity(shots);
         let base = shots / self.trajectories;
         let extra = shots % self.trajectories;
 
-        for t in 0..self.trajectories {
+        let trajectories: Vec<usize> = (0..self.trajectories).collect();
+        let per_trajectory = par_map_seeded(trajectories, self.seed, self.parallelism, |t, rng| {
             let this_shots = base + usize::from(t < extra);
             if this_shots == 0 {
-                continue;
+                return Vec::new();
             }
             let mut state = StateVector::zero(n);
             for g in circuit.gates() {
                 state.apply(*g);
-                self.insert_errors(&mut state, g, &mut rng);
+                self.insert_errors(&mut state, g, rng);
             }
-            for mut bits in state.sample(&mut rng, this_shots) {
+            let mut out = Vec::with_capacity(this_shots);
+            for mut bits in state.sample(rng, this_shots) {
                 for b in bits.iter_mut() {
-                    if self.model.readout_error > 0.0 && rng.random_bool(self.model.readout_error)
-                    {
+                    if self.model.readout_error > 0.0 && rng.random_bool(self.model.readout_error) {
                         *b = !*b;
                     }
                 }
                 out.push(bits);
             }
-        }
-        out
+            out
+        });
+        per_trajectory.into_iter().flatten().collect()
     }
 
     fn insert_errors<R: RngExt + ?Sized>(&self, state: &mut StateVector, gate: &Gate, rng: &mut R) {
@@ -228,7 +238,7 @@ mod tests {
             c.push(X(0));
         }
         let model = NoiseModel { p_depol_1q: 0.02, p_depol_2q: 0.05, ..NoiseModel::noiseless() };
-        let sim = NoisySimulator { model, trajectories: 64, seed: 1 };
+        let sim = NoisySimulator { trajectories: 64, ..NoisySimulator::new(model, 1) };
         let shots = sim.sample(&c, 2048);
         let agree = shots.iter().filter(|b| b[0] == b[1]).count() as f64 / 2048.0;
         assert!(agree < 0.95, "correlations survived unrealistically: {agree}");
@@ -246,16 +256,13 @@ mod tests {
                 c.push(X(0));
                 c.push(X(0));
             }
-            let sim = NoisySimulator { model, trajectories: 256, seed: 5 };
+            let sim = NoisySimulator { trajectories: 256, ..NoisySimulator::new(model, 5) };
             let shots = sim.sample(&c, 4096);
             shots.iter().filter(|b| b[0]).count() as f64 / 4096.0
         };
         let shallow = error_rate(5);
         let deep = error_rate(80);
-        assert!(
-            deep > shallow + 0.05,
-            "deep error {deep} not clearly above shallow {shallow}"
-        );
+        assert!(deep > shallow + 0.05, "deep error {deep} not clearly above shallow {shallow}");
     }
 
     #[test]
@@ -291,9 +298,29 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_shots() {
+        let mut c = Circuit::new(2);
+        c.push(H(0));
+        c.push(Cx(0, 1));
+        let model = NoiseModel::ibm_auckland();
+        let at = |threads| {
+            let sim = NoisySimulator {
+                trajectories: 6,
+                parallelism: Parallelism::new(threads),
+                ..NoisySimulator::new(model, 11)
+            };
+            sim.sample(&c, 300)
+        };
+        let sequential = at(1);
+        assert_eq!(sequential, at(3));
+        assert_eq!(sequential, at(8));
+    }
+
+    #[test]
     fn shots_split_across_trajectories_exactly() {
         let c = Circuit::new(1);
-        let sim = NoisySimulator { model: NoiseModel::noiseless(), trajectories: 7, seed: 0 };
+        let sim =
+            NoisySimulator { trajectories: 7, ..NoisySimulator::new(NoiseModel::noiseless(), 0) };
         assert_eq!(sim.sample(&c, 100).len(), 100);
         assert_eq!(sim.sample(&c, 3).len(), 3);
     }

@@ -7,6 +7,7 @@
 //! and [`NelderMead`], [`Spsa`], and [`GridSearch`] are provided as
 //! alternatives with different evaluation budgets.
 
+use qjo_exec::Parallelism;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -300,40 +301,48 @@ impl NelderMead {
 
 /// Exhaustive grid search over a box — practical for the `2p = 2` parameters
 /// of depth-1 QAOA, and deterministic.
+///
+/// Evaluations are independent work units and run in parallel under
+/// [`Parallelism`]; the argmin and the running-best history are reduced in
+/// grid order afterwards (first grid point wins ties), so the result is
+/// identical at any thread count. The objective must therefore be `Fn +
+/// Sync` — a pure function of its input.
 #[derive(Debug, Clone)]
 pub struct GridSearch {
     /// Per-dimension `(low, high)` bounds.
     pub bounds: Vec<(f64, f64)>,
     /// Grid points per dimension.
     pub resolution: usize,
+    /// Worker threads for the evaluation loop; affects wall-clock only,
+    /// never results.
+    pub parallelism: Parallelism,
+}
+
+impl Default for GridSearch {
+    /// A placeholder grid for struct-update syntax; `bounds` must be set
+    /// before calling [`GridSearch::minimize`].
+    fn default() -> Self {
+        GridSearch { bounds: Vec::new(), resolution: 2, parallelism: Parallelism::auto() }
+    }
 }
 
 impl GridSearch {
     /// Minimises `f` over the grid.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F) -> OptResult {
+    pub fn minimize<F: Fn(&[f64]) -> f64 + Sync>(&self, f: F) -> OptResult {
         let d = self.bounds.len();
         assert!(d >= 1 && self.resolution >= 2, "degenerate grid");
+
+        // Enumerate grid points in odometer order (dimension 0 fastest),
+        // matching the sequential evaluation order exactly.
+        let mut points: Vec<Vec<f64>> = Vec::new();
         let mut idx = vec![0usize; d];
-        let mut best_x = Vec::new();
-        let mut best_fx = f64::INFINITY;
-        let mut evals = 0usize;
-        let mut history = Vec::new();
-
-        loop {
-            let x: Vec<f64> = idx
-                .iter()
-                .zip(&self.bounds)
-                .map(|(&i, &(lo, hi))| lo + (hi - lo) * i as f64 / (self.resolution - 1) as f64)
-                .collect();
-            let fx = f(&x);
-            evals += 1;
-            if fx < best_fx {
-                best_fx = fx;
-                best_x = x;
-            }
-            history.push(best_fx);
-
-            // Odometer increment.
+        'enumerate: loop {
+            points.push(
+                idx.iter()
+                    .zip(&self.bounds)
+                    .map(|(&i, &(lo, hi))| lo + (hi - lo) * i as f64 / (self.resolution - 1) as f64)
+                    .collect(),
+            );
             let mut k = 0;
             loop {
                 idx[k] += 1;
@@ -343,10 +352,25 @@ impl GridSearch {
                 idx[k] = 0;
                 k += 1;
                 if k == d {
-                    return OptResult { x: best_x, fx: best_fx, evals, history };
+                    break 'enumerate;
                 }
             }
         }
+
+        let values = qjo_exec::par_map(points.clone(), self.parallelism, |x| f(&x));
+
+        let mut best_x = Vec::new();
+        let mut best_fx = f64::INFINITY;
+        let mut history = Vec::with_capacity(values.len());
+        let evals = values.len();
+        for (x, fx) in points.into_iter().zip(values) {
+            if fx < best_fx {
+                best_fx = fx;
+                best_x = x;
+            }
+            history.push(best_fx);
+        }
+        OptResult { x: best_x, fx: best_fx, evals, history }
     }
 }
 
@@ -394,8 +418,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_handles_rosenbrock() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = NelderMead { max_iterations: 2000, init_step: 0.5, tolerance: 1e-12 }
             .minimize(rosen, &[-1.2, 1.0]);
         assert!(r.fx < 1e-6, "fx = {}", r.fx);
@@ -411,7 +434,11 @@ mod tests {
 
     #[test]
     fn grid_search_hits_grid_optimum() {
-        let g = GridSearch { bounds: vec![(-3.0, 3.0), (-3.0, 3.0)], resolution: 13 };
+        let g = GridSearch {
+            bounds: vec![(-3.0, 3.0), (-3.0, 3.0)],
+            resolution: 13,
+            ..Default::default()
+        };
         let r = g.minimize(bowl);
         // Grid spacing 0.5 puts exact points on (1, -2).
         assert!((r.x[0] - 1.0).abs() < 1e-9);
@@ -420,12 +447,34 @@ mod tests {
     }
 
     #[test]
+    fn grid_search_is_identical_at_any_thread_count() {
+        let at = |threads| {
+            GridSearch {
+                bounds: vec![(-2.0, 2.0), (-2.0, 2.0)],
+                resolution: 9,
+                parallelism: Parallelism::new(threads),
+            }
+            .minimize(bowl)
+        };
+        let sequential = at(1);
+        for threads in [2, 4, 8] {
+            let parallel = at(threads);
+            assert_eq!(sequential.x, parallel.x);
+            assert_eq!(sequential.fx, parallel.fx);
+            assert_eq!(sequential.evals, parallel.evals);
+            assert_eq!(sequential.history, parallel.history);
+        }
+    }
+
+    #[test]
     fn histories_are_monotone_non_increasing() {
         for history in [
             GradientDescent::default().minimize(bowl, &[3.0, 3.0]).history,
             Spsa::default().minimize(bowl, &[3.0, 3.0]).history,
             NelderMead::default().minimize(bowl, &[3.0, 3.0]).history,
-            GridSearch { bounds: vec![(-1.0, 1.0); 2], resolution: 5 }.minimize(bowl).history,
+            GridSearch { bounds: vec![(-1.0, 1.0); 2], resolution: 5, ..Default::default() }
+                .minimize(bowl)
+                .history,
         ] {
             for w in history.windows(2) {
                 assert!(w[1] <= w[0] + 1e-12);

@@ -411,12 +411,7 @@ mod tests {
         let start2 = vec![best1.1[0], best1.1[0], best1.1[1], best1.1[1]];
         let r2 = crate::optim::NelderMead { max_iterations: 400, ..Default::default() }
             .minimize(|x| sim.expectation(&QaoaParams::from_flat(2, x)), &start2);
-        assert!(
-            r2.fx <= best1.0 + 1e-9,
-            "p = 2 ({}) worse than p = 1 ({})",
-            r2.fx,
-            best1.0
-        );
+        assert!(r2.fx <= best1.0 + 1e-9, "p = 2 ({}) worse than p = 1 ({})", r2.fx, best1.0);
         assert!(
             best1.0 > ground + 1e-3,
             "instance too easy: p = 1 already reaches the ground state"
@@ -459,10 +454,7 @@ mod tests {
         let mut best1 = (f64::INFINITY, QaoaParams { gammas: vec![0.0], betas: vec![0.0] });
         for gi in 0..16 {
             for bi in 0..16 {
-                let p = QaoaParams {
-                    gammas: vec![gi as f64 * 0.2],
-                    betas: vec![bi as f64 * 0.1],
-                };
+                let p = QaoaParams { gammas: vec![gi as f64 * 0.2], betas: vec![bi as f64 * 0.1] };
                 let e = sim.expectation(&p);
                 if e < best1.0 {
                     best1 = (e, p);

@@ -118,7 +118,7 @@ mod tests {
         let qasm = to_qasm(&c);
         assert!(qasm.contains("gate rzz(theta)"));
         assert!(qasm.contains("rzz(0.2) q[0],q[1];")); // 2γJ = 2·0.4·0.25
-        // One line per gate plus 6 header/footer lines.
+                                                       // One line per gate plus 6 header/footer lines.
         assert_eq!(qasm.lines().count(), c.len() + 7);
     }
 }

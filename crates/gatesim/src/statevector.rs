@@ -204,11 +204,7 @@ impl StateVector {
     /// `⟨ψ| diag(energies) |ψ⟩`.
     pub fn expectation_diagonal(&self, energies: &[f64]) -> f64 {
         assert_eq!(energies.len(), self.amps.len(), "energy table size mismatch");
-        self.amps
-            .iter()
-            .zip(energies)
-            .map(|(a, &e)| a.norm_sqr() * e)
-            .sum()
+        self.amps.iter().zip(energies).map(|(a, &e)| a.norm_sqr() * e).sum()
     }
 
     /// Measurement probability of each basis state.
@@ -266,12 +262,7 @@ impl StateVector {
     /// Probability of measuring qubit `q` as 1.
     pub fn prob_one(&self, q: usize) -> f64 {
         let mask = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(z, _)| z & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        self.amps.iter().enumerate().filter(|(z, _)| z & mask != 0).map(|(_, a)| a.norm_sqr()).sum()
     }
 }
 

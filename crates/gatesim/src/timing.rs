@@ -103,8 +103,8 @@ mod tests {
         let noise = NoiseModel::ibm_auckland();
         let cloud = QpuTimingModel::ibm_cloud();
         let local = QpuTimingModel::local_coprocessor();
-        let speedup = cloud.total_qpu_time(&c, &noise, 1024)
-            / local.total_qpu_time(&c, &noise, 1024);
+        let speedup =
+            cloud.total_qpu_time(&c, &noise, 1024) / local.total_qpu_time(&c, &noise, 1024);
         assert!(speedup > 50.0, "local speedup only {speedup}");
         assert!(local.overhead_factor(&c, &noise, 1024) < 1.1);
     }

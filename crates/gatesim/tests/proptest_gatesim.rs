@@ -1,122 +1,161 @@
-//! Property-based tests for the gate-based substrate.
+//! Property-style tests for the gate-based substrate.
+//!
+//! Each property runs over a deterministic family of random instances
+//! drawn from a seeded [`StdRng`] — the hermetic stand-in for the proptest
+//! strategies the suite originally used. Seeds are fixed so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use qjo_gatesim::gate::Gate;
-use qjo_gatesim::{qaoa_circuit, Circuit, DiagonalHamiltonian, QaoaParams, QaoaSimulator, StateVector};
+use qjo_gatesim::{
+    qaoa_circuit, Circuit, DiagonalHamiltonian, QaoaParams, QaoaSimulator, StateVector,
+};
 use qjo_qubo::Qubo;
 
-/// Strategy for random gates over `n` qubits.
-fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    let angle = -3.0..3.0f64;
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::Y),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::Sx),
-        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rx(q, t)),
-        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Ry(q, t)),
-        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rz(q, t)),
-        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
-        q2.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
-        q2.clone().prop_map(|(a, b)| Gate::Swap(a, b)),
-        (q2.clone(), angle.clone()).prop_map(|((a, b), t)| Gate::Rzz(a, b, t)),
-        (q2, angle).prop_map(|((a, b), t)| Gate::Rxx(a, b, t)),
-    ]
-}
-
-fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g);
+/// Draws a distinct ordered qubit pair.
+fn distinct_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.random_range(0..n);
+    loop {
+        let b = rng.random_range(0..n);
+        if b != a {
+            return (a, b);
         }
-        c
-    })
+    }
 }
 
-fn arb_qubo(n: usize) -> impl Strategy<Value = Qubo> {
-    (
-        prop::collection::vec(-2.0..2.0f64, n),
-        prop::collection::vec(-2.0..2.0f64, n * (n - 1) / 2),
-    )
-        .prop_map(move |(lin, quad)| {
-            let mut q = Qubo::new(n);
-            for (i, c) in lin.into_iter().enumerate() {
-                q.add_linear(i, c);
-            }
-            let mut it = quad.into_iter();
-            for i in 0..n {
-                for j in i + 1..n {
-                    q.add_quadratic(i, j, it.next().expect("sized"));
-                }
-            }
-            q
-        })
+/// Draws a random gate over `n` qubits.
+fn arb_gate(rng: &mut StdRng, n: usize) -> Gate {
+    let q = rng.random_range(0..n);
+    match rng.random_range(0..13u32) {
+        0 => Gate::H(q),
+        1 => Gate::X(q),
+        2 => Gate::Y(q),
+        3 => Gate::S(q),
+        4 => Gate::Sx(q),
+        5 => Gate::Rx(q, rng.random_range(-3.0..3.0)),
+        6 => Gate::Ry(q, rng.random_range(-3.0..3.0)),
+        7 => Gate::Rz(q, rng.random_range(-3.0..3.0)),
+        8 => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Cx(a, b)
+        }
+        9 => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Cz(a, b)
+        }
+        10 => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Swap(a, b)
+        }
+        11 => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Rzz(a, b, rng.random_range(-3.0..3.0))
+        }
+        _ => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Rxx(a, b, rng.random_range(-3.0..3.0))
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn arb_circuit(rng: &mut StdRng, n: usize, max_gates: usize) -> Circuit {
+    let count = rng.random_range(0..max_gates);
+    let mut c = Circuit::new(n);
+    for _ in 0..count {
+        let g = arb_gate(rng, n);
+        c.push(g);
+    }
+    c
+}
 
-    /// Unitarity: every circuit preserves the state norm.
-    #[test]
-    fn circuits_preserve_norm(c in arb_circuit(4, 24)) {
+fn arb_qubo(rng: &mut StdRng, n: usize) -> Qubo {
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.random_range(-2.0..2.0));
+        for j in i + 1..n {
+            q.add_quadratic(i, j, rng.random_range(-2.0..2.0));
+        }
+    }
+    q
+}
+
+fn for_cases(cases: u64, mut body: impl FnMut(&mut StdRng, u64)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0x6A7E_0000 + case);
+        body(&mut rng, case);
+    }
+}
+
+/// Unitarity: every circuit preserves the state norm.
+#[test]
+fn circuits_preserve_norm() {
+    for_cases(32, |rng, case| {
+        let c = arb_circuit(rng, 4, 24);
         let mut s = StateVector::zero(4);
         s.apply_circuit(&c);
-        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
-    }
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9, "case {case}");
+    });
+}
 
-    /// Reversibility: a circuit followed by its inverse is the identity.
-    #[test]
-    fn inverse_undoes_circuit(c in arb_circuit(4, 16)) {
+/// Reversibility: a circuit followed by its inverse is the identity.
+#[test]
+fn inverse_undoes_circuit() {
+    for_cases(32, |rng, case| {
+        let c = arb_circuit(rng, 4, 16);
         let mut s = StateVector::zero(4);
         s.apply_circuit(&c);
         s.apply_circuit(&c.inverse());
-        prop_assert!(s.fidelity(&StateVector::zero(4)) > 1.0 - 1e-9);
-    }
+        assert!(s.fidelity(&StateVector::zero(4)) > 1.0 - 1e-9, "case {case}");
+    });
+}
 
-    /// Depth is consistent with layering and bounded by gate count.
-    #[test]
-    fn depth_invariants(c in arb_circuit(5, 30)) {
+/// Depth is consistent with layering and bounded by gate count.
+#[test]
+fn depth_invariants() {
+    for_cases(32, |rng, case| {
+        let c = arb_circuit(rng, 5, 30);
         let depth = c.depth();
-        prop_assert_eq!(c.layers().len(), depth);
-        prop_assert!(depth <= c.len());
-        prop_assert!(c.two_qubit_depth() <= depth);
+        assert_eq!(c.layers().len(), depth, "case {case}");
+        assert!(depth <= c.len(), "case {case}");
+        assert!(c.two_qubit_depth() <= depth, "case {case}");
         let layered: usize = c.layers().iter().map(Vec::len).sum();
-        prop_assert_eq!(layered, c.len());
+        assert_eq!(layered, c.len(), "case {case}");
         // Gates within one layer touch disjoint qubits.
         for layer in c.layers() {
             let mut seen = std::collections::HashSet::new();
             for g in layer {
                 for q in g.qubits().iter() {
-                    prop_assert!(seen.insert(q), "layer reuses qubit {q}");
+                    assert!(seen.insert(q), "case {case}: layer reuses qubit {q}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The diagonal energy table agrees with direct QUBO evaluation.
-    #[test]
-    fn energy_table_is_exact(q in arb_qubo(6)) {
+/// The diagonal energy table agrees with direct QUBO evaluation.
+#[test]
+fn energy_table_is_exact() {
+    for_cases(32, |rng, case| {
+        let q = arb_qubo(rng, 6);
         let h = DiagonalHamiltonian::from_qubo(&q);
         for z in 0..64usize {
             let bits: Vec<bool> = (0..6).map(|i| z >> i & 1 == 1).collect();
             let direct = q.energy(&bits).unwrap();
-            prop_assert!((h.energy(z) - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+            assert!((h.energy(z) - direct).abs() < 1e-9 * (1.0 + direct.abs()), "case {case}");
         }
-    }
+    });
+}
 
-    /// The fast QAOA engine matches the explicit circuit for any QUBO and
-    /// parameters (measurement distributions are equal).
-    #[test]
-    fn qaoa_fast_path_matches_circuit(
-        q in arb_qubo(4),
-        gamma in -1.5..1.5f64,
-        beta in -1.5..1.5f64,
-    ) {
+/// The fast QAOA engine matches the explicit circuit for any QUBO and
+/// parameters (measurement distributions are equal).
+#[test]
+fn qaoa_fast_path_matches_circuit() {
+    for_cases(32, |rng, case| {
+        let q = arb_qubo(rng, 4);
+        let gamma = rng.random_range(-1.5..1.5);
+        let beta = rng.random_range(-1.5..1.5);
         let sim = QaoaSimulator::new(&q);
         let params = QaoaParams { gammas: vec![gamma], betas: vec![beta] };
         let fast = sim.state(&params);
@@ -125,23 +164,24 @@ proptest! {
         let pf = fast.probabilities();
         let ps = slow.probabilities();
         for (a, b) in pf.iter().zip(&ps) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    /// QAOA expectation is bounded by the energy extremes of the problem.
-    #[test]
-    fn qaoa_expectation_stays_in_spectrum(
-        q in arb_qubo(5),
-        gamma in -2.0..2.0f64,
-        beta in -2.0..2.0f64,
-    ) {
+/// QAOA expectation is bounded by the energy extremes of the problem.
+#[test]
+fn qaoa_expectation_stays_in_spectrum() {
+    for_cases(32, |rng, case| {
+        let q = arb_qubo(rng, 5);
+        let gamma = rng.random_range(-2.0..2.0);
+        let beta = rng.random_range(-2.0..2.0);
         let sim = QaoaSimulator::new(&q);
         let params = QaoaParams { gammas: vec![gamma], betas: vec![beta] };
         let e = sim.expectation(&params);
         let energies = sim.hamiltonian().energies();
         let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
         let max = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9, "{e} outside [{min}, {max}]");
-    }
+        assert!(e >= min - 1e-9 && e <= max + 1e-9, "case {case}: {e} outside [{min}, {max}]");
+    });
 }

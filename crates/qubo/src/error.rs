@@ -39,6 +39,14 @@ pub enum QuboError {
         /// Column index of the coefficient.
         j: usize,
     },
+    /// A cooling-schedule parameter is outside its documented domain
+    /// (geometric cooling needs `t0 > 0` and `ratio` in `(0, 1)`).
+    InvalidSchedule {
+        /// Initial temperature as supplied.
+        t0: f64,
+        /// Decay ratio as supplied.
+        ratio: f64,
+    },
 }
 
 impl fmt::Display for QuboError {
@@ -58,6 +66,13 @@ impl fmt::Display for QuboError {
             }
             QuboError::NonFiniteCoefficient { i, j } => {
                 write!(f, "coefficient at ({i}, {j}) is not finite")
+            }
+            QuboError::InvalidSchedule { t0, ratio } => {
+                write!(
+                    f,
+                    "invalid geometric cooling schedule: need t0 > 0 and ratio in (0, 1), \
+                     got t0 = {t0}, ratio = {ratio}"
+                )
             }
         }
     }
@@ -86,5 +101,8 @@ mod tests {
 
         let e = QuboError::NonFiniteCoefficient { i: 1, j: 2 };
         assert!(e.to_string().contains("not finite"));
+
+        let e = QuboError::InvalidSchedule { t0: -1.0, ratio: 1.5 };
+        assert!(e.to_string().contains("-1") && e.to_string().contains("1.5"));
     }
 }

@@ -81,23 +81,13 @@ pub fn from_text(text: &str) -> Result<Qubo, ParseError> {
         }
         let mut parts = line.split_whitespace();
         let keyword = parts.next().expect("non-empty line has a token");
-        let bad = |message: &str| ParseError::BadLine {
-            line: line_no,
-            message: message.to_string(),
-        };
+        let bad =
+            |message: &str| ParseError::BadLine { line: line_no, message: message.to_string() };
         let next_usize = |parts: &mut std::str::SplitWhitespace| -> Result<usize, ParseError> {
-            parts
-                .next()
-                .ok_or_else(|| bad("missing index"))?
-                .parse()
-                .map_err(|_| bad("bad index"))
+            parts.next().ok_or_else(|| bad("missing index"))?.parse().map_err(|_| bad("bad index"))
         };
         let next_f64 = |parts: &mut std::str::SplitWhitespace| -> Result<f64, ParseError> {
-            parts
-                .next()
-                .ok_or_else(|| bad("missing value"))?
-                .parse()
-                .map_err(|_| bad("bad value"))
+            parts.next().ok_or_else(|| bad("missing value"))?.parse().map_err(|_| bad("bad value"))
         };
         match keyword {
             "vars" => {
@@ -124,10 +114,7 @@ pub fn from_text(text: &str) -> Result<Qubo, ParseError> {
                 let v = next_f64(&mut parts)?;
                 let q = qubo.as_mut().ok_or(ParseError::MissingHeader)?;
                 if i >= q.num_vars() || j >= q.num_vars() {
-                    return Err(ParseError::IndexOutOfRange {
-                        line: line_no,
-                        index: i.max(j),
-                    });
+                    return Err(ParseError::IndexOutOfRange { line: line_no, index: i.max(j) });
                 }
                 q.add_quadratic(i, j, v);
             }

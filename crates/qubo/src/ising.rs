@@ -54,10 +54,7 @@ impl IsingModel {
         if i == j {
             return 0.0;
         }
-        self.j
-            .get(&(i.min(j) as u32, i.max(j) as u32))
-            .copied()
-            .unwrap_or(0.0)
+        self.j.get(&(i.min(j) as u32, i.max(j) as u32)).copied().unwrap_or(0.0)
     }
 
     /// Adds `value` to the field on spin `i`.

@@ -28,12 +28,7 @@ pub struct Qubo {
 impl Qubo {
     /// Creates an empty QUBO over `num_vars` binary variables.
     pub fn new(num_vars: usize) -> Self {
-        Qubo {
-            num_vars,
-            offset: 0.0,
-            linear: vec![0.0; num_vars],
-            quadratic: BTreeMap::new(),
-        }
+        Qubo { num_vars, offset: 0.0, linear: vec![0.0; num_vars], quadratic: BTreeMap::new() }
     }
 
     /// Number of declared variables (including ones with no coefficients).
@@ -88,9 +83,7 @@ impl Qubo {
 
     /// Iterates over the non-zero quadratic terms as `(i, j, c_ij)` with `i < j`.
     pub fn quadratic_iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.quadratic
-            .iter()
-            .map(|(&(i, j), &c)| (i as usize, j as usize, c))
+        self.quadratic.iter().map(|(&(i, j), &c)| (i as usize, j as usize, c))
     }
 
     /// Iterates over the linear terms as `(i, c_ii)`, including zeros.
@@ -273,10 +266,7 @@ impl CompiledQubo {
     /// Neighbours of variable `i` with their coupling weights.
     pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let range = self.row_starts[i]..self.row_starts[i + 1];
-        self.cols[range.clone()]
-            .iter()
-            .zip(&self.weights[range])
-            .map(|(&c, &w)| (c as usize, w))
+        self.cols[range.clone()].iter().zip(&self.weights[range]).map(|(&c, &w)| (c as usize, w))
     }
 
     /// Full energy of an assignment (O(n + m)).

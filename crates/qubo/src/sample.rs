@@ -19,7 +19,7 @@ pub struct Sample {
 }
 
 /// An aggregated, energy-sorted collection of samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SampleSet {
     samples: Vec<Sample>,
     total_reads: u64,
@@ -88,12 +88,8 @@ impl SampleSet {
         if self.total_reads == 0 {
             return 0.0;
         }
-        let hits: u64 = self
-            .samples
-            .iter()
-            .filter(|s| pred(s))
-            .map(|s| u64::from(s.occurrences))
-            .sum();
+        let hits: u64 =
+            self.samples.iter().filter(|s| pred(s)).map(|s| u64::from(s.occurrences)).sum();
         hits as f64 / self.total_reads as f64
     }
 
@@ -130,10 +126,7 @@ impl SampleSet {
         if self.total_reads == 0 {
             return 0.0;
         }
-        self.samples
-            .iter()
-            .map(|s| s.energy * f64::from(s.occurrences))
-            .sum::<f64>()
+        self.samples.iter().map(|s| s.energy * f64::from(s.occurrences)).sum::<f64>()
             / self.total_reads as f64
     }
 
@@ -156,10 +149,24 @@ impl SampleSet {
     }
 
     /// Merges another sample set into this one, re-aggregating duplicates.
+    ///
+    /// # Precondition
+    /// Both sets must have been evaluated against the same model: when the
+    /// same assignment appears in both, its energies must agree to within
+    /// `1e-9` (debug builds assert this; release builds keep the
+    /// first-seen energy). Merging sets built against different models is
+    /// a logic error — the resulting energies would be meaningless.
     pub fn merge(&mut self, other: SampleSet) {
         let mut counts: HashMap<Vec<bool>, (f64, u32)> = HashMap::new();
         for s in self.samples.drain(..).chain(other.samples) {
             let entry = counts.entry(s.assignment).or_insert((s.energy, 0));
+            debug_assert!(
+                (entry.0 - s.energy).abs() <= 1e-9,
+                "merging sample sets from different models: assignment seen with \
+                 energy {} and {}",
+                entry.0,
+                s.energy,
+            );
             entry.1 += s.occurrences;
         }
         let mut samples: Vec<Sample> = counts
@@ -187,12 +194,7 @@ mod tests {
 
     #[test]
     fn from_reads_aggregates_and_sorts() {
-        let reads = vec![
-            vec![true, true],
-            vec![false, false],
-            vec![true, true],
-            vec![true, false],
-        ];
+        let reads = vec![vec![true, true], vec![false, false], vec![true, true], vec![true, false]];
         let set = SampleSet::from_reads(reads, weight);
         assert_eq!(set.total_reads(), 4);
         assert_eq!(set.num_distinct(), 3);
@@ -238,14 +240,19 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different models")]
+    fn merge_rejects_conflicting_energies_in_debug_builds() {
+        let a = SampleSet::from_reads(vec![vec![true]], weight);
+        let b = SampleSet::from_reads(vec![vec![true]], |_| 100.0);
+        let mut merged = a;
+        merged.merge(b);
+    }
+
+    #[test]
     fn observables_compute_expected_statistics() {
         // Three reads of [1,1], one of [0,0]: perfectly correlated bits.
-        let reads = vec![
-            vec![true, true],
-            vec![true, true],
-            vec![true, true],
-            vec![false, false],
-        ];
+        let reads = vec![vec![true, true], vec![true, true], vec![true, true], vec![false, false]];
         let set = SampleSet::from_reads(reads, weight);
         assert!((set.mean_bit(0) - 0.75).abs() < 1e-12);
         assert!((set.spin_correlation(0, 1) - 1.0).abs() < 1e-12);

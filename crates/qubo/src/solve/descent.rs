@@ -149,10 +149,7 @@ mod tests {
         let sd = SteepestDescent::default().solve(&q).unwrap();
         let compiled = q.compile();
         for i in 0..15 {
-            assert!(
-                compiled.flip_gain(&sd.assignment, i) >= -1e-12,
-                "flip {i} still improves"
-            );
+            assert!(compiled.flip_gain(&sd.assignment, i) >= -1e-12, "flip {i} still improves");
         }
         assert!((q.energy(&sd.assignment).unwrap() - sd.energy).abs() < 1e-9);
     }

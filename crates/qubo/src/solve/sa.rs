@@ -3,10 +3,14 @@
 //! The classical heuristic baseline; also reused by `qjo-anneal` as the
 //! "thermal only" reference against the path-integral quantum annealing
 //! simulation.
+//!
+//! Restarts are independent work units: each derives its own RNG stream
+//! from `(seed, restart_index)` via [`qjo_exec::stream_seed`], so the
+//! sample set is bit-identical at any [`Parallelism`] setting.
 
-use rand::rngs::StdRng;
+use qjo_exec::{par_map_seeded, Parallelism};
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 use crate::error::QuboError;
 use crate::model::Qubo;
@@ -67,11 +71,20 @@ pub struct SimulatedAnnealing {
     pub schedule: Option<CoolingSchedule>,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Worker threads for the restart loop; affects wall-clock only,
+    /// never results.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimulatedAnnealing {
     fn default() -> Self {
-        SimulatedAnnealing { restarts: 10, sweeps: 200, schedule: None, seed: 0 }
+        SimulatedAnnealing {
+            restarts: 10,
+            sweeps: 200,
+            schedule: None,
+            seed: 0,
+            parallelism: Parallelism::auto(),
+        }
     }
 }
 
@@ -90,19 +103,36 @@ impl SimulatedAnnealing {
 
     /// Runs all restarts, returning every end-of-descent state as a sample
     /// set (one read per restart).
+    ///
+    /// Restart `i` draws from its own RNG stream derived from
+    /// `(self.seed, i)`, so the result does not depend on
+    /// [`Self::parallelism`].
+    ///
+    /// # Errors
+    /// Returns [`QuboError::InvalidSchedule`] for a geometric schedule
+    /// with non-positive `t0` (frozen walk) or `ratio` outside `(0, 1)`
+    /// (heating or frozen schedule).
     pub fn sample(&self, qubo: &Qubo) -> Result<SampleSet, QuboError> {
         qubo.validate()?;
         assert!(self.restarts >= 1, "need at least one restart");
         assert!(self.sweeps >= 1, "need at least one sweep");
+        if let Some(CoolingSchedule::Geometric { t0, ratio }) = self.schedule {
+            // Positive comparisons, negated as named bools, so NaN
+            // parameters fail the checks and are rejected too.
+            let t0_ok = t0 > 0.0;
+            let ratio_ok = ratio > 0.0 && ratio < 1.0;
+            if !t0_ok || !ratio_ok {
+                return Err(QuboError::InvalidSchedule { t0, ratio });
+            }
+        }
 
         let n = qubo.num_vars();
         let compiled = qubo.compile();
         let schedule = self.schedule.unwrap_or_else(|| CoolingSchedule::auto_for(qubo));
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut reads = Vec::with_capacity(self.restarts);
 
-        for _ in 0..self.restarts {
+        let restarts: Vec<usize> = (0..self.restarts).collect();
+        let reads = par_map_seeded(restarts, self.seed, self.parallelism, |_, rng| {
+            let mut order: Vec<usize> = (0..n).collect();
             let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
             let mut energy = compiled.energy(&x);
             let mut best_x = x.clone();
@@ -110,7 +140,7 @@ impl SimulatedAnnealing {
 
             for sweep in 0..self.sweeps {
                 let temp = schedule.temperature(sweep, self.sweeps).max(1e-12);
-                order.shuffle(&mut rng);
+                order.shuffle(rng);
                 for &i in &order {
                     let gain = compiled.flip_gain(&x, i);
                     if gain <= 0.0 || rng.random::<f64>() < (-gain / temp).exp() {
@@ -123,8 +153,8 @@ impl SimulatedAnnealing {
                     }
                 }
             }
-            reads.push(best_x);
-        }
+            best_x
+        });
 
         Ok(SampleSet::from_reads(reads, |x| {
             qubo.energy(x).expect("assignment built at model length")
@@ -136,6 +166,8 @@ impl SimulatedAnnealing {
 mod tests {
     use super::*;
     use crate::solve::ExactSolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn random_qubo(seed: u64, n: usize, density: f64) -> Qubo {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -215,6 +247,55 @@ mod tests {
         assert_eq!(l.temperature(5, 11), 5.0);
         // Degenerate single-sweep schedule lands on the final temperature.
         assert_eq!(l.temperature(0, 1), 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let q = random_qubo(4, 14, 0.35);
+        let at = |threads| {
+            SimulatedAnnealing {
+                restarts: 6,
+                sweeps: 40,
+                seed: 9,
+                parallelism: Parallelism::new(threads),
+                ..Default::default()
+            }
+            .sample(&q)
+            .unwrap()
+        };
+        let sequential = at(1);
+        assert_eq!(sequential, at(4));
+        assert_eq!(sequential, at(8));
+    }
+
+    #[test]
+    fn rejects_geometric_ratio_outside_unit_interval() {
+        let q = random_qubo(0, 6, 0.5);
+        for ratio in [0.0, 1.0, 1.5, -0.3, f64::NAN] {
+            let solver = SimulatedAnnealing {
+                schedule: Some(CoolingSchedule::Geometric { t0: 2.0, ratio }),
+                ..Default::default()
+            };
+            match solver.sample(&q) {
+                Err(QuboError::InvalidSchedule { .. }) => {}
+                other => panic!("ratio {ratio} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_geometric_t0() {
+        let q = random_qubo(0, 6, 0.5);
+        for t0 in [0.0, -1.0, f64::NAN] {
+            let solver = SimulatedAnnealing {
+                schedule: Some(CoolingSchedule::Geometric { t0, ratio: 0.9 }),
+                ..Default::default()
+            };
+            match solver.sample(&q) {
+                Err(QuboError::InvalidSchedule { .. }) => {}
+                other => panic!("t0 {t0} accepted: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! A steepest-descent local search that forbids undoing recent flips for a
 //! configurable tenure, with the standard aspiration criterion (a tabu move
 //! is allowed when it improves on the best energy seen).
+//!
+//! Restarts are independent work units: each derives its own RNG stream
+//! from `(seed, restart_index)` via [`qjo_exec::stream_seed`], and the
+//! cross-restart winner is reduced in restart order (earliest restart wins
+//! ties), so the result is bit-identical at any [`Parallelism`] setting.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use qjo_exec::{par_map_seeded, Parallelism};
+use rand::RngExt;
 
 use crate::error::QuboError;
 use crate::model::Qubo;
@@ -23,11 +28,20 @@ pub struct TabuSearch {
     pub tenure: Option<usize>,
     /// RNG seed for the restart states.
     pub seed: u64,
+    /// Worker threads for the restart loop; affects wall-clock only,
+    /// never results.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TabuSearch {
     fn default() -> Self {
-        TabuSearch { restarts: 5, iterations: 2_000, tenure: None, seed: 0 }
+        TabuSearch {
+            restarts: 5,
+            iterations: 2_000,
+            tenure: None,
+            seed: 0,
+            parallelism: Parallelism::auto(),
+        }
     }
 }
 
@@ -47,10 +61,9 @@ impl TabuSearch {
         }
         let tenure = self.tenure.unwrap_or_else(|| (n / 10).max(4)).min(n.saturating_sub(1));
         let compiled = qubo.compile();
-        let mut rng = StdRng::seed_from_u64(self.seed);
 
-        let mut global_best: Option<Solution> = None;
-        for _ in 0..self.restarts {
+        let restarts: Vec<usize> = (0..self.restarts).collect();
+        let per_restart = par_map_seeded(restarts, self.seed, self.parallelism, |_, rng| {
             let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
             let mut energy = compiled.energy(&x);
             let mut gains = compiled.all_flip_gains(&x);
@@ -95,9 +108,16 @@ impl TabuSearch {
                 }
             }
 
+            Solution { assignment: best_x, energy: best_e }
+        });
+
+        // Reduce in restart order so ties deterministically keep the
+        // earliest restart, independent of thread scheduling.
+        let mut global_best: Option<Solution> = None;
+        for candidate in per_restart {
             match &global_best {
-                Some(g) if g.energy <= best_e => {}
-                _ => global_best = Some(Solution { assignment: best_x, energy: best_e }),
+                Some(g) if g.energy <= candidate.energy => {}
+                _ => global_best = Some(candidate),
             }
         }
         Ok(global_best.expect("at least one restart ran"))
@@ -108,6 +128,8 @@ impl TabuSearch {
 mod tests {
     use super::*;
     use crate::solve::ExactSolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn random_qubo(seed: u64, n: usize, density: f64) -> Qubo {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -142,9 +164,8 @@ mod tests {
         // If the incremental gain updates drifted, the final reported energy
         // would disagree with a fresh evaluation of the final assignment.
         let q = random_qubo(11, 20, 0.5);
-        let s = TabuSearch { restarts: 2, iterations: 500, ..Default::default() }
-            .solve(&q)
-            .unwrap();
+        let s =
+            TabuSearch { restarts: 2, iterations: 500, ..Default::default() }.solve(&q).unwrap();
         let fresh = q.energy(&s.assignment).unwrap();
         assert!((s.energy - fresh).abs() < 1e-9, "{} vs {fresh}", s.energy);
     }
@@ -165,11 +186,36 @@ mod tests {
         q.add_linear(0, 3.0);
         q.add_linear(1, 3.0);
         q.add_quadratic(0, 1, -8.0);
-        let s = TabuSearch { restarts: 1, iterations: 50, tenure: Some(1), seed: 3 }
-            .solve(&q)
-            .unwrap();
+        let s = TabuSearch {
+            restarts: 1,
+            iterations: 50,
+            tenure: Some(1),
+            seed: 3,
+            ..Default::default()
+        }
+        .solve(&q)
+        .unwrap();
         assert_eq!(s.energy, -2.0);
         assert_eq!(s.assignment, vec![true, true]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let q = random_qubo(7, 18, 0.3);
+        let at = |threads| {
+            TabuSearch {
+                restarts: 4,
+                iterations: 300,
+                seed: 2,
+                parallelism: Parallelism::new(threads),
+                ..Default::default()
+            }
+            .solve(&q)
+            .unwrap()
+        };
+        let sequential = at(1);
+        assert_eq!(sequential, at(4));
+        assert_eq!(sequential, at(8));
     }
 
     #[test]

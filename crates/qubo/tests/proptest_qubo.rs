@@ -1,42 +1,45 @@
-//! Property-based tests for the QUBO substrate.
+//! Property-style tests for the QUBO substrate.
+//!
+//! Each property is exercised over a deterministic family of random
+//! instances drawn from a seeded [`StdRng`] — the hermetic stand-in for the
+//! proptest strategies the suite originally used. Seeds are fixed so
+//! failures reproduce exactly.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qjo_exec::Parallelism;
 use qjo_qubo::io::{from_text, to_text};
 use qjo_qubo::preprocess::fix_variables;
 use qjo_qubo::solve::{ExactSolver, SimulatedAnnealing, SteepestDescent, TabuSearch};
 use qjo_qubo::{ising, Qubo};
 
-/// Strategy producing a random QUBO together with its variable count.
-fn arb_qubo(max_vars: usize) -> impl Strategy<Value = Qubo> {
-    (1..=max_vars).prop_flat_map(|n| {
-        let lin = vec(-5.0..5.0f64, n);
-        let quad = vec((-5.0..5.0f64,), n * (n - 1) / 2);
-        let offset = -3.0..3.0f64;
-        (lin, quad, offset).prop_map(move |(lin, quad, offset)| {
-            let mut q = Qubo::new(n);
-            q.add_offset(offset);
-            for (i, c) in lin.into_iter().enumerate() {
-                q.add_linear(i, c);
-            }
-            let mut it = quad.into_iter();
-            for i in 0..n {
-                for j in i + 1..n {
-                    let (c,) = it.next().expect("sized above");
-                    q.add_quadratic(i, j, c);
-                }
-            }
-            q
-        })
-    })
+/// Draws a dense random QUBO with `1..=max_vars` variables.
+fn arb_qubo(rng: &mut StdRng, max_vars: usize) -> Qubo {
+    let n = rng.random_range(1..=max_vars);
+    let mut q = Qubo::new(n);
+    q.add_offset(rng.random_range(-3.0..3.0));
+    for i in 0..n {
+        q.add_linear(i, rng.random_range(-5.0..5.0));
+        for j in i + 1..n {
+            q.add_quadratic(i, j, rng.random_range(-5.0..5.0));
+        }
+    }
+    q
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn for_cases(cases: u64, mut body: impl FnMut(&mut StdRng, u64)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0xFEED_0000 + case);
+        body(&mut rng, case);
+    }
+}
 
-    /// QUBO → Ising conversion preserves energies on every assignment.
-    #[test]
-    fn ising_conversion_preserves_energy(q in arb_qubo(7)) {
+/// QUBO → Ising conversion preserves energies on every assignment.
+#[test]
+fn ising_conversion_preserves_energy() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 7);
         let m = q.to_ising();
         let n = q.num_vars();
         for bits in 0..1u32 << n {
@@ -44,56 +47,66 @@ proptest! {
             let s = ising::bits_to_spins(&x);
             let eq = q.energy(&x).unwrap();
             let ei = m.energy(&s);
-            prop_assert!((eq - ei).abs() < 1e-9 * (1.0 + eq.abs()), "{eq} vs {ei}");
+            assert!((eq - ei).abs() < 1e-9 * (1.0 + eq.abs()), "case {case}: {eq} vs {ei}");
         }
-    }
+    });
+}
 
-    /// Ising → QUBO round-trips to the same polynomial values.
-    #[test]
-    fn ising_round_trip(q in arb_qubo(6)) {
+/// Ising → QUBO round-trips to the same polynomial values.
+#[test]
+fn ising_round_trip() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 6);
         let back = q.to_ising().to_qubo();
         let n = q.num_vars();
         for bits in 0..1u32 << n {
             let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let a = q.energy(&x).unwrap();
             let b = back.energy(&x).unwrap();
-            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "case {case}");
         }
-    }
+    });
+}
 
-    /// The exact solver's reported energy re-evaluates to itself and is a
-    /// lower bound on every enumerated assignment.
-    #[test]
-    fn exact_solver_returns_global_minimum(q in arb_qubo(8)) {
+/// The exact solver's reported energy re-evaluates to itself and is a
+/// lower bound on every enumerated assignment.
+#[test]
+fn exact_solver_returns_global_minimum() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 8);
         let s = ExactSolver::new().solve(&q).unwrap();
         let n = q.num_vars();
-        prop_assert!((q.energy(&s.assignment).unwrap() - s.energy).abs() < 1e-9);
+        assert!((q.energy(&s.assignment).unwrap() - s.energy).abs() < 1e-9, "case {case}");
         for bits in 0..1u32 << n {
             let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert!(q.energy(&x).unwrap() >= s.energy - 1e-9);
+            assert!(q.energy(&x).unwrap() >= s.energy - 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    /// Heuristics never report an energy below the exact ground state, and
-    /// their reported energy matches a re-evaluation of their assignment.
-    #[test]
-    fn heuristics_are_sound(q in arb_qubo(8)) {
+/// Heuristics never report an energy below the exact ground state, and
+/// their reported energy matches a re-evaluation of their assignment.
+#[test]
+fn heuristics_are_sound() {
+    for_cases(32, |rng, case| {
+        let q = arb_qubo(rng, 8);
         let exact = ExactSolver::new().min_energy(&q).unwrap();
         let sa = SimulatedAnnealing::with_seed(1).solve(&q).unwrap();
-        prop_assert!((q.energy(&sa.assignment).unwrap() - sa.energy).abs() < 1e-9);
-        prop_assert!(sa.energy >= exact - 1e-9);
+        assert!((q.energy(&sa.assignment).unwrap() - sa.energy).abs() < 1e-9, "case {case}");
+        assert!(sa.energy >= exact - 1e-9, "case {case}");
 
         let ts = TabuSearch::with_seed(1).solve(&q).unwrap();
-        prop_assert!((q.energy(&ts.assignment).unwrap() - ts.energy).abs() < 1e-9);
-        prop_assert!(ts.energy >= exact - 1e-9);
-    }
+        assert!((q.energy(&ts.assignment).unwrap() - ts.energy).abs() < 1e-9, "case {case}");
+        assert!(ts.energy >= exact - 1e-9, "case {case}");
+    });
+}
 
-    /// Compiled flip gains agree with explicit energy differences.
-    #[test]
-    fn flip_gains_agree_with_energy_deltas(
-        q in arb_qubo(7),
-        bits in any::<u32>(),
-    ) {
+/// Compiled flip gains agree with explicit energy differences.
+#[test]
+fn flip_gains_agree_with_energy_deltas() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 7);
+        let bits: u32 = rng.random();
         let n = q.num_vars();
         let c = q.compile();
         let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
@@ -101,28 +114,34 @@ proptest! {
             let mut y = x.clone();
             y[i] = !y[i];
             let delta = q.energy(&y).unwrap() - q.energy(&x).unwrap();
-            prop_assert!((c.flip_gain(&x, i) - delta).abs() < 1e-9);
+            assert!((c.flip_gain(&x, i) - delta).abs() < 1e-9, "case {case} var {i}");
         }
-    }
+    });
+}
 
-    /// Steepest descent ends in a true local minimum and never beats the
-    /// exact optimum.
-    #[test]
-    fn steepest_descent_is_sound(q in arb_qubo(8)) {
+/// Steepest descent ends in a true local minimum and never beats the
+/// exact optimum.
+#[test]
+fn steepest_descent_is_sound() {
+    for_cases(32, |rng, case| {
+        let q = arb_qubo(rng, 8);
         let exact = ExactSolver::new().min_energy(&q).unwrap();
         let sd = SteepestDescent::with_seed(2).solve(&q).unwrap();
-        prop_assert!(sd.energy >= exact - 1e-9);
-        prop_assert!((q.energy(&sd.assignment).unwrap() - sd.energy).abs() < 1e-9);
+        assert!(sd.energy >= exact - 1e-9, "case {case}");
+        assert!((q.energy(&sd.assignment).unwrap() - sd.energy).abs() < 1e-9, "case {case}");
         let compiled = q.compile();
         for i in 0..q.num_vars() {
-            prop_assert!(compiled.flip_gain(&sd.assignment, i) >= -1e-9);
+            assert!(compiled.flip_gain(&sd.assignment, i) >= -1e-9, "case {case} var {i}");
         }
-    }
+    });
+}
 
-    /// Persistency preprocessing never changes the optimal value, and the
-    /// lifted reduced optimum evaluates to it.
-    #[test]
-    fn preprocessing_preserves_optimum(q in arb_qubo(8)) {
+/// Persistency preprocessing never changes the optimal value, and the
+/// lifted reduced optimum evaluates to it.
+#[test]
+fn preprocessing_preserves_optimum() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 8);
         let before = ExactSolver::new().min_energy(&q).unwrap();
         let pre = fix_variables(&q);
         let lifted = if pre.reduced.num_vars() == 0 {
@@ -132,30 +151,99 @@ proptest! {
             pre.lift(&sol.assignment)
         };
         let after = q.energy(&lifted).unwrap();
-        prop_assert!((before - after).abs() < 1e-9, "{before} vs {after}");
-    }
+        assert!((before - after).abs() < 1e-9, "case {case}: {before} vs {after}");
+    });
+}
 
-    /// Text serialisation round-trips energies exactly.
-    #[test]
-    fn text_io_round_trips(q in arb_qubo(6)) {
+/// Text serialisation round-trips energies exactly.
+#[test]
+fn text_io_round_trips() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 6);
         let back = from_text(&to_text(&q)).expect("own output parses");
         let n = q.num_vars();
         for bits in 0..1u32 << n {
             let x: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(q.energy(&x).unwrap(), back.energy(&x).unwrap());
+            assert_eq!(q.energy(&x).unwrap(), back.energy(&x).unwrap(), "case {case}");
         }
-    }
+    });
+}
 
-    /// k-best solutions are sorted and each re-evaluates to its energy.
-    #[test]
-    fn k_best_is_sorted(q in arb_qubo(6), k in 1usize..6) {
+/// k-best solutions are sorted and each re-evaluates to its energy.
+#[test]
+fn k_best_is_sorted() {
+    for_cases(64, |rng, case| {
+        let q = arb_qubo(rng, 6);
+        let k = rng.random_range(1usize..6);
         let sols = ExactSolver::new().solve_k_best(&q, k).unwrap();
-        prop_assert!(!sols.is_empty());
+        assert!(!sols.is_empty(), "case {case}");
         for w in sols.windows(2) {
-            prop_assert!(w[0].energy <= w[1].energy + 1e-12);
+            assert!(w[0].energy <= w[1].energy + 1e-12, "case {case}");
         }
         for s in &sols {
-            prop_assert!((q.energy(&s.assignment).unwrap() - s.energy).abs() < 1e-9);
+            assert!((q.energy(&s.assignment).unwrap() - s.energy).abs() < 1e-9, "case {case}");
         }
-    }
+    });
+}
+
+/// Both restart-parallel heuristics return bit-identical solutions at any
+/// thread count — the workspace determinism contract, checked on random
+/// models rather than the unit tests' fixed ones.
+#[test]
+fn solver_results_are_thread_count_invariant() {
+    for_cases(12, |rng, case| {
+        let q = arb_qubo(rng, 10);
+
+        let sa_at = |threads| {
+            SimulatedAnnealing {
+                restarts: 3,
+                sweeps: 200,
+                parallelism: Parallelism::new(threads),
+                ..SimulatedAnnealing::with_seed(7)
+            }
+            .solve(&q)
+            .unwrap()
+        };
+        let sa_seq = sa_at(1);
+        for threads in [2, 8] {
+            assert_eq!(sa_seq, sa_at(threads), "case {case}: SA at {threads} threads");
+        }
+
+        let ts_at = |threads| {
+            TabuSearch {
+                restarts: 3,
+                iterations: 200,
+                parallelism: Parallelism::new(threads),
+                ..TabuSearch::with_seed(7)
+            }
+            .solve(&q)
+            .unwrap()
+        };
+        let ts_seq = ts_at(1);
+        for threads in [2, 8] {
+            assert_eq!(ts_seq, ts_at(threads), "case {case}: tabu at {threads} threads");
+        }
+    });
+}
+
+/// SA's sample() distribution object is likewise thread-count invariant.
+#[test]
+fn sample_sets_are_thread_count_invariant() {
+    for_cases(8, |rng, case| {
+        let q = arb_qubo(rng, 9);
+        let at = |threads| {
+            SimulatedAnnealing {
+                restarts: 4,
+                sweeps: 150,
+                parallelism: Parallelism::new(threads),
+                ..SimulatedAnnealing::with_seed(11)
+            }
+            .sample(&q)
+            .unwrap()
+        };
+        let sequential = at(1);
+        for threads in [2, 8] {
+            assert_eq!(sequential, at(threads), "case {case}: {threads} threads");
+        }
+    });
 }

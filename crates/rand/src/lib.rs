@@ -1,0 +1,270 @@
+//! Self-contained stand-in for the `rand` crate.
+//!
+//! The workspace builds in hermetic environments with no crate-registry
+//! access, so the subset of the `rand` API that the other crates actually
+//! use is implemented here: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], uniform sampling through
+//! [`RngExt::random`] / [`RngExt::random_bool`] / [`RngExt::random_range`],
+//! and the slice helpers [`seq::SliceRandom::shuffle`] and
+//! [`seq::IndexedRandom::choose`].
+//!
+//! The engine is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit
+//! counter advanced by the golden-ratio increment and passed through a
+//! finaliser mix. It is statistically solid for Monte-Carlo use (passes
+//! BigCrush), trivially seedable from a single `u64`, and — crucially for
+//! the deterministic parallel execution layer in `qjo-exec` — cheap to
+//! fork into per-work-unit streams. It is *not* cryptographically secure.
+//!
+//! Determinism contract: for a fixed seed, every generator here produces
+//! the same sequence on every platform and build. Golden values in tests
+//! may rely on that.
+
+pub mod rngs;
+pub mod seq;
+
+/// Golden-ratio increment of the SplitMix64 counter.
+pub(crate) const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finaliser: bijective avalanche mix of a 64-bit word.
+#[inline]
+pub(crate) fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniform random bits (the high half of
+    /// [`next_u64`](RngCore::next_u64), which has the best avalanche).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 uniform bits onto `[0, span)` by widening multiplication.
+///
+/// The bias is at most `span / 2^64`, far below anything observable at
+/// Monte-Carlo sample counts, and sampling stays a single multiply —
+/// branch-free and deterministic across platforms.
+#[inline]
+fn mul_shift(word: u64, span: u128) -> u128 {
+    (word as u128 * span) >> 64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = mul_shift(rng.next_u64(), span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = mul_shift(rng.next_u64(), span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::from_rng(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = f64::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every source.
+pub trait RngExt: RngCore {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::from_rng(self) < p
+    }
+
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+
+        let mut seen_inclusive = [false; 5];
+        for _ in 0..1_000 {
+            seen_inclusive[rng.random_range(0usize..=4)] = true;
+        }
+        assert!(seen_inclusive.iter().all(|&s| s), "{seen_inclusive:?}");
+
+        for _ in 0..1_000 {
+            let v: i32 = rng.random_range(-3..3);
+            assert!((-3..3).contains(&v));
+            let f: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(5usize..5);
+    }
+
+    #[test]
+    fn works_through_unsized_generic_bounds() {
+        fn draw<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}

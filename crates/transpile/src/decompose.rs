@@ -42,7 +42,9 @@ impl NativeGateSet {
     pub fn is_native(&self, gate: &Gate) -> bool {
         match self {
             NativeGateSet::Unrestricted => true,
-            NativeGateSet::Ibm => matches!(gate, Gate::Cx(..) | Gate::Rz(..) | Gate::Sx(_) | Gate::X(_)),
+            NativeGateSet::Ibm => {
+                matches!(gate, Gate::Cx(..) | Gate::Rz(..) | Gate::Sx(_) | Gate::X(_))
+            }
             NativeGateSet::Rigetti => match gate {
                 Gate::Cz(..) | Gate::Rz(..) => true,
                 Gate::Rx(_, t) => {

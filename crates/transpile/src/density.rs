@@ -60,10 +60,7 @@ mod tests {
         let base = falcon_27();
         let same = densify(&base, 0.0, 1);
         assert_eq!(same.num_edges(), base.num_edges());
-        assert_eq!(
-            same.edges().collect::<Vec<_>>(),
-            base.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(same.edges().collect::<Vec<_>>(), base.edges().collect::<Vec<_>>());
     }
 
     #[test]
@@ -79,11 +76,7 @@ mod tests {
         let base = falcon_27();
         for &d in &[0.05, 0.1, 0.25, 0.5, 0.75] {
             let t = densify(&base, d, 7);
-            assert_eq!(
-                t.num_edges(),
-                edges_at_density(27, base.num_edges(), d),
-                "density {d}"
-            );
+            assert_eq!(t.num_edges(), edges_at_density(27, base.num_edges(), d), "density {d}");
         }
     }
 

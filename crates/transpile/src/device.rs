@@ -68,8 +68,8 @@ impl Device {
             topology: Topology::complete(n),
             gate_set: NativeGateSet::Ionq,
             noise: NoiseModel {
-                t1: 10.0,     // ~seconds-scale T1
-                t2: 1.0,      // ~second-scale T2
+                t1: 10.0, // ~seconds-scale T1
+                t2: 1.0,  // ~second-scale T2
                 time_1q: 10e-6,
                 time_2q: 200e-6,
                 p_depol_1q: 5e-4,

@@ -88,10 +88,7 @@ pub fn eagle_127() -> Topology {
     let full = heavy_hex(7, 15, 4);
     debug_assert_eq!(full.num_qubits(), 129);
     let keep = 127;
-    let edges: Vec<(usize, usize)> = full
-        .edges()
-        .filter(|&(a, b)| a < keep && b < keep)
-        .collect();
+    let edges: Vec<(usize, usize)> = full.edges().filter(|&(a, b)| a < keep && b < keep).collect();
     Topology::new(keep, &edges)
 }
 

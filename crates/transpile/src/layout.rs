@@ -51,16 +51,12 @@ pub fn greedy_layout(
 ) -> Layout {
     let n_log = circuit.num_qubits();
     let n_phys = topology.num_qubits();
-    assert!(
-        n_log <= n_phys,
-        "circuit needs {n_log} qubits but device has only {n_phys}"
-    );
+    assert!(n_log <= n_phys, "circuit needs {n_log} qubits but device has only {n_phys}");
     let weights = interaction_weights(circuit);
 
     // Logical order: decreasing total interaction weight.
     let mut logical_order: Vec<usize> = (0..n_log).collect();
-    let strength =
-        |l: usize| -> usize { weights[l].iter().sum() };
+    let strength = |l: usize| -> usize { weights[l].iter().sum() };
     logical_order.sort_by_key(|&l| std::cmp::Reverse(strength(l)));
 
     // Physical exploration order: BFS from the max-degree qubit keeps the
@@ -94,10 +90,7 @@ pub fn greedy_layout(
             let mut cost = 0.0;
             for (other, &w) in weights[l].iter().enumerate() {
                 if w > 0 && layout[other] != usize::MAX {
-                    let d = topology
-                        .distance(p, layout[other])
-                        .map(|d| d as f64)
-                        .unwrap_or(1e6);
+                    let d = topology.distance(p, layout[other]).map(|d| d as f64).unwrap_or(1e6);
                     cost += w as f64 * d;
                 }
             }
@@ -177,9 +170,7 @@ mod tests {
         let t = Topology::line(8);
         let layout = greedy_layout(&c, &t, 0, 0);
         // Total distance over interacting pairs should be minimal (= 3).
-        let total: usize = (0..3)
-            .map(|q| t.distance(layout[q], layout[q + 1]).unwrap())
-            .sum();
+        let total: usize = (0..3).map(|q| t.distance(layout[q], layout[q + 1]).unwrap()).sum();
         assert_eq!(total, 3, "layout {layout:?} is not compact");
     }
 

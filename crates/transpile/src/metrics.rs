@@ -54,11 +54,7 @@ pub fn stats(topology: &Topology) -> TopologyStats {
         num_edges: topology.num_edges(),
         density: topology.density(),
         degree_min: degrees.iter().copied().min().unwrap_or(0),
-        degree_mean: if n == 0 {
-            0.0
-        } else {
-            degrees.iter().sum::<usize>() as f64 / n as f64
-        },
+        degree_mean: if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 },
         degree_max: degrees.iter().copied().max().unwrap_or(0),
         mean_distance,
         diameter: topology.diameter(),
@@ -75,11 +71,7 @@ pub fn stats_cheap(topology: &Topology) -> TopologyStats {
         num_edges: topology.num_edges(),
         density: topology.density(),
         degree_min: degrees.iter().copied().min().unwrap_or(0),
-        degree_mean: if n == 0 {
-            0.0
-        } else {
-            degrees.iter().sum::<usize>() as f64 / n as f64
-        },
+        degree_mean: if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 },
         degree_max: degrees.iter().copied().max().unwrap_or(0),
         mean_distance: None,
         diameter: None,

@@ -26,12 +26,8 @@ fn cancels(a: &Gate, b: &Gate) -> bool {
         (H(p), H(q)) | (X(p), X(q)) | (Y(p), Y(q)) | (Z(p), Z(q)) => p == q,
         (S(p), Sdg(q)) | (Sdg(p), S(q)) => p == q,
         (Cx(c1, t1), Cx(c2, t2)) => c1 == c2 && t1 == t2,
-        (Cz(a1, b1), Cz(a2, b2)) => {
-            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
-        }
-        (Swap(a1, b1), Swap(a2, b2)) => {
-            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
-        }
+        (Cz(a1, b1), Cz(a2, b2)) => (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2),
+        (Swap(a1, b1), Swap(a2, b2)) => (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2),
         _ => false,
     }
 }
@@ -45,14 +41,10 @@ fn fuses(a: &Gate, b: &Gate) -> Option<Option<Gate>> {
         (Rx(p, t1), Rx(q, t2)) if p == q => Rx(*p, t1 + t2),
         (Ry(p, t1), Ry(q, t2)) if p == q => Ry(*p, t1 + t2),
         (Phase(p, t1), Phase(q, t2)) if p == q => Phase(*p, t1 + t2),
-        (Rzz(a1, b1, t1), Rzz(a2, b2, t2))
-            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
-        {
+        (Rzz(a1, b1, t1), Rzz(a2, b2, t2)) if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) => {
             Rzz(*a1, *b1, t1 + t2)
         }
-        (Rxx(a1, b1, t1), Rxx(a2, b2, t2))
-            if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) =>
-        {
+        (Rxx(a1, b1, t1), Rxx(a2, b2, t2)) if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) => {
             Rxx(*a1, *b1, t1 + t2)
         }
         _ => return None,
@@ -147,11 +139,7 @@ fn find_prev_live(
     q: usize,
     before: usize,
 ) -> Option<usize> {
-    (0..before).rev().find(|&i| {
-        ops[i]
-            .map(|g| g.qubits().iter().any(|x| x == q))
-            .unwrap_or(false)
-    })
+    (0..before).rev().find(|&i| ops[i].map(|g| g.qubits().iter().any(|x| x == q)).unwrap_or(false))
 }
 
 /// Removes adjacent self-inverse pairs until fixpoint.

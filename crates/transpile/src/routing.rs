@@ -57,10 +57,7 @@ pub fn route(
     config: RouterConfig,
 ) -> RoutedCircuit {
     assert_eq!(initial_layout.len(), circuit.num_qubits(), "layout size mismatch");
-    assert!(
-        crate::layout::validate_layout(initial_layout, topology),
-        "invalid initial layout"
-    );
+    assert!(crate::layout::validate_layout(initial_layout, topology), "invalid initial layout");
 
     let n_phys = topology.num_qubits();
     let mut layout = initial_layout.clone(); // logical -> physical
@@ -169,8 +166,7 @@ fn choose_swap(
             consider(edge);
         }
     }
-    best.expect("a shortest-path neighbour always strictly reduces distance")
-        .0
+    best.expect("a shortest-path neighbour always strictly reduces distance").0
 }
 
 fn apply_swap(layout: &mut Layout, inverse: &mut [usize], edge: (usize, usize)) {

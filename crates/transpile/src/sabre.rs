@@ -14,8 +14,8 @@ use qjo_gatesim::gate::{Gate, GateQubits};
 use qjo_gatesim::Circuit;
 
 use crate::layout::Layout;
-use crate::topology::Topology;
 use crate::routing::RoutedCircuit;
+use crate::topology::Topology;
 
 /// SABRE parameters.
 #[derive(Debug, Clone, Copy)]
@@ -78,10 +78,7 @@ pub fn sabre_route(
     config: &SabreConfig,
 ) -> RoutedCircuit {
     assert_eq!(initial_layout.len(), circuit.num_qubits(), "layout size mismatch");
-    assert!(
-        crate::layout::validate_layout(initial_layout, topology),
-        "invalid initial layout"
-    );
+    assert!(crate::layout::validate_layout(initial_layout, topology), "invalid initial layout");
     let n_phys = topology.num_qubits();
     let mut layout = initial_layout.clone();
     let mut inverse = vec![usize::MAX; n_phys];
@@ -168,8 +165,7 @@ pub fn sabre_route(
                     let front_score: f64 = blocked
                         .iter()
                         .map(|&(a, b)| {
-                            topology.distance(moved(a), moved(b)).unwrap_or(usize::MAX / 2)
-                                as f64
+                            topology.distance(moved(a), moved(b)).unwrap_or(usize::MAX / 2) as f64
                         })
                         .sum::<f64>()
                         / blocked.len() as f64;

@@ -34,12 +34,7 @@ impl Topology {
             assert_ne!(a, b, "self-loop at {a}");
             edges.insert((a.min(b) as u32, a.max(b) as u32));
         }
-        let mut t = Topology {
-            num_qubits,
-            edges,
-            adjacency: Vec::new(),
-            distances: None,
-        };
+        let mut t = Topology { num_qubits, edges, adjacency: Vec::new(), distances: None };
         t.rebuild_caches();
         t
     }
@@ -55,9 +50,8 @@ impl Topology {
             list.sort_unstable();
         }
         self.adjacency = adjacency;
-        self.distances = (n <= EAGER_DISTANCE_LIMIT).then(|| {
-            (0..n).map(|start| self.bfs_row(start)).collect()
-        });
+        self.distances =
+            (n <= EAGER_DISTANCE_LIMIT).then(|| (0..n).map(|start| self.bfs_row(start)).collect());
     }
 
     /// Single-source BFS distances from `start`.
@@ -174,8 +168,7 @@ impl Topology {
         let mut cur = b;
         while cur != a {
             let d = row[cur] as usize;
-            let prev = *self
-                .adjacency[cur]
+            let prev = *self.adjacency[cur]
                 .iter()
                 .find(|&&w| (row[w] as usize) + 1 == d)
                 .expect("BFS predecessor must exist");
@@ -363,7 +356,7 @@ mod tests {
         let p2 = t.shortest_path(0, 8).unwrap();
         assert_eq!(p1, p2);
         assert_eq!(p1.len(), 5); // 4 hops
-        // Consecutive path vertices are actually coupled.
+                                 // Consecutive path vertices are actually coupled.
         for w in p1.windows(2) {
             assert!(t.has_edge(w[0], w[1]));
         }

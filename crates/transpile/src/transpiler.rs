@@ -18,7 +18,7 @@ use qjo_gatesim::Circuit;
 use crate::decompose::NativeGateSet;
 use crate::layout::{greedy_layout, Layout};
 use crate::optimize::{cancel_pairs, merge_rotations};
-use crate::routing::{route, RouterConfig, RoutedCircuit};
+use crate::routing::{route, RoutedCircuit, RouterConfig};
 use crate::sabre::{sabre_layout, sabre_route, SabreConfig};
 use crate::topology::Topology;
 
@@ -199,9 +199,8 @@ mod tests {
         let qk = Transpiler::new(Strategy::QiskitLike, 0)
             .transpile(&c, &topo, NativeGateSet::Ibm)
             .depth();
-        let tk = Transpiler::new(Strategy::TketLike, 0)
-            .transpile(&c, &topo, NativeGateSet::Ibm)
-            .depth();
+        let tk =
+            Transpiler::new(Strategy::TketLike, 0).transpile(&c, &topo, NativeGateSet::Ibm).depth();
         assert!(tk > qk, "tket-like {tk} should exceed qiskit-like {qk}");
     }
 
@@ -226,10 +225,7 @@ mod tests {
         let t = Transpiler::new(Strategy::QiskitLike, 0);
         let native = t.transpile(&c, &topo, NativeGateSet::Ibm).depth();
         let unrestricted = t.transpile(&c, &topo, NativeGateSet::Unrestricted).depth();
-        assert!(
-            unrestricted < native,
-            "unrestricted {unrestricted} should beat native {native}"
-        );
+        assert!(unrestricted < native, "unrestricted {unrestricted} should beat native {native}");
     }
 
     #[test]

@@ -1,6 +1,12 @@
-//! Property-based tests for the transpilation substrate.
+//! Property-style tests for the transpilation substrate.
+//!
+//! Each property runs over a deterministic family of random instances
+//! drawn from a seeded [`StdRng`] — the hermetic stand-in for the proptest
+//! strategies the suite originally used. Seeds are fixed so failures
+//! reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use qjo_gatesim::gate::Gate;
 use qjo_gatesim::{Circuit, StateVector};
@@ -9,28 +15,51 @@ use qjo_transpile::optimize::{cancel_pairs, merge_rotations};
 use qjo_transpile::routing::respects_topology;
 use qjo_transpile::{NativeGateSet, Strategy as PipelineStrategy, Topology, Transpiler};
 
-fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = (0..n, 0..n).prop_filter("distinct", |(a, b)| a != b);
-    let angle = -3.0..3.0f64;
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        (q.clone(), angle.clone()).prop_map(|(q, t)| Gate::Rz(q, t)),
-        (q, angle.clone()).prop_map(|(q, t)| Gate::Rx(q, t)),
-        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
-        (q2, angle).prop_map(|((a, b), t)| Gate::Rzz(a, b, t)),
-    ]
+/// Draws a distinct ordered qubit pair.
+fn distinct_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
+    let a = rng.random_range(0..n);
+    loop {
+        let b = rng.random_range(0..n);
+        if b != a {
+            return (a, b);
+        }
+    }
 }
 
-fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(arb_gate(n), 1..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g);
+/// Draws a random gate from the transpiler-relevant alphabet.
+fn arb_gate(rng: &mut StdRng, n: usize) -> Gate {
+    let q = rng.random_range(0..n);
+    match rng.random_range(0..6u32) {
+        0 => Gate::H(q),
+        1 => Gate::X(q),
+        2 => Gate::Rz(q, rng.random_range(-3.0..3.0)),
+        3 => Gate::Rx(q, rng.random_range(-3.0..3.0)),
+        4 => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Cx(a, b)
         }
-        c
-    })
+        _ => {
+            let (a, b) = distinct_pair(rng, n);
+            Gate::Rzz(a, b, rng.random_range(-3.0..3.0))
+        }
+    }
+}
+
+fn arb_circuit(rng: &mut StdRng, n: usize, max_gates: usize) -> Circuit {
+    let count = rng.random_range(1..max_gates);
+    let mut c = Circuit::new(n);
+    for _ in 0..count {
+        let g = arb_gate(rng, n);
+        c.push(g);
+    }
+    c
+}
+
+fn for_cases(cases: u64, mut body: impl FnMut(&mut StdRng, u64)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0x7247_0000 + case);
+        body(&mut rng, case);
+    }
 }
 
 /// Measurement distributions agree after undoing the final layout.
@@ -57,74 +86,95 @@ fn distributions_match(logical: &Circuit, physical: &Circuit, layout: &[usize]) 
     true
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The full transpiler output respects topology, uses only native
-    /// gates, and preserves measurement statistics.
-    #[test]
-    fn transpilation_is_sound(c in arb_circuit(5, 16), seed in 0u64..20) {
+/// The full transpiler output respects topology, uses only native
+/// gates, and preserves measurement statistics.
+#[test]
+fn transpilation_is_sound() {
+    for_cases(24, |rng, case| {
+        let c = arb_circuit(rng, 5, 16);
+        let seed = rng.random_range(0u64..20);
         let topo = Topology::grid(3, 2); // 6 physical qubits
         for strategy in [PipelineStrategy::QiskitLike, PipelineStrategy::TketLike] {
             let r = Transpiler::new(strategy, seed).transpile(&c, &topo, NativeGateSet::Ibm);
-            prop_assert!(respects_topology(&r.circuit, &topo));
-            prop_assert!(r.circuit.gates().iter().all(|g| NativeGateSet::Ibm.is_native(g)));
-            prop_assert!(
+            assert!(respects_topology(&r.circuit, &topo), "case {case} {strategy:?}");
+            assert!(
+                r.circuit.gates().iter().all(|g| NativeGateSet::Ibm.is_native(g)),
+                "case {case} {strategy:?}"
+            );
+            assert!(
                 distributions_match(&c, &r.circuit, &r.final_layout),
-                "{strategy:?} changed semantics"
+                "case {case}: {strategy:?} changed semantics"
             );
         }
-    }
+    });
+}
 
-    /// Peephole optimisation preserves semantics and never grows circuits.
-    #[test]
-    fn peephole_is_semantics_preserving(c in arb_circuit(4, 20)) {
+/// Peephole optimisation preserves semantics and never grows circuits.
+#[test]
+fn peephole_is_semantics_preserving() {
+    for_cases(24, |rng, case| {
+        let c = arb_circuit(rng, 4, 20);
         for optimised in [cancel_pairs(&c), merge_rotations(&c)] {
-            prop_assert!(optimised.len() <= c.len());
+            assert!(optimised.len() <= c.len(), "case {case}");
             let mut a = StateVector::zero(4);
             a.apply_circuit(&c);
             let mut b = StateVector::zero(4);
             b.apply_circuit(&optimised);
-            prop_assert!(a.fidelity(&b) > 1.0 - 1e-9);
+            assert!(a.fidelity(&b) > 1.0 - 1e-9, "case {case}");
         }
-    }
+    });
+}
 
-    /// Densification interpolates edge counts monotonically and never
-    /// removes existing couplers.
-    #[test]
-    fn densify_is_monotone(d1 in 0.0..1.0f64, d2 in 0.0..1.0f64, seed in 0u64..50) {
+/// Densification interpolates edge counts monotonically and never
+/// removes existing couplers.
+#[test]
+fn densify_is_monotone() {
+    for_cases(24, |rng, case| {
+        let d1 = rng.random_range(0.0..1.0);
+        let d2 = rng.random_range(0.0..1.0);
+        let seed = rng.random_range(0u64..50);
         let base = Topology::line(12);
         let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
         let t_lo = densify(&base, lo, seed);
         let t_hi = densify(&base, hi, seed);
-        prop_assert!(t_lo.num_edges() <= t_hi.num_edges());
+        assert!(t_lo.num_edges() <= t_hi.num_edges(), "case {case}");
         for (a, b) in base.edges() {
-            prop_assert!(t_lo.has_edge(a, b), "densify dropped edge ({a},{b})");
+            assert!(t_lo.has_edge(a, b), "case {case}: densify dropped edge ({a},{b})");
         }
-    }
+    });
+}
 
-    /// Gate-set decomposition emits only native gates for every set.
-    #[test]
-    fn decomposition_stays_native(c in arb_circuit(4, 12)) {
+/// Gate-set decomposition emits only native gates for every set.
+#[test]
+fn decomposition_stays_native() {
+    for_cases(24, |rng, case| {
+        let c = arb_circuit(rng, 4, 12);
         for set in [NativeGateSet::Ibm, NativeGateSet::Rigetti, NativeGateSet::Ionq] {
             let d = set.decompose_circuit(&c);
-            prop_assert!(d.gates().iter().all(|g| set.is_native(g)), "{set:?}");
+            assert!(d.gates().iter().all(|g| set.is_native(g)), "case {case} {set:?}");
             // And semantics are preserved (global phase aside): compare
             // measurement distributions from |0…0⟩.
             let mut a = StateVector::zero(4);
             a.apply_circuit(&c);
             let mut b = StateVector::zero(4);
             b.apply_circuit(&d);
-            prop_assert!(a.fidelity(&b) > 1.0 - 1e-8, "{set:?} changed semantics");
+            assert!(a.fidelity(&b) > 1.0 - 1e-8, "case {case}: {set:?} changed semantics");
         }
-    }
+    });
+}
 
-    /// Routing on a complete graph never inserts SWAPs.
-    #[test]
-    fn complete_graph_needs_no_swaps(c in arb_circuit(5, 16), seed in 0u64..10) {
+/// Routing on a complete graph never inserts SWAPs.
+#[test]
+fn complete_graph_needs_no_swaps() {
+    for_cases(24, |rng, case| {
+        let c = arb_circuit(rng, 5, 16);
+        let seed = rng.random_range(0u64..10);
         let topo = Topology::complete(5);
-        let r = Transpiler::new(PipelineStrategy::QiskitLike, seed)
-            .transpile(&c, &topo, NativeGateSet::Unrestricted);
-        prop_assert_eq!(r.swaps_inserted, 0);
-    }
+        let r = Transpiler::new(PipelineStrategy::QiskitLike, seed).transpile(
+            &c,
+            &topo,
+            NativeGateSet::Unrestricted,
+        );
+        assert_eq!(r.swaps_inserted, 0, "case {case}");
+    });
 }

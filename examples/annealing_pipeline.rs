@@ -20,7 +20,11 @@ fn main() {
     );
 
     let encoded = JoEncoder::default().encode(&query);
-    println!("QUBO: {} logical qubits, {} couplings", encoded.num_qubits(), encoded.qubo.num_interactions());
+    println!(
+        "QUBO: {} logical qubits, {} couplings",
+        encoded.num_qubits(),
+        encoded.qubo.num_interactions()
+    );
 
     // An Advantage-like hardware graph (scaled-down tile grid for speed).
     let hardware = pegasus_like(8);
@@ -38,8 +42,7 @@ fn main() {
             ..AnnealerSampler::new(hardware.clone())
         };
         let outcome = sampler.sample_qubo(&encoded.qubo).expect("problem embeds");
-        let quality =
-            assess_samples(&outcome.samples, &encoded.registry, &query, optimal_cost);
+        let quality = assess_samples(&outcome.samples, &encoded.registry, &query, optimal_cost);
         println!(
             "Δt = {annealing_time_us:>5} µs | physical qubits {:>3} | max chain {} | \
              chain breaks {:>5.1}% | valid {:>5.1}% | optimal {:>5.1}%",

@@ -14,12 +14,10 @@ use qjo::transpile::{stats, Device, NativeGateSet, Strategy, Transpiler};
 fn main() {
     // A 4-relation cycle query's QAOA circuit as the compilation workload.
     let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, 4).generate(3);
-    let encoded = JoEncoder { thresholds: ThresholdSpec::Auto(2), ..Default::default() }
-        .encode(&query);
-    let circuit = qaoa_circuit(
-        &encoded.qubo.to_ising(),
-        &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
-    );
+    let encoded =
+        JoEncoder { thresholds: ThresholdSpec::Auto(2), ..Default::default() }.encode(&query);
+    let circuit =
+        qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
     println!(
         "workload: {} qubits, {} gates (QAOA p=1, 2 thresholds, ω = 1)\n",
         encoded.num_qubits(),
@@ -62,9 +60,7 @@ fn main() {
     ] {
         let t = Transpiler::new(Strategy::QiskitLike, 0);
         let native = t.transpile(&circuit, &device.topology, device.gate_set).depth();
-        let free = t
-            .transpile(&circuit, &device.topology, NativeGateSet::Unrestricted)
-            .depth();
+        let free = t.transpile(&circuit, &device.topology, NativeGateSet::Unrestricted).depth();
         println!("  {name:<18} native {native:>4}  unrestricted {free:>4}");
     }
 

@@ -49,9 +49,8 @@ fn main() {
 
     // Exact feasible warm start: the library's order→assignment encoder
     // fills operand, predicate, threshold, and slack bits consistently.
-    let assignment = encoded
-        .assignment_for_order(&greedy_order)
-        .expect("integer-log queries encode exactly");
+    let assignment =
+        encoded.assignment_for_order(&greedy_order).expect("integer-log queries encode exactly");
     let start_energy = encoded.qubo.energy(&assignment).expect("length");
     println!("classical start: QUBO energy {start_energy:.0}");
 
@@ -78,7 +77,8 @@ fn main() {
             "after Γ ≤ {gamma:.1}: best energy {:>8.1} | {}",
             best.1,
             match &decoded {
-                Some(order) => format!("order {:?}, C_out = {:.0}", order.order, order.cost(&query)),
+                Some(order) =>
+                    format!("order {:?}, C_out = {:.0}", order.order, order.cost(&query)),
                 None => "invalid join order".to_string(),
             }
         );
@@ -107,8 +107,7 @@ fn main() {
     };
     match sampler.sample_qubo(&encoded.qubo) {
         Ok(outcome) => {
-            let quality =
-                assess_samples(&outcome.samples, &encoded.registry, &query, optimal_cost);
+            let quality = assess_samples(&outcome.samples, &encoded.registry, &query, optimal_cost);
             println!(
                 "forward annealing from scratch: {:.1}% valid, {:.1}% optimal reads",
                 quality.valid_fraction * 100.0,

@@ -12,8 +12,8 @@
 //! ```
 
 use qjo::core::classical::{dp_optimal, greedy_min_cost};
-use qjo::core::presets::{imdb_star_query, IMDB_CATALOG};
 use qjo::core::prelude::*;
+use qjo::core::presets::{imdb_star_query, IMDB_CATALOG};
 
 fn main() {
     println!("IMDB-like catalogue ({} relations):", IMDB_CATALOG.len());
@@ -59,9 +59,6 @@ fn main() {
         ("roadmap 1k", 1_000),
         ("roadmap 4k", 4_000),
     ] {
-        println!(
-            "  {name:<24} → {:>3} relations",
-            max_relations_for_budget(budget, 2, 1.0, 6.0)
-        );
+        println!("  {name:<24} → {:>3} relations", max_relations_for_budget(budget, 2, 1.0, 6.0));
     }
 }

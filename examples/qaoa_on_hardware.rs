@@ -71,7 +71,10 @@ fn main() {
         quality.optimal_fraction * 100.0
     );
     if let Some((order, cost)) = &quality.best {
-        println!("best decoded order {:?} at C_out = {cost:.0} (optimum {optimal_cost:.0})", order.order);
+        println!(
+            "best decoded order {:?} at C_out = {cost:.0} (optimum {optimal_cost:.0})",
+            order.order
+        );
     }
 
     // The §4.2.1 timing decomposition for this job.
@@ -80,8 +83,7 @@ fn main() {
         "timing: t_s = {:.1} ms, t_qpu = {:.2} s (cloud), {:.1} ms on a local coprocessor",
         cloud.sampling_time(&compiled.circuit, &device.noise, 1024) * 1e3,
         cloud.total_qpu_time(&compiled.circuit, &device.noise, 1024),
-        QpuTimingModel::local_coprocessor()
-            .total_qpu_time(&compiled.circuit, &device.noise, 1024)
+        QpuTimingModel::local_coprocessor().total_qpu_time(&compiled.circuit, &device.noise, 1024)
             * 1e3,
     );
 }

@@ -11,15 +11,9 @@ use qjo::qubo::solve::{ExactSolver, SimulatedAnnealing};
 fn main() {
     // The paper's running example: |R| = |S| = |T| = 100 and one join
     // predicate R ⋈ S with selectivity 0.1 (everything in log10).
-    let query = Query::new(
-        vec![2.0, 2.0, 2.0],
-        vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-    );
-    println!(
-        "query: {} relations, {} predicates",
-        query.num_relations(),
-        query.num_predicates()
-    );
+    let query =
+        Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }]);
+    println!("query: {} relations, {} predicates", query.num_relations(), query.num_predicates());
 
     // Classical ground truth.
     let (best_order, best_cost) = dp_optimal(&query);
@@ -44,11 +38,7 @@ fn main() {
     // Decode the ground state back into a join order.
     let order = decode_assignment(&ground.assignment, &encoded.registry, &query)
         .expect("the QUBO minimum is a valid join order");
-    println!(
-        "decoded join order: {:?} with C_out = {}",
-        order.order,
-        order.cost(&query)
-    );
+    println!("decoded join order: {:?} with C_out = {}", order.order, order.cost(&query));
     assert_eq!(order.cost(&query), best_cost, "quantum formulation found the optimum");
     println!("matches the classical optimum ✓");
 }

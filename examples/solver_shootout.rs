@@ -15,8 +15,8 @@ use qjo::core::classical::{
     dp_optimal, greedy_min_cost, iterative_improvement, simulated_annealing_jo,
 };
 use qjo::core::prelude::*;
-use qjo::qubo::solve::{ExactSolver, SimulatedAnnealing, SteepestDescent, TabuSearch};
 use qjo::qubo::fix_variables;
+use qjo::qubo::solve::{ExactSolver, SimulatedAnnealing, SteepestDescent, TabuSearch};
 
 fn main() {
     let query = QueryGenerator::paper_defaults(QueryGraph::Cycle, 4).generate(42);
@@ -46,22 +46,15 @@ fn main() {
     report.push(("simulated annealing (orders)".into(), sa, format!("{:.2?}", t0.elapsed())));
 
     // --- the QUBO route ---------------------------------------------
-    let encoded = JoEncoder {
-        thresholds: ThresholdSpec::Auto(3),
-        ..JoEncoder::default()
-    }
-    .encode(&query);
+    let encoded =
+        JoEncoder { thresholds: ThresholdSpec::Auto(3), ..JoEncoder::default() }.encode(&query);
     println!(
         "QUBO encoding: {} qubits, {} couplings",
         encoded.num_qubits(),
         encoded.qubo.num_interactions()
     );
     let pre = fix_variables(&encoded.qubo);
-    println!(
-        "preprocessing fixed {} of {} variables\n",
-        pre.num_fixed(),
-        encoded.num_qubits()
-    );
+    println!("preprocessing fixed {} of {} variables\n", pre.num_fixed(), encoded.num_qubits());
 
     let decode_cost = |assignment: &[bool]| -> Option<f64> {
         decode_assignment(assignment, &encoded.registry, &query).map(|o| o.cost(&query))
@@ -80,15 +73,10 @@ fn main() {
         .solve(&encoded.qubo)
         .expect("valid model");
     match decode_cost(&qsd.assignment) {
-        Some(cost) => report.push((
-            "QUBO + steepest descent".into(),
-            cost,
-            format!("{:.2?}", t0.elapsed()),
-        )),
-        None => println!(
-            "steepest descent ended in an invalid assignment (energy {})",
-            qsd.energy
-        ),
+        Some(cost) => {
+            report.push(("QUBO + steepest descent".into(), cost, format!("{:.2?}", t0.elapsed())))
+        }
+        None => println!("steepest descent ended in an invalid assignment (energy {})", qsd.energy),
     }
 
     let t0 = std::time::Instant::now();
@@ -121,10 +109,7 @@ fn main() {
             let quality = assess_samples(&outcome.samples, &minimal.registry, &query, opt);
             if let Some((_, cost)) = quality.best {
                 report.push((
-                    format!(
-                        "simulated quantum annealer ({} phys qubits)",
-                        outcome.physical_qubits
-                    ),
+                    format!("simulated quantum annealer ({} phys qubits)", outcome.physical_qubits),
                     cost,
                     format!("{:.2?}", t0.elapsed()),
                 ));
@@ -137,9 +122,6 @@ fn main() {
     println!("{:<44} {:>14}  {:>10}  vs opt", "solver", "C_out", "time");
     println!("{}", "-".repeat(84));
     for (name, cost, time) in &report {
-        println!(
-            "{name:<44} {cost:>14.0}  {time:>10}  {:.3}×",
-            cost / opt
-        );
+        println!("{name:<44} {cost:>14.0}  {time:>10}  {:.3}×", cost / opt);
     }
 }

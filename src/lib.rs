@@ -11,6 +11,9 @@
 //!   transpiler pipelines, co-design extrapolation.
 //! * [`anneal`] — Pegasus-like hardware graphs, minor embedding, simulated
 //!   quantum annealing, the D-Wave-like sampler.
+//! * [`exec`] — deterministic parallel execution: seeded per-unit RNG
+//!   streams and order-preserving `par_map`, so results are bit-identical
+//!   at any thread count.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs and the
 //! `experiments` binary (`cargo run -p qjo-bench --release --bin
@@ -29,6 +32,7 @@
 
 pub use qjo_anneal as anneal;
 pub use qjo_core as core;
+pub use qjo_exec as exec;
 pub use qjo_gatesim as gatesim;
 pub use qjo_qubo as qubo;
 pub use qjo_transpile as transpile;

@@ -12,17 +12,11 @@ use qjo::qubo::SampleSet;
 use qjo::transpile::{respects_topology, Device, NativeGateSet, Strategy, Transpiler};
 
 fn paper_example() -> Query {
-    Query::new(
-        vec![2.0, 2.0, 2.0],
-        vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }],
-    )
+    Query::new(vec![2.0, 2.0, 2.0], vec![Predicate { rel_a: 0, rel_b: 1, log_sel: -1.0 }])
 }
 
 fn fine_encoder() -> JoEncoder {
-    JoEncoder {
-        thresholds: ThresholdSpec::ExplicitLogs(vec![2.0, 3.0]),
-        ..JoEncoder::default()
-    }
+    JoEncoder { thresholds: ThresholdSpec::ExplicitLogs(vec![2.0, 3.0]), ..JoEncoder::default() }
 }
 
 #[test]
@@ -82,6 +76,7 @@ fn qaoa_pipeline_finds_optimal_join_orders_noiselessly() {
     let grid = GridSearch {
         bounds: vec![(0.0, std::f64::consts::PI), (0.0, std::f64::consts::PI / 2.0)],
         resolution: 12,
+        ..Default::default()
     };
     let result = grid.minimize(|x| sim.expectation(&QaoaParams::from_flat(1, x)));
     let params = QaoaParams::from_flat(1, &result.x);
@@ -106,10 +101,8 @@ fn transpiled_qaoa_respects_hardware_and_survives_noise() {
     assert!(encoded.num_qubits() <= 27, "must fit Auckland");
 
     let device = Device::ibm_auckland();
-    let circuit = qaoa_circuit(
-        &encoded.qubo.to_ising(),
-        &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
-    );
+    let circuit =
+        qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
     let compiled = Transpiler::new(Strategy::QiskitLike, 1).transpile(
         &circuit,
         &device.topology,
@@ -119,7 +112,8 @@ fn transpiled_qaoa_respects_hardware_and_survives_noise() {
     assert!(compiled.circuit.gates().iter().all(|g| device.gate_set.is_native(g)));
 
     // Sample the logical circuit under noise and decode.
-    let noisy = NoisySimulator { trajectories: 4, ..NoisySimulator::new(NoiseModel::ibm_auckland(), 9) };
+    let noisy =
+        NoisySimulator { trajectories: 4, ..NoisySimulator::new(NoiseModel::ibm_auckland(), 9) };
     let reads = noisy.sample(&circuit, 512);
     let samples = SampleSet::from_reads(reads, |x| encoded.qubo.energy(x).unwrap());
     let (_, optimal) = dp_optimal(&query);
@@ -140,18 +134,13 @@ fn sampling_the_transpiled_circuit_agrees_after_unpermuting() {
     let encoded = JoEncoder::default().encode(&query);
     let n = encoded.num_qubits();
 
-    let circuit = qaoa_circuit(
-        &encoded.qubo.to_ising(),
-        &QaoaParams { gammas: vec![0.5], betas: vec![0.4] },
-    );
+    let circuit =
+        qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.5], betas: vec![0.4] });
     // A 20-qubit grid device keeps the physical state vector small while
     // still forcing routing (the Auckland-sized 2^27 state is ~50× slower).
     let topology = qjo::transpile::Topology::grid(5, 4);
-    let compiled = Transpiler::new(Strategy::QiskitLike, 3).transpile(
-        &circuit,
-        &topology,
-        NativeGateSet::Ibm,
-    );
+    let compiled =
+        Transpiler::new(Strategy::QiskitLike, 3).transpile(&circuit, &topology, NativeGateSet::Ibm);
     assert!(compiled.swaps_inserted > 0, "routing must actually happen");
 
     // Noiseless sampling of both circuits.
@@ -217,10 +206,7 @@ fn chimera_and_pegasus_both_serve_as_annealer_targets() {
     let query = paper_example();
     let encoded = fine_encoder().encode(&query);
     for hardware in [chimera(6), pegasus_like(5)] {
-        let sampler = AnnealerSampler {
-            num_reads: 100,
-            ..AnnealerSampler::new(hardware)
-        };
+        let sampler = AnnealerSampler { num_reads: 100, ..AnnealerSampler::new(hardware) };
         let outcome = sampler.sample_qubo(&encoded.qubo).expect("embeds");
         assert!(outcome.samples.total_reads() == 100);
         assert!(outcome.physical_qubits >= encoded.num_qubits());
@@ -233,11 +219,9 @@ fn bound_dominates_every_encoding_in_a_sweep() {
         for t in 3..=6 {
             for r in 1..=2 {
                 let query = QueryGenerator::paper_defaults(graph, t).generate(3);
-                let encoded = JoEncoder {
-                    thresholds: ThresholdSpec::Auto(r),
-                    ..Default::default()
-                }
-                .encode(&query);
+                let encoded =
+                    JoEncoder { thresholds: ThresholdSpec::Auto(r), ..Default::default() }
+                        .encode(&query);
                 let bound = qubit_upper_bound(&query, r, 1.0).total();
                 assert!(
                     encoded.num_qubits() <= bound,

@@ -5,8 +5,8 @@ use qjo::anneal::hardware::{pegasus_like, zephyr_like};
 use qjo::anneal::pegasus_clique_embedding;
 use qjo::core::classical::dp_optimal;
 use qjo::core::costmodel::{dp_optimal_with, CostModel};
-use qjo::core::presets::imdb_chain_query;
 use qjo::core::prelude::*;
+use qjo::core::presets::imdb_chain_query;
 use qjo::gatesim::{qaoa_circuit, to_qasm, QaoaParams, ReadoutMitigator};
 use qjo::qubo::io::{from_text, to_text};
 use qjo::qubo::{fix_variables, solve::ExactSolver};
@@ -20,16 +20,11 @@ fn sabre_transpiles_jo_circuits_onto_real_devices() {
     };
     let query = gen.with_predicate_count(0, 1);
     let encoded = JoEncoder::default().encode(&query);
-    let circuit = qaoa_circuit(
-        &encoded.qubo.to_ising(),
-        &QaoaParams { gammas: vec![0.4], betas: vec![0.3] },
-    );
+    let circuit =
+        qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
     let device = Device::ibm_auckland();
-    let result = Transpiler::new(Strategy::Sabre, 0).transpile(
-        &circuit,
-        &device.topology,
-        device.gate_set,
-    );
+    let result =
+        Transpiler::new(Strategy::Sabre, 0).transpile(&circuit, &device.topology, device.gate_set);
     assert!(respects_topology(&result.circuit, &device.topology));
     assert!(result.circuit.gates().iter().all(|g| device.gate_set.is_native(g)));
 
@@ -85,8 +80,7 @@ fn clique_template_supports_the_annealing_pipeline() {
     let query = QueryGenerator::paper_defaults(QueryGraph::Chain, 3).generate(0);
     let encoded = JoEncoder::default().encode(&query);
     let m = 8;
-    let template =
-        pegasus_clique_embedding(encoded.num_qubits(), m).expect("template capacity");
+    let template = pegasus_clique_embedding(encoded.num_qubits(), m).expect("template capacity");
     let sampler = AnnealerSampler { num_reads: 100, ..AnnealerSampler::new(pegasus_like(m)) };
     let outcome = sampler.sample_qubo_with_embedding(&encoded.qubo, template);
     assert_eq!(outcome.samples.total_reads(), 100);
