@@ -461,6 +461,7 @@ impl Embedder {
             if out_of_time(&started) {
                 return None;
             }
+            qjo_obs::counter!("embed.tries").incr();
             let mut state = State::new(target, num_vars, adjacency.clone(), self.penalty_base);
             // Place in BFS order from a max-degree variable (random
             // tie-breaking), so every new variable lands next to already
@@ -592,9 +593,9 @@ impl Embedder {
                         state.restore(&best_chains);
                     }
                 }
-                if std::env::var_os("QJO_EMBED_DEBUG").is_some() {
+                if qjo_obs::log::enabled(qjo_obs::log::Level::Debug) {
                     let chain_total: usize = state.chains.iter().map(Vec::len).sum();
-                    eprintln!(
+                    qjo_obs::debug!(
                         "embed try {_try} pass {pass}: max_usage={} overfill={overfill} best={best_overfill} chain_qubits={chain_total}",
                         state.max_usage()
                     );

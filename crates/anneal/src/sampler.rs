@@ -115,6 +115,7 @@ impl AnnealerSampler {
 
     /// Finds a minor embedding for a QUBO's interaction graph.
     pub fn embed(&self, qubo: &Qubo) -> Result<Embedding, AnnealError> {
+        let _span = qjo_obs::span!("anneal.embed");
         let logical = qubo.to_ising();
         let source_edges: Vec<(usize, usize)> =
             logical.couplings().filter(|&(_, _, j)| j != 0.0).map(|(i, j, _)| (i, j)).collect();
@@ -129,6 +130,8 @@ impl AnnealerSampler {
     /// Runs the annealing pipeline with a previously computed embedding
     /// (e.g. to sweep annealing times without re-embedding).
     pub fn sample_qubo_with_embedding(&self, qubo: &Qubo, embedding: Embedding) -> AnnealOutcome {
+        let _span = qjo_obs::span!("anneal.sample");
+        qjo_obs::counter!("anneal.reads").add(self.num_reads as u64);
         let logical = qubo.to_ising();
         let chain_strength = self.chain_strength.unwrap_or_else(|| {
             uniform_torque_compensation(&logical, self.chain_strength_prefactor)
@@ -178,6 +181,9 @@ impl AnnealerSampler {
         let (reads, unembedded): (Vec<_>, Vec<_>) = per_read.into_iter().unzip();
 
         let cbf = chain_break_fraction(&unembedded, embedding.chains.len());
+        // Written after the deterministic par_map reduction, so the gauge
+        // holds the same value at any thread count.
+        qjo_obs::gauge!("anneal.chain_break_fraction").set(cbf);
         let physical_qubits = embedding.num_physical_qubits();
         let samples =
             SampleSet::from_reads(reads, |x| qubo.energy(x).expect("reads have model length"));

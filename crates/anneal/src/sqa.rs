@@ -72,6 +72,8 @@ pub fn anneal_once(
     let n = ising.num_spins();
     let p = config.trotter_slices.max(2);
     let sweeps = ((annealing_time_us * config.sweeps_per_us).ceil() as usize).max(2);
+    qjo_obs::counter!("sqa.anneals").incr();
+    qjo_obs::counter!("sqa.sweeps").add(sweeps as u64);
 
     // Adjacency in CSR-ish form for fast local fields.
     let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];

@@ -1,39 +1,80 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all] [--full] [--csv DIR]
+//! experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]
+//!             [--full|--smoke] [--csv DIR] [--metrics-out PATH]
+//! experiments manifest-diff BASELINE CURRENT
 //! ```
 //!
 //! Defaults are scaled to simulator throughput; `--full` raises the knobs
-//! toward the paper's exact parameters (slower). `--csv DIR` additionally
-//! writes each result as CSV into `DIR`.
+//! toward the paper's exact parameters (slower), `--smoke` lowers them to
+//! a CI-sized sweep that finishes in a couple of minutes. `--csv DIR`
+//! additionally writes each result as CSV into `DIR`.
+//!
+//! Every run also emits a machine-readable **run manifest** (see
+//! `EXPERIMENTS.md`): per-stage durations and counter deltas, final
+//! metrics, and a content fingerprint of every table. The manifest goes to
+//! `--metrics-out PATH` if given, else `DIR/run_manifest.json` under
+//! `--csv`, else `results/run_manifest.json`; set `QJO_MANIFEST=off` to
+//! disable. `manifest-diff` compares the deterministic sections of two
+//! manifests and exits non-zero on drift — CI's experiments gate.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use qjo_bench::report::Table;
 use qjo_bench::{ablation, fig2, fig3, fig4, fig5, scaling, table1, table2, table3, timing};
+use qjo_obs::json::Json;
+use qjo_obs::manifest::{Artifact, RunManifest, StageRecord};
+
+/// Knob scaling: the default simulator-throughput sweep, the paper-exact
+/// `--full` sweep, or the CI-sized `--smoke` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Default,
+    Full,
+    Smoke,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Default => "default",
+            Mode::Full => "full",
+            Mode::Smoke => "smoke",
+        }
+    }
+}
 
 struct Options {
     which: Vec<String>,
-    full: bool,
+    mode: Mode,
     csv_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]... \
+     [--full|--smoke] [--csv DIR] [--metrics-out PATH]\n       experiments manifest-diff BASELINE CURRENT";
 
 fn parse_args() -> Options {
     let mut which = Vec::new();
-    let mut full = false;
+    let mut mode = Mode::Default;
     let mut csv_dir = None;
+    let mut metrics_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--full" => full = true,
+            "--full" => mode = Mode::Full,
+            "--smoke" => mode = Mode::Smoke,
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().expect("--csv requires a directory")));
             }
+            "--metrics-out" => {
+                metrics_out =
+                    Some(PathBuf::from(args.next().expect("--metrics-out requires a path")));
+            }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]... [--full] [--csv DIR]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => which.push(other.to_string()),
@@ -48,30 +89,54 @@ fn parse_args() -> Options {
         .map(|s| s.to_string())
         .collect();
     }
-    Options { which, full, csv_dir }
+    Options { which, mode, csv_dir, metrics_out }
 }
 
-fn emit(options: &Options, name: &str, title: &str, table: Table) {
-    println!("== {title} ==\n");
-    println!("{}", table.render());
-    if let Some(dir) = &options.csv_dir {
-        let path = dir.join(format!("{name}.csv"));
-        match table.write_csv(&path) {
-            Ok(()) => println!("(wrote {})\n", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+/// Collects the tables a run produces: prints them, optionally writes the
+/// CSVs, and fingerprints every artifact for the run manifest.
+struct Driver {
+    options: Options,
+    artifacts: Vec<Artifact>,
+}
+
+/// Tables whose cells contain wall-clock measurements; their manifest
+/// entries are flagged volatile so the drift gate checks shape only.
+const VOLATILE_ARTIFACTS: &[&str] = &["scaling_classical"];
+
+/// Counters whose value depends on wall-clock (the embedder stops
+/// retrying when its time budget runs out, so the attempt count varies
+/// run to run even though results do not); the drift gate skips them.
+const VOLATILE_COUNTERS: &[&str] = &["embed.tries"];
+
+impl Driver {
+    fn emit(&mut self, name: &str, title: &str, table: Table) {
+        println!("== {title} ==\n");
+        println!("{}", table.render());
+        let csv = table.to_csv();
+        self.artifacts.push(Artifact {
+            name: format!("{name}.csv"),
+            rows: table.num_rows() as u64,
+            bytes: csv.len() as u64,
+            hash: qjo_obs::fnv1a64_hex(csv.as_bytes()),
+            volatile: VOLATILE_ARTIFACTS.contains(&name),
+        });
+        if let Some(dir) = &self.options.csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            match table.write_csv(&path) {
+                Ok(()) => qjo_obs::info!("wrote {}", path.display()),
+                Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+            }
         }
     }
-}
 
-fn main() {
-    let options = parse_args();
-    for which in options.which.clone() {
-        let start = std::time::Instant::now();
-        match which.as_str() {
+    fn run_stage(&mut self, which: &str) {
+        let mode = self.options.mode;
+        let full = mode == Mode::Full;
+        let smoke = mode == Mode::Smoke;
+        match which {
             "table1" => {
                 let cfg = table1::Table1Config::default();
-                emit(
-                    &options,
+                self.emit(
                     "table1",
                     "Table 1: original vs pruned MILP model",
                     table1::render(&table1::run(&cfg)),
@@ -79,11 +144,16 @@ fn main() {
             }
             "fig2" => {
                 let cfg = fig2::Fig2Config {
-                    repetitions: if options.full { 20 } else { 10 },
+                    repetitions: if full {
+                        20
+                    } else if smoke {
+                        3
+                    } else {
+                        10
+                    },
                     ..Default::default()
                 };
-                emit(
-                    &options,
+                self.emit(
                     "fig2",
                     "Figure 2: transpiled QAOA circuit depths on IBM Q",
                     fig2::render(&fig2::run(&cfg)),
@@ -91,12 +161,19 @@ fn main() {
             }
             "table2" => {
                 let cfg = table2::Table2Config {
-                    max_predicates: if options.full { 3 } else { 1 },
-                    trajectories: if options.full { 16 } else { 8 },
+                    max_predicates: if full { 3 } else { usize::from(!smoke) },
+                    trajectories: if full {
+                        16
+                    } else if smoke {
+                        2
+                    } else {
+                        8
+                    },
+                    shots: if smoke { 256 } else { 1024 },
+                    iteration_budgets: if smoke { vec![20] } else { vec![20, 50] },
                     ..Default::default()
                 };
-                emit(
-                    &options,
+                self.emit(
                     "table2",
                     "Table 2: QAOA solution quality under the Auckland noise model",
                     table2::render(&table2::run(&cfg)),
@@ -104,17 +181,30 @@ fn main() {
             }
             "fig3" => {
                 let cfg = fig3::Fig3Config {
-                    relations: if options.full { (3..=10).collect() } else { (3..=6).collect() },
-                    pegasus_m: if options.full { 26 } else { 16 },
-                    threshold_counts: if options.full {
+                    relations: if full {
+                        (3..=10).collect()
+                    } else if smoke {
+                        (3..=4).collect()
+                    } else {
+                        (3..=6).collect()
+                    },
+                    pegasus_m: if full {
+                        26
+                    } else if smoke {
+                        8
+                    } else {
+                        16
+                    },
+                    threshold_counts: if full {
                         vec![1, 2, 4, 6, 10, 20]
+                    } else if smoke {
+                        vec![1, 2]
                     } else {
                         vec![1, 2, 4, 6]
                     },
                     ..Default::default()
                 };
-                emit(
-                    &options,
+                self.emit(
                     "fig3",
                     "Figure 3: physical qubits to embed JO on the Pegasus-like annealer",
                     fig3::render(&fig3::run(&cfg)),
@@ -122,12 +212,29 @@ fn main() {
             }
             "table3" => {
                 let cfg = table3::Table3Config {
-                    instances: if options.full { 20 } else { 5 },
-                    num_reads: if options.full { 1000 } else { 200 },
+                    relations: if smoke { vec![3, 4] } else { vec![3, 4, 5] },
+                    annealing_times_us: if smoke {
+                        vec![20.0, 100.0]
+                    } else {
+                        vec![20.0, 60.0, 100.0]
+                    },
+                    instances: if full {
+                        20
+                    } else if smoke {
+                        2
+                    } else {
+                        5
+                    },
+                    num_reads: if full {
+                        1000
+                    } else if smoke {
+                        50
+                    } else {
+                        200
+                    },
                     ..Default::default()
                 };
-                emit(
-                    &options,
+                self.emit(
                     "table3",
                     "Table 3: annealing solution quality (SQA + ICE noise)",
                     table3::render(&table3::run(&cfg)),
@@ -135,8 +242,7 @@ fn main() {
             }
             "fig4" => {
                 let cfg = fig4::Fig4Config::default();
-                emit(
-                    &options,
+                self.emit(
                     "fig4",
                     "Figure 4: Theorem 5.3 logical-qubit upper bounds",
                     fig4::render(&fig4::run(&cfg)),
@@ -144,84 +250,224 @@ fn main() {
             }
             "fig5" => {
                 let cfg = fig5::Fig5Config {
-                    relations: if options.full { vec![3, 4, 5, 6] } else { vec![3, 4, 5] },
-                    seeds: if options.full { 5 } else { 3 },
+                    relations: if full {
+                        vec![3, 4, 5, 6]
+                    } else if smoke {
+                        vec![3, 4]
+                    } else {
+                        vec![3, 4, 5]
+                    },
+                    seeds: if full {
+                        5
+                    } else if smoke {
+                        2
+                    } else {
+                        3
+                    },
                     ..Default::default()
                 };
-                emit(
-                    &options,
+                self.emit(
                     "fig5",
                     "Figure 5: circuit depths on hypothetical co-designed QPUs",
                     fig5::render(&fig5::run(&cfg)),
                 );
             }
             "ablation" => {
-                let cfg = ablation::AblationConfig::default();
-                emit(
-                    &options,
+                let cfg = ablation::AblationConfig {
+                    num_reads: if smoke { 50 } else { 200 },
+                    instances: if smoke { 1 } else { 3 },
+                    ..Default::default()
+                };
+                self.emit(
                     "ablation_penalty",
                     "Ablation: penalty weight A vs annealed quality",
                     ablation::render_penalty(&ablation::run_penalty(&cfg)),
                 );
-                emit(
-                    &options,
+                self.emit(
                     "ablation_pruning",
                     "Ablation: pruned vs original model, end to end",
                     ablation::render_pruning(&ablation::run_pruning(&cfg)),
                 );
-                emit(
-                    &options,
+                let (noise_factors, noise_shots): (&[f64], usize) = if smoke {
+                    (&[0.0, 1.0, 4.0], 256)
+                } else {
+                    (&[0.0, 0.5, 1.0, 2.0, 4.0], 1024)
+                };
+                self.emit(
                     "ablation_noise",
                     "Ablation: gate-noise scale vs QAOA quality",
-                    ablation::render_noise(&ablation::run_noise(
-                        &[0.0, 0.5, 1.0, 2.0, 4.0],
-                        1024,
-                        0,
-                    )),
+                    ablation::render_noise(&ablation::run_noise(noise_factors, noise_shots, 0)),
                 );
             }
             "scaling" => {
-                let cfg = scaling::ClassicalScalingConfig::default();
-                emit(
-                    &options,
+                let cfg = scaling::ClassicalScalingConfig {
+                    relations: if smoke { vec![6, 10, 14] } else { vec![6, 10, 14, 18, 22] },
+                    ..Default::default()
+                };
+                self.emit(
                     "scaling_classical",
                     "Scaling: classical join-ordering optimisers",
                     scaling::render_classical(&scaling::run_classical(&cfg)),
                 );
-                emit(
-                    &options,
+                self.emit(
                     "scaling_generations",
                     "Scaling: annealer hardware generations (equal 2048-qubit budgets)",
                     scaling::render_generations(&scaling::run_hardware_generations(
-                        &[3, 4, 5],
+                        if smoke { &[3, 4] } else { &[3, 4, 5] },
                         0,
                         16,
                     )),
                 );
-                emit(
-                    &options,
+                let max_p = if full {
+                    3
+                } else if smoke {
+                    1
+                } else {
+                    2
+                };
+                self.emit(
                     "scaling_qaoa_depth",
                     "Scaling: QAOA quality vs depth p (noiseless)",
-                    scaling::render_qaoa_depth(&scaling::run_qaoa_depth(
-                        if options.full { 3 } else { 2 },
-                        0,
-                    )),
+                    scaling::render_qaoa_depth(&scaling::run_qaoa_depth(max_p, 0)),
                 );
             }
             "timing" => {
                 let cfg = timing::TimingConfig::default();
-                emit(
-                    &options,
+                self.emit(
                     "timing",
                     "Section 4.2.1: sampling vs total QPU time",
                     timing::render(&timing::run(&cfg)),
                 );
             }
             other => {
-                eprintln!("unknown experiment '{other}' (see --help)");
+                qjo_obs::error!("unknown experiment '{other}' (see --help)");
                 std::process::exit(1);
             }
         }
-        println!("[{which} took {:.1?}]\n", start.elapsed());
     }
+}
+
+/// The commit the binary runs from, for the manifest's volatile section.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Where the manifest goes; `None` when `QJO_MANIFEST` opts out.
+fn manifest_path(options: &Options) -> Option<PathBuf> {
+    if let Ok(v) = std::env::var("QJO_MANIFEST") {
+        if matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false" | "no") {
+            return None;
+        }
+    }
+    Some(options.metrics_out.clone().unwrap_or_else(|| {
+        options.csv_dir.as_deref().unwrap_or(Path::new("results")).join("run_manifest.json")
+    }))
+}
+
+fn write_manifest(
+    options: &Options,
+    stages: Vec<StageRecord>,
+    artifacts: Vec<Artifact>,
+    total: f64,
+) {
+    let Some(path) = manifest_path(options) else {
+        qjo_obs::debug!("run manifest disabled via QJO_MANIFEST");
+        return;
+    };
+    let mut manifest = RunManifest::default();
+    manifest.run.insert("git_rev".to_string(), Json::from(git_rev()));
+    manifest
+        .run
+        .insert("threads".to_string(), Json::from(qjo_exec::Parallelism::auto().resolve() as u64));
+    manifest.run.insert("mode".to_string(), Json::from(options.mode.name()));
+    manifest.run.insert(
+        "experiments".to_string(),
+        Json::Arr(options.which.iter().map(|w| Json::from(w.as_str())).collect()),
+    );
+    manifest.run.insert("total_duration_ms".to_string(), Json::from((total * 1e3).round() / 1e3));
+    manifest.stages = stages;
+    manifest.set_metrics(&qjo_obs::global().snapshot());
+    manifest.artifacts = artifacts;
+    manifest.volatile_counters = VOLATILE_COUNTERS.iter().map(|s| s.to_string()).collect();
+    let rendered = manifest.render();
+    let write = |path: &Path| -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, rendered.as_bytes())
+    };
+    match write(&path) {
+        Ok(()) => qjo_obs::info!("wrote {}", path.display()),
+        Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// `manifest-diff BASELINE CURRENT`: compare deterministic sections, exit
+/// 1 on drift.
+fn manifest_diff(baseline_path: &str, current_path: &str) -> ! {
+    let load = |p: &str| -> RunManifest {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            qjo_obs::error!("cannot read manifest {p}: {e}");
+            std::process::exit(2);
+        });
+        RunManifest::parse(&text).unwrap_or_else(|e| {
+            qjo_obs::error!("cannot parse manifest {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let drift = qjo_obs::manifest::diff(&load(baseline_path), &load(current_path));
+    if drift.is_empty() {
+        qjo_obs::info!("no drift: {current_path} matches {baseline_path}");
+        std::process::exit(0);
+    }
+    qjo_obs::error!("{} drift finding(s) between {baseline_path} and {current_path}:", drift.len());
+    for line in &drift {
+        qjo_obs::error!("  {line}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("manifest-diff") {
+        match raw.as_slice() {
+            [_, baseline, current] => manifest_diff(baseline, current),
+            _ => {
+                qjo_obs::error!("manifest-diff takes exactly two manifest paths (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let options = parse_args();
+    let run_start = Instant::now();
+    let mut driver = Driver { options, artifacts: Vec::new() };
+    let mut stages = Vec::new();
+    for which in driver.options.which.clone() {
+        let before = qjo_obs::global().snapshot();
+        let start = Instant::now();
+        {
+            let _span = qjo_obs::span!("experiments.stage");
+            driver.run_stage(&which);
+        }
+        let elapsed = start.elapsed();
+        stages.push(StageRecord {
+            name: which.clone(),
+            duration_ms: elapsed.as_secs_f64() * 1e3,
+            counters: qjo_obs::global().snapshot().counter_deltas_since(&before),
+        });
+        qjo_obs::info!("[{which} took {elapsed:.1?}]");
+    }
+    let Driver { options, artifacts } = driver;
+    write_manifest(&options, stages, artifacts, run_start.elapsed().as_secs_f64() * 1e3);
 }

@@ -20,7 +20,15 @@ impl Table {
     /// Appends a row (must match the header width).
     pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width mismatch: header {:?} has {} columns but row {:?} has {}",
+            self.header,
+            self.header.len(),
+            row,
+            row.len()
+        );
         self.rows.push(row);
     }
 
@@ -72,11 +80,12 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (naive quoting: cells containing commas are quoted).
+    /// Renders as CSV (RFC-4180 quoting: cells containing commas, quotes,
+    /// or line breaks are quoted, with embedded quotes doubled).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let esc = |cell: &str| {
-            if cell.contains(',') || cell.contains('"') {
+            if cell.contains([',', '"', '\n', '\r']) {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()
@@ -158,6 +167,67 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_quotes_newlines_and_carriage_returns() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(vec!["line1\nline2", "cr\rcell"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"line1\nline2\""), "{csv:?}");
+        assert!(csv.contains("\"cr\rcell\""), "{csv:?}");
+        // The quoted line break must not produce an unbalanced record: the
+        // number of quote characters stays even.
+        assert_eq!(csv.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn csv_leaves_plain_cells_unquoted() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1.5", "plain text"]);
+        assert_eq!(t.to_csv(), "a,b\n1.5,plain text\n");
+    }
+
+    #[test]
+    fn render_pads_every_column_to_its_widest_cell() {
+        let mut t = Table::new(vec!["id", "name"]);
+        t.push_row(vec!["1", "abc"]);
+        t.push_row(vec!["23456", "x"]);
+        let lines: Vec<String> = t.render().lines().map(String::from).collect();
+        // Each column is padded to max(cell) + 2, so the second column
+        // starts at the same offset in every row.
+        let offset = lines[0].find("name").unwrap();
+        assert_eq!(lines[2].find("abc").unwrap(), offset);
+        assert_eq!(lines[3].find('x').unwrap(), offset);
+        // Separator spans the full table width.
+        assert_eq!(lines[1].len(), ("23456".len() + 2) + ("name".len() + 2));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn ragged_row_panic_names_header_and_row() {
+        let err = std::panic::catch_unwind(|| {
+            let mut t = Table::new(vec!["alpha", "beta"]);
+            t.push_row(vec!["lonely-cell"]);
+        })
+        .expect_err("ragged row must panic");
+        let message = err.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("row width mismatch"), "{message}");
+        assert!(message.contains("alpha") && message.contains("beta"), "{message}");
+        assert!(message.contains("lonely-cell"), "{message}");
+    }
+
+    #[test]
+    fn write_csv_creates_parent_directories() {
+        let dir = std::env::temp_dir()
+            .join(format!("qjo-report-test-{}", std::process::id()))
+            .join("nested/deeper");
+        let path = dir.join("out.csv");
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["1"]);
+        t.write_csv(&path).expect("parent dirs are created on demand");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub fn slack_bits(bound: f64, omega: f64) -> usize {
 
 /// Converts a (binary-variable) MILP into a BILP.
 pub fn milp_to_bilp(milp: &Milp) -> Bilp {
+    let _span = qjo_obs::span!("formulate.bilp");
     let mut registry = milp.registry.clone();
     let mut rows = Vec::with_capacity(milp.constraints.len());
     for (cidx, c) in milp.constraints.iter().enumerate() {

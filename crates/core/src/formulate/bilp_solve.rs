@@ -125,6 +125,8 @@ impl BilpSolver {
     /// Solves the BILP to optimality; `None` when infeasible (or the node
     /// cap was exhausted without finding any feasible point).
     pub fn solve(&self, bilp: &Bilp) -> Option<BilpSolution> {
+        let _span = qjo_obs::span!("formulate.bilp_solve");
+        qjo_obs::counter!("formulate.bilp_solves").incr();
         let n = bilp.num_vars();
         let mut var_rows = vec![Vec::new(); n];
         let mut pos = vec![0.0; bilp.rows.len()];

@@ -105,6 +105,8 @@ pub fn quantile_thresholds(query: &Query, count: usize, samples: usize, seed: u6
 
 /// Builds the join-ordering MILP.
 pub fn build_milp(query: &Query, config: &JoMilpConfig) -> Milp {
+    let _span = qjo_obs::span!("formulate.milp");
+    qjo_obs::counter!("formulate.milps").incr();
     let t_count = query.num_relations();
     let j_count = query.num_joins();
     let p_count = query.num_predicates();

@@ -55,7 +55,9 @@ fn round_to(v: f64, omega: f64) -> f64 {
 /// Encodes a BILP as a QUBO.
 pub fn bilp_to_qubo(bilp: &Bilp, config: &QuboEncodeConfig) -> EncodedQubo {
     assert!(config.omega > 0.0, "ω must be positive");
+    let _span = qjo_obs::span!("formulate.qubo_encode");
     let n = bilp.num_vars();
+    qjo_obs::counter!("formulate.qubo_vars").add(n as u64);
     let c_sum: f64 = bilp.objective.iter().map(|&(_, c)| c.abs()).sum();
     let penalty_a =
         config.penalty_override.unwrap_or(c_sum / (config.omega * config.omega) + config.epsilon);

@@ -33,7 +33,7 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
-        eprintln!("\n== {name} ==");
+        qjo_obs::info!("== {name} ==");
         BenchmarkGroup { _criterion: self, name, sample_size: 32 }
     }
 }
@@ -146,7 +146,7 @@ impl Bencher {
 
     fn report(&self, group: &str, label: &str) {
         if self.samples.is_empty() {
-            eprintln!("{group}/{label}: no samples");
+            qjo_obs::warn!("{group}/{label}: no samples");
             return;
         }
         let mut sorted = self.samples.clone();
@@ -154,7 +154,7 @@ impl Bencher {
         let median = sorted[sorted.len() / 2];
         let min = sorted[0];
         let max = sorted[sorted.len() - 1];
-        eprintln!("{group}/{label}: median {median:?} (min {min:?}, max {max:?})");
+        qjo_obs::info!("{group}/{label}: median {median:?} (min {min:?}, max {max:?})");
     }
 }
 

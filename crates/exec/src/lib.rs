@@ -66,8 +66,17 @@ impl Parallelism {
     }
 
     /// The concrete worker count this configuration resolves to.
+    ///
+    /// `threads == 0` (auto) first consults the `QJO_THREADS` environment
+    /// variable — the process-wide pin CI's determinism matrix uses to
+    /// force every auto-parallel path to a fixed width — and falls back to
+    /// the available core count. Explicit thread counts ignore the
+    /// variable. Either way, results never depend on the resolved value.
     pub fn resolve(self) -> usize {
         if self.threads == 0 {
+            if let Some(pinned) = env_threads() {
+                return pinned;
+            }
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.threads
@@ -80,6 +89,12 @@ impl Default for Parallelism {
     fn default() -> Self {
         Parallelism::auto()
     }
+}
+
+/// The `QJO_THREADS` pin, if set to a positive integer (any other value,
+/// including `0`, is ignored).
+fn env_threads() -> Option<usize> {
+    std::env::var("QJO_THREADS").ok()?.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// Derives the seed of work unit `unit_index`'s RNG stream from a base
@@ -301,5 +316,20 @@ mod tests {
         assert!(Parallelism::auto().resolve() >= 1);
         assert_eq!(Parallelism::sequential().resolve(), 1);
         assert_eq!(Parallelism::new(5).resolve(), 5);
+    }
+
+    #[test]
+    fn qjo_threads_env_pins_auto_only() {
+        // Env vars are process-global: set, observe, and restore promptly.
+        // Explicit thread counts must ignore the pin.
+        std::env::set_var("QJO_THREADS", "3");
+        let auto = Parallelism::auto().resolve();
+        let explicit = Parallelism::new(5).resolve();
+        std::env::set_var("QJO_THREADS", "not-a-number");
+        let garbage = Parallelism::auto().resolve();
+        std::env::remove_var("QJO_THREADS");
+        assert_eq!(auto, 3);
+        assert_eq!(explicit, 5);
+        assert!(garbage >= 1, "garbage pin falls back to core count");
     }
 }

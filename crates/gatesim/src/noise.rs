@@ -140,6 +140,9 @@ impl NoisySimulator {
     /// so the result does not depend on [`Self::parallelism`].
     pub fn sample(&self, circuit: &Circuit, shots: usize) -> Vec<Vec<bool>> {
         assert!(self.trajectories >= 1, "need at least one trajectory");
+        let _span = qjo_obs::span!("gatesim.noisy.sample");
+        qjo_obs::counter!("gatesim.trajectories").add(self.trajectories as u64);
+        qjo_obs::counter!("gatesim.shots").add(shots as u64);
         let n = circuit.num_qubits();
         let base = shots / self.trajectories;
         let extra = shots % self.trajectories;
@@ -314,6 +317,18 @@ mod tests {
         let sequential = at(1);
         assert_eq!(sequential, at(3));
         assert_eq!(sequential, at(8));
+    }
+
+    #[test]
+    fn sampling_records_trajectory_and_shot_counters() {
+        let circuit = Circuit::new(1);
+        let sim =
+            NoisySimulator { trajectories: 3, ..NoisySimulator::new(NoiseModel::noiseless(), 0) };
+        let before = qjo_obs::global().snapshot();
+        sim.sample(&circuit, 10);
+        let deltas = qjo_obs::global().snapshot().counter_deltas_since(&before);
+        assert!(deltas["gatesim.trajectories"] >= 3, "{deltas:?}");
+        assert!(deltas["gatesim.shots"] >= 10, "{deltas:?}");
     }
 
     #[test]

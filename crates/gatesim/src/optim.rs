@@ -46,6 +46,7 @@ impl Default for GradientDescent {
 impl GradientDescent {
     /// Minimises `f` starting from `x0`.
     pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+        qjo_obs::counter!("gatesim.gd_iterations").add(self.iterations as u64);
         let d = x0.len();
         let mut x = x0.to_vec();
         let mut evals = 0usize;
@@ -357,6 +358,7 @@ impl GridSearch {
             }
         }
 
+        qjo_obs::counter!("gatesim.grid_evals").add(points.len() as u64);
         let values = qjo_exec::par_map(points.clone(), self.parallelism, |x| f(&x));
 
         let mut best_x = Vec::new();

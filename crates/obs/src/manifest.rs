@@ -1,0 +1,516 @@
+//! Machine-readable run manifests.
+//!
+//! A [`RunManifest`] is the structured record an experiment run leaves
+//! behind (`run_manifest.json`): volatile run metadata (git revision,
+//! thread count, wall-clock durations), deterministic per-stage counter
+//! deltas, final counter/gauge values, span timings, and a fingerprint of
+//! every artifact (CSV) the run wrote.
+//!
+//! # Drift detection
+//!
+//! [`diff`] compares the **deterministic** sections of two manifests —
+//! stage names and counters, global counters, gauges, and artifact
+//! row counts / byte sizes / content hashes — and ignores everything
+//! timing-dependent (the `run` section, `duration_ms` fields, and span
+//! histograms). Two runs of the same code at any thread count therefore
+//! diff clean, and CI uses this as its regression gate: a non-empty diff
+//! against the committed baseline means a PR changed experiment outputs.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::Snapshot;
+
+/// Current manifest schema version; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Fingerprint of one artifact (CSV) the run wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name relative to the output directory (e.g. `table2.csv`).
+    pub name: String,
+    /// Data rows (excluding the header).
+    pub rows: u64,
+    /// Size of the written bytes.
+    pub bytes: u64,
+    /// `fnv1a64` hex digest of the exact bytes written.
+    pub hash: String,
+    /// Whether the content is timing-dependent (e.g. a wall-clock
+    /// benchmark table): [`diff`] then checks only the row count, not the
+    /// hash or size.
+    pub volatile: bool,
+}
+
+/// One pipeline stage of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage name (e.g. `table3`).
+    pub name: String,
+    /// Wall-clock duration (timing-dependent; ignored by [`diff`]).
+    pub duration_ms: f64,
+    /// Counter increments attributed to this stage.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Span timing summary (timing-dependent; ignored by [`diff`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Observations recorded under this span path.
+    pub count: u64,
+    /// Total milliseconds across observations.
+    pub total_ms: f64,
+}
+
+/// The full record of one experiment run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunManifest {
+    /// Volatile run metadata (git rev, threads, totals) — never diffed.
+    pub run: BTreeMap<String, Json>,
+    /// Stages in execution order.
+    pub stages: Vec<StageRecord>,
+    /// Final global counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final global gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Span timings by path.
+    pub spans: BTreeMap<String, SpanSummary>,
+    /// Artifacts written, in emission order.
+    pub artifacts: Vec<Artifact>,
+    /// Counters whose value is wall-clock-dependent (e.g. attempts under
+    /// a time budget): [`diff`] skips them in the global and per-stage
+    /// counter sections. Declared by the producer, sorted.
+    pub volatile_counters: Vec<String>,
+}
+
+impl RunManifest {
+    /// Fills the counter/gauge/span sections from a registry snapshot.
+    pub fn set_metrics(&mut self, snapshot: &Snapshot) {
+        self.counters = snapshot.counters.clone();
+        self.gauges = snapshot.gauges.clone();
+        self.spans = snapshot
+            .histograms
+            .iter()
+            .map(|(path, h)| {
+                let summary = SpanSummary { count: h.count, total_ms: h.sum_ns as f64 / 1e6 };
+                (path.clone(), summary)
+            })
+            .collect();
+    }
+
+    /// The manifest as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("schema_version".to_string(), Json::from(SCHEMA_VERSION));
+        root.insert("run".to_string(), Json::Obj(self.run.clone()));
+        let stages = self
+            .stages
+            .iter()
+            .map(|stage| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Json::from(stage.name.as_str()));
+                obj.insert("duration_ms".to_string(), Json::from(round3(stage.duration_ms)));
+                obj.insert("counters".to_string(), counters_json(&stage.counters));
+                Json::Obj(obj)
+            })
+            .collect();
+        root.insert("stages".to_string(), Json::Arr(stages));
+        root.insert("counters".to_string(), counters_json(&self.counters));
+        root.insert(
+            "gauges".to_string(),
+            Json::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect()),
+        );
+        let spans = self
+            .spans
+            .iter()
+            .map(|(path, span)| {
+                let mut obj = BTreeMap::new();
+                obj.insert("count".to_string(), Json::from(span.count));
+                obj.insert("total_ms".to_string(), Json::from(round3(span.total_ms)));
+                (path.clone(), Json::Obj(obj))
+            })
+            .collect();
+        root.insert("spans".to_string(), Json::Obj(spans));
+        let artifacts = self
+            .artifacts
+            .iter()
+            .map(|a| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Json::from(a.name.as_str()));
+                obj.insert("rows".to_string(), Json::from(a.rows));
+                obj.insert("bytes".to_string(), Json::from(a.bytes));
+                obj.insert("hash".to_string(), Json::from(a.hash.as_str()));
+                if a.volatile {
+                    obj.insert("volatile".to_string(), Json::Bool(true));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        root.insert("artifacts".to_string(), Json::Arr(artifacts));
+        root.insert(
+            "volatile_counters".to_string(),
+            Json::Arr(
+                self.volatile_counters.iter().map(|name| Json::from(name.as_str())).collect(),
+            ),
+        );
+        Json::Obj(root)
+    }
+
+    /// Renders the manifest as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a manifest previously written by [`RunManifest::render`].
+    pub fn parse(text: &str) -> Result<RunManifest, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("manifest lacks a numeric schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!("unsupported manifest schema_version {version}"));
+        }
+        let run = doc.get("run").and_then(Json::as_obj).cloned().unwrap_or_default();
+        let stages = doc
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("manifest lacks a stages array")?
+            .iter()
+            .map(|stage| {
+                Ok(StageRecord {
+                    name: stage
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("stage lacks a name")?
+                        .to_string(),
+                    duration_ms: stage.get("duration_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    counters: parse_counters(stage.get("counters"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters = parse_counters(doc.get("counters"))?;
+        let gauges = doc
+            .get("gauges")
+            .and_then(Json::as_obj)
+            .map(|map| {
+                map.iter()
+                    .map(|(k, v)| {
+                        let value =
+                            v.as_f64().ok_or_else(|| format!("gauge {k} is not a number"))?;
+                        Ok((k.clone(), value))
+                    })
+                    .collect::<Result<BTreeMap<_, _>, String>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_obj)
+            .map(|map| {
+                map.iter()
+                    .map(|(path, v)| {
+                        let summary = SpanSummary {
+                            count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
+                            total_ms: v.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                        };
+                        (path.clone(), summary)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let artifacts = doc
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .ok_or("manifest lacks an artifacts array")?
+            .iter()
+            .map(|a| {
+                Ok(Artifact {
+                    name: a
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("artifact lacks a name")?
+                        .to_string(),
+                    rows: a.get("rows").and_then(Json::as_u64).ok_or("artifact lacks rows")?,
+                    bytes: a.get("bytes").and_then(Json::as_u64).ok_or("artifact lacks bytes")?,
+                    hash: a
+                        .get("hash")
+                        .and_then(Json::as_str)
+                        .ok_or("artifact lacks a hash")?
+                        .to_string(),
+                    volatile: matches!(a.get("volatile"), Some(Json::Bool(true))),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let volatile_counters = doc
+            .get("volatile_counters")
+            .and_then(Json::as_arr)
+            .map(|arr| arr.iter().filter_map(Json::as_str).map(str::to_string).collect())
+            .unwrap_or_default();
+        Ok(RunManifest { run, stages, counters, gauges, spans, artifacts, volatile_counters })
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn counters_json(counters: &BTreeMap<String, u64>) -> Json {
+    Json::Obj(counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect())
+}
+
+fn parse_counters(value: Option<&Json>) -> Result<BTreeMap<String, u64>, String> {
+    value
+        .and_then(Json::as_obj)
+        .map(|map| {
+            map.iter()
+                .map(|(k, v)| {
+                    let value = v.as_u64().ok_or_else(|| format!("counter {k} is not a u64"))?;
+                    Ok((k.clone(), value))
+                })
+                .collect::<Result<BTreeMap<_, _>, String>>()
+        })
+        .transpose()
+        .map(Option::unwrap_or_default)
+}
+
+/// Compares the deterministic sections of two manifests, returning one
+/// human-readable line per divergence (empty = no drift).
+///
+/// Ignored as timing-dependent: the `run` section, every `duration_ms`,
+/// the `spans` section, and any counter either manifest lists in
+/// `volatile_counters`.
+pub fn diff(baseline: &RunManifest, current: &RunManifest) -> Vec<String> {
+    let mut drift = Vec::new();
+    let volatile: std::collections::BTreeSet<&str> = baseline
+        .volatile_counters
+        .iter()
+        .chain(&current.volatile_counters)
+        .map(String::as_str)
+        .collect();
+
+    let baseline_stages: Vec<&str> = baseline.stages.iter().map(|s| s.name.as_str()).collect();
+    let current_stages: Vec<&str> = current.stages.iter().map(|s| s.name.as_str()).collect();
+    if baseline_stages != current_stages {
+        drift.push(format!("stages changed: {baseline_stages:?} -> {current_stages:?}"));
+    } else {
+        for (b, c) in baseline.stages.iter().zip(&current.stages) {
+            diff_counters(
+                &mut drift,
+                &format!("stage {}", b.name),
+                &b.counters,
+                &c.counters,
+                &volatile,
+            );
+        }
+    }
+
+    diff_counters(&mut drift, "counters", &baseline.counters, &current.counters, &volatile);
+
+    for (name, &b) in &baseline.gauges {
+        match current.gauges.get(name) {
+            None => drift.push(format!("gauge {name} disappeared (was {b})")),
+            Some(&c) if c != b => drift.push(format!("gauge {name}: {b} -> {c}")),
+            Some(_) => {}
+        }
+    }
+    for name in current.gauges.keys() {
+        if !baseline.gauges.contains_key(name) {
+            drift.push(format!("gauge {name} appeared"));
+        }
+    }
+
+    let baseline_artifacts: BTreeMap<&str, &Artifact> =
+        baseline.artifacts.iter().map(|a| (a.name.as_str(), a)).collect();
+    let current_artifacts: BTreeMap<&str, &Artifact> =
+        current.artifacts.iter().map(|a| (a.name.as_str(), a)).collect();
+    for (name, b) in &baseline_artifacts {
+        match current_artifacts.get(name) {
+            None => drift.push(format!("artifact {name} disappeared")),
+            // Timing-dependent artifacts (benchmark tables) keep a stable
+            // shape but not stable bytes: check the row count only.
+            Some(c) if b.volatile || c.volatile => {
+                if c.rows != b.rows {
+                    drift.push(format!(
+                        "volatile artifact {name} changed shape: {} -> {} rows",
+                        b.rows, c.rows
+                    ));
+                }
+            }
+            Some(c) if c.hash != b.hash => drift.push(format!(
+                "artifact {name} content drifted: hash {} -> {} ({} -> {} rows, {} -> {} bytes)",
+                b.hash, c.hash, b.rows, c.rows, b.bytes, c.bytes
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in current_artifacts.keys() {
+        if !baseline_artifacts.contains_key(name) {
+            drift.push(format!("artifact {name} appeared"));
+        }
+    }
+
+    drift
+}
+
+fn diff_counters(
+    drift: &mut Vec<String>,
+    context: &str,
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    volatile: &std::collections::BTreeSet<&str>,
+) {
+    for (name, &b) in baseline {
+        if volatile.contains(name.as_str()) {
+            continue;
+        }
+        match current.get(name) {
+            None => drift.push(format!("{context}: counter {name} disappeared (was {b})")),
+            Some(&c) if c != b => drift.push(format!("{context}: counter {name}: {b} -> {c}")),
+            Some(_) => {}
+        }
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) && !volatile.contains(name.as_str()) {
+            drift.push(format!("{context}: counter {name} appeared"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> RunManifest {
+        let mut manifest = RunManifest::default();
+        manifest.run.insert("git_rev".to_string(), Json::from("abc123"));
+        manifest.run.insert("threads".to_string(), Json::from(8u64));
+        manifest.stages.push(StageRecord {
+            name: "table1".to_string(),
+            duration_ms: 12.345678,
+            counters: BTreeMap::from([("sa.restarts".to_string(), 40u64)]),
+        });
+        manifest.counters.insert("sa.restarts".to_string(), 40);
+        manifest.gauges.insert("anneal.chain_break_fraction".to_string(), 0.125);
+        manifest
+            .spans
+            .insert("experiments/table1".to_string(), SpanSummary { count: 1, total_ms: 12.3 });
+        manifest.artifacts.push(Artifact {
+            name: "table1.csv".to_string(),
+            rows: 4,
+            bytes: 210,
+            hash: crate::fnv1a64_hex(b"csv-bytes"),
+            volatile: false,
+        });
+        manifest
+    }
+
+    #[test]
+    fn renders_and_reparses_losslessly() {
+        let manifest = sample_manifest();
+        let parsed = RunManifest::parse(&manifest.render()).unwrap();
+        // duration_ms is rounded to 3 decimals on render.
+        assert_eq!(parsed.stages[0].duration_ms, 12.346);
+        assert_eq!(parsed.counters, manifest.counters);
+        assert_eq!(parsed.gauges, manifest.gauges);
+        assert_eq!(parsed.artifacts, manifest.artifacts);
+        assert_eq!(parsed.run["git_rev"], Json::from("abc123"));
+    }
+
+    #[test]
+    fn diff_ignores_durations_and_run_metadata() {
+        let baseline = sample_manifest();
+        let mut current = sample_manifest();
+        current.run.insert("git_rev".to_string(), Json::from("def456"));
+        current.run.insert("threads".to_string(), Json::from(1u64));
+        current.stages[0].duration_ms = 99999.0;
+        current.spans.get_mut("experiments/table1").unwrap().total_ms = 1e9;
+        assert_eq!(diff(&baseline, &current), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diff_reports_counter_and_artifact_drift() {
+        let baseline = sample_manifest();
+        let mut current = sample_manifest();
+        current.counters.insert("sa.restarts".to_string(), 41);
+        current.stages[0].counters.insert("sa.restarts".to_string(), 41);
+        current.artifacts[0].hash = "0000000000000000".to_string();
+        let drift = diff(&baseline, &current);
+        assert_eq!(drift.len(), 3, "{drift:?}");
+        assert!(drift.iter().any(|d| d.contains("stage table1")));
+        assert!(drift.iter().any(|d| d.contains("counters: counter sa.restarts: 40 -> 41")));
+        assert!(drift.iter().any(|d| d.contains("artifact table1.csv content drifted")));
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed_artifacts_and_stages() {
+        let baseline = sample_manifest();
+        let mut current = sample_manifest();
+        current.stages.push(StageRecord {
+            name: "fig9".to_string(),
+            duration_ms: 0.0,
+            counters: BTreeMap::new(),
+        });
+        current.artifacts.clear();
+        let drift = diff(&baseline, &current);
+        assert!(drift.iter().any(|d| d.contains("stages changed")));
+        assert!(drift.iter().any(|d| d.contains("artifact table1.csv disappeared")));
+    }
+
+    #[test]
+    fn volatile_counters_are_skipped_in_both_sections() {
+        let mut baseline = sample_manifest();
+        baseline.counters.insert("embed.tries".to_string(), 25);
+        baseline.stages[0].counters.insert("embed.tries".to_string(), 25);
+        baseline.volatile_counters = vec!["embed.tries".to_string()];
+        // Round-trips through JSON.
+        let mut current = RunManifest::parse(&baseline.render()).unwrap();
+        assert_eq!(current.volatile_counters, baseline.volatile_counters);
+        current.counters.insert("embed.tries".to_string(), 24);
+        current.stages[0].counters.insert("embed.tries".to_string(), 24);
+        assert_eq!(diff(&baseline, &current), Vec::<String>::new());
+        // A volatile counter appearing only on one side is not drift either.
+        current.counters.remove("embed.tries");
+        current.stages[0].counters.remove("embed.tries");
+        assert_eq!(diff(&baseline, &current), Vec::<String>::new());
+        // Non-volatile counters still drift.
+        current.counters.insert("sa.restarts".to_string(), 41);
+        assert_eq!(diff(&baseline, &current).len(), 1);
+    }
+
+    #[test]
+    fn volatile_artifacts_diff_on_shape_only() {
+        let mut baseline = sample_manifest();
+        baseline.artifacts[0].volatile = true;
+        // Round-trips through JSON (the flag is only serialised when set).
+        let mut current = RunManifest::parse(&baseline.render()).unwrap();
+        assert!(current.artifacts[0].volatile);
+        current.artifacts[0].hash = "0000000000000000".to_string();
+        current.artifacts[0].bytes += 17;
+        assert_eq!(diff(&baseline, &current), Vec::<String>::new());
+        current.artifacts[0].rows += 1;
+        let drift = diff(&baseline, &current);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("changed shape"), "{drift:?}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_version() {
+        let text =
+            sample_manifest().render().replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(RunManifest::parse(&text).unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn set_metrics_copies_a_snapshot() {
+        let reg = crate::Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(2.5);
+        reg.histogram("h").record_ns(2_000_000);
+        let mut manifest = RunManifest::default();
+        manifest.set_metrics(&reg.snapshot());
+        assert_eq!(manifest.counters["c"], 7);
+        assert_eq!(manifest.gauges["g"], 2.5);
+        assert_eq!(manifest.spans["h"].count, 1);
+        assert_eq!(manifest.spans["h"].total_ms, 2.0);
+    }
+}

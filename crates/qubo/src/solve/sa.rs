@@ -126,6 +126,10 @@ impl SimulatedAnnealing {
             }
         }
 
+        let _span = qjo_obs::span!("qubo.sa.sample");
+        qjo_obs::counter!("sa.restarts").add(self.restarts as u64);
+        qjo_obs::counter!("sa.sweeps").add((self.restarts * self.sweeps) as u64);
+
         let n = qubo.num_vars();
         let compiled = qubo.compile();
         let schedule = self.schedule.unwrap_or_else(|| CoolingSchedule::auto_for(qubo));
@@ -296,6 +300,20 @@ mod tests {
                 other => panic!("t0 {t0} accepted: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn sampling_records_restart_and_sweep_counters() {
+        // Concurrent tests also touch these counters, so assert on the
+        // delta being at least this call's contribution.
+        let q = random_qubo(6, 8, 0.4);
+        let before = qjo_obs::global().snapshot();
+        SimulatedAnnealing { restarts: 3, sweeps: 5, ..Default::default() }.sample(&q).unwrap();
+        let deltas = qjo_obs::global().snapshot().counter_deltas_since(&before);
+        assert!(deltas["sa.restarts"] >= 3, "{deltas:?}");
+        assert!(deltas["sa.sweeps"] >= 15, "{deltas:?}");
+        let spans = qjo_obs::global().snapshot().histograms;
+        assert!(spans["qubo.sa.sample"].count >= 1);
     }
 
     #[test]

@@ -59,6 +59,9 @@ impl TabuSearch {
         if n == 0 {
             return Ok(Solution { assignment: Vec::new(), energy: qubo.offset() });
         }
+        let _span = qjo_obs::span!("qubo.tabu.solve");
+        qjo_obs::counter!("tabu.restarts").add(self.restarts as u64);
+
         let tenure = self.tenure.unwrap_or_else(|| (n / 10).max(4)).min(n.saturating_sub(1));
         let compiled = qubo.compile();
 
@@ -71,8 +74,10 @@ impl TabuSearch {
             let mut tabu_until = vec![0usize; n];
             let mut best_e = energy;
             let mut best_x = x.clone();
+            let mut iterations_run = 0u64;
 
             for iter in 0..self.iterations {
+                iterations_run += 1;
                 // Pick the best admissible flip (non-tabu, or aspirated).
                 let mut chosen: Option<(usize, f64)> = None;
                 for i in 0..n {
@@ -108,6 +113,9 @@ impl TabuSearch {
                 }
             }
 
+            // Per-unit totals merge by commutative atomic add, so the
+            // final counter is thread-count independent.
+            qjo_obs::counter!("tabu.iterations").add(iterations_run);
             Solution { assignment: best_x, energy: best_e }
         });
 

@@ -84,28 +84,45 @@ impl Transpiler {
         topology: &Topology,
         gate_set: NativeGateSet,
     ) -> TranspileResult {
+        let _span = qjo_obs::span!("transpile.run");
+        qjo_obs::counter!("transpile.runs").incr();
         let perturbation = 2;
-        let seed_layout = greedy_layout(circuit, topology, self.seed, perturbation);
+        let seed_layout = {
+            let _pass = qjo_obs::span!("transpile.layout");
+            greedy_layout(circuit, topology, self.seed, perturbation)
+        };
         let (initial_layout, routed) = match self.strategy {
             Strategy::QiskitLike | Strategy::TketLike => {
                 let router = match self.strategy {
                     Strategy::QiskitLike => RouterConfig { lookahead: 4, decay: 0.5 },
                     _ => RouterConfig { lookahead: 1, decay: 0.5 },
                 };
+                let _pass = qjo_obs::span!("transpile.route");
                 (seed_layout.clone(), route(circuit, topology, &seed_layout, router))
             }
             Strategy::Sabre => {
                 let cfg = SabreConfig::default();
-                let refined = sabre_layout(circuit, topology, &seed_layout, &cfg);
+                let refined = {
+                    let _pass = qjo_obs::span!("transpile.layout");
+                    sabre_layout(circuit, topology, &seed_layout, &cfg)
+                };
+                let _pass = qjo_obs::span!("transpile.route");
                 let routed = sabre_route(circuit, topology, &refined, &cfg);
                 (refined, routed)
             }
         };
         let RoutedCircuit { circuit: routed, final_layout, swaps_inserted } = routed;
-        let decomposed = gate_set.decompose_circuit(&routed);
-        let optimised = match self.strategy {
-            Strategy::QiskitLike | Strategy::Sabre => merge_rotations(&decomposed),
-            Strategy::TketLike => cancel_pairs(&decomposed),
+        qjo_obs::counter!("transpile.swaps_inserted").add(swaps_inserted as u64);
+        let decomposed = {
+            let _pass = qjo_obs::span!("transpile.decompose");
+            gate_set.decompose_circuit(&routed)
+        };
+        let optimised = {
+            let _pass = qjo_obs::span!("transpile.optimize");
+            match self.strategy {
+                Strategy::QiskitLike | Strategy::Sabre => merge_rotations(&decomposed),
+                Strategy::TketLike => cancel_pairs(&decomposed),
+            }
         };
         TranspileResult { circuit: optimised, initial_layout, final_layout, swaps_inserted }
     }
