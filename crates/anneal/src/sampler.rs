@@ -180,6 +180,17 @@ impl AnnealerSampler {
             });
         let (reads, unembedded): (Vec<_>, Vec<_>) = per_read.into_iter().unzip();
 
+        // Per-read chain-break fractions, recorded after the deterministic
+        // par_map reduction so the series is read-ordered at any thread
+        // count. Stride 1: the step is a read index, not an iteration count.
+        let chain_breaks = qjo_obs::convergence::series_with_stride("anneal", "chain_break", 1);
+        if chain_breaks.is_active() {
+            let num_chains = embedding.chains.len().max(1);
+            for (read_idx, read) in unembedded.iter().enumerate() {
+                chain_breaks.record(read_idx as u64, read.broken_chains as f64 / num_chains as f64);
+            }
+        }
+
         let cbf = chain_break_fraction(&unembedded, embedding.chains.len());
         // Written after the deterministic par_map reduction, so the gauge
         // holds the same value at any thread count.
@@ -375,6 +386,30 @@ mod tests {
         let b = sampler.sample_qubo(&q).unwrap();
         assert_eq!(a.samples.samples(), b.samples.samples());
         assert_eq!(a.chain_break_fraction, b.chain_break_fraction);
+    }
+
+    #[test]
+    fn convergence_recorder_captures_per_read_chain_breaks() {
+        let q = random_qubo(2, 5);
+        let sampler = AnnealerSampler { num_reads: 7, ..AnnealerSampler::new(chimera(3)) };
+        qjo_obs::convergence::start(4);
+        let out = sampler.sample_qubo(&q).unwrap();
+        let drained = qjo_obs::convergence::drain_csv();
+        let csv = &drained.iter().find(|(g, _)| g == "anneal").expect("anneal group recorded").1;
+        // Stride 1 keeps all 7 reads even though the default stride is 4,
+        // and the recorded fractions average to the reported outcome.
+        // Concurrent tests may also sample while the recorder is live, so
+        // look for any series instance matching this call's statistics.
+        let mut by_instance: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+        for line in csv.lines().filter(|l| l.contains(",chain_break,")) {
+            let cols: Vec<&str> = line.split(',').collect();
+            by_instance.entry(cols[3]).or_default().push(cols[5].parse().unwrap());
+        }
+        assert!(
+            by_instance.values().any(|reads| reads.len() == 7
+                && (reads.iter().sum::<f64>() / 7.0 - out.chain_break_fraction).abs() < 1e-12),
+            "{csv}"
+        );
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub fn anneal_once(
     let inv_p = 1.0 / p as f64;
     let temp = config.temperature.max(1e-9);
 
+    // Replica energies are expensive (P energy evaluations per kept
+    // sweep), so only exemplar units record them — unit 0 of each
+    // enclosing par_map, i.e. one read per sample() call.
+    let replica_min = qjo_obs::convergence::exemplar_series("sqa", "replica_energy_min");
+    let replica_mean = qjo_obs::convergence::exemplar_series("sqa", "replica_energy_mean");
+
     for sweep in 0..sweeps {
         let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
         let gamma = config.gamma0 * (1.0 - s_frac);
@@ -115,6 +121,12 @@ pub fn anneal_once(
             if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
                 spins[k][i] = -spins[k][i];
             }
+        }
+        if replica_min.wants(sweep as u64) {
+            let energies: Vec<f64> = spins.iter().map(|s| ising.energy(s)).collect();
+            replica_min
+                .record(sweep as u64, energies.iter().copied().fold(f64::INFINITY, f64::min));
+            replica_mean.record(sweep as u64, energies.iter().sum::<f64>() / p as f64);
         }
     }
 

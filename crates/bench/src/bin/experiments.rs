@@ -3,7 +3,10 @@
 //! ```text
 //! experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]
 //!             [--full|--smoke] [--csv DIR] [--metrics-out PATH]
+//!             [--trace-out PATH] [--bench-out PATH] [--convergence]
+//! experiments bench [STAGES]... [--full|--smoke] [--bench-out PATH] ...
 //! experiments manifest-diff BASELINE CURRENT
+//! experiments trace-check TRACE
 //! ```
 //!
 //! Defaults are scaled to simulator throughput; `--full` raises the knobs
@@ -18,6 +21,19 @@
 //! `--csv`, else `results/run_manifest.json`; set `QJO_MANIFEST=off` to
 //! disable. `manifest-diff` compares the deterministic sections of two
 //! manifests and exits non-zero on drift — CI's experiments gate.
+//!
+//! Observability extras (all opt-in, see `EXPERIMENTS.md`):
+//!
+//! * `--trace-out PATH` records a Chrome `trace_event` JSON of every span
+//!   and `par_map` work unit — open it in Perfetto or `chrome://tracing`.
+//!   `trace-check` re-parses such a file and verifies slice nesting.
+//! * `--convergence` turns on the solver convergence recorder (energy
+//!   curves, acceptance rates, chain breaks, optimiser trajectories),
+//!   exported as deterministic `convergence_*.csv` artifacts. `--smoke`
+//!   implies it, so the smoke baseline gates on the curves too.
+//! * `bench` (or `--bench-out PATH`) emits `BENCH.json`: per-stage wall
+//!   time, counter-derived work rates, span percentiles, and trace-buffer
+//!   statistics — the perf-trajectory record CI uploads per PR.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -51,21 +67,33 @@ struct Options {
     mode: Mode,
     csv_dir: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+    convergence: bool,
 }
 
 const USAGE: &str = "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]... \
-     [--full|--smoke] [--csv DIR] [--metrics-out PATH]\n       experiments manifest-diff BASELINE CURRENT";
+     [--full|--smoke] [--csv DIR] [--metrics-out PATH] [--trace-out PATH] [--bench-out PATH] [--convergence]\n       \
+     experiments bench [STAGES]... (as above; BENCH.json unless --bench-out)\n       \
+     experiments manifest-diff BASELINE CURRENT\n       \
+     experiments trace-check TRACE";
 
 fn parse_args() -> Options {
     let mut which = Vec::new();
     let mut mode = Mode::Default;
     let mut csv_dir = None;
     let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut bench_out = None;
+    let mut bench = false;
+    let mut convergence = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => mode = Mode::Full,
             "--smoke" => mode = Mode::Smoke,
+            "--convergence" => convergence = true,
+            "bench" => bench = true,
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().expect("--csv requires a directory")));
             }
@@ -73,12 +101,21 @@ fn parse_args() -> Options {
                 metrics_out =
                     Some(PathBuf::from(args.next().expect("--metrics-out requires a path")));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace-out requires a path")));
+            }
+            "--bench-out" => {
+                bench_out = Some(PathBuf::from(args.next().expect("--bench-out requires a path")));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
             other => which.push(other.to_string()),
         }
+    }
+    if bench && bench_out.is_none() {
+        bench_out = Some(PathBuf::from("BENCH.json"));
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
@@ -89,7 +126,7 @@ fn parse_args() -> Options {
         .map(|s| s.to_string())
         .collect();
     }
-    Options { which, mode, csv_dir, metrics_out }
+    Options { which, mode, csv_dir, metrics_out, trace_out, bench_out, convergence }
 }
 
 /// Collects the tables a run produces: prints them, optionally writes the
@@ -413,7 +450,8 @@ fn write_manifest(
 }
 
 /// `manifest-diff BASELINE CURRENT`: compare deterministic sections, exit
-/// 1 on drift.
+/// 1 on drift. Drift is reported as a per-key table of expected
+/// (baseline) vs. actual (current) values.
 fn manifest_diff(baseline_path: &str, current_path: &str) -> ! {
     let load = |p: &str| -> RunManifest {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
@@ -425,16 +463,214 @@ fn manifest_diff(baseline_path: &str, current_path: &str) -> ! {
             std::process::exit(2);
         })
     };
-    let drift = qjo_obs::manifest::diff(&load(baseline_path), &load(current_path));
-    if drift.is_empty() {
+    let entries = qjo_obs::manifest::diff_entries(&load(baseline_path), &load(current_path));
+    if entries.is_empty() {
         qjo_obs::info!("no drift: {current_path} matches {baseline_path}");
         std::process::exit(0);
     }
-    qjo_obs::error!("{} drift finding(s) between {baseline_path} and {current_path}:", drift.len());
-    for line in &drift {
+    qjo_obs::error!(
+        "{} drift finding(s) between {baseline_path} and {current_path}:",
+        entries.len()
+    );
+    for line in qjo_obs::manifest::render_drift_table(&entries).lines() {
         qjo_obs::error!("  {line}");
     }
     std::process::exit(1);
+}
+
+/// `trace-check TRACE`: parse a Chrome trace JSON and verify its slices
+/// nest. Exit 0 on a valid trace, 1 on an invalid one, 2 if unreadable.
+fn trace_check(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        qjo_obs::error!("cannot read trace {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        qjo_obs::error!("trace {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    match qjo_obs::trace::validate_chrome_trace(&doc) {
+        Ok(check) => {
+            qjo_obs::info!(
+                "trace OK: {} slices across {} threads nest to depth {} in {path}",
+                check.events,
+                check.threads,
+                check.max_depth
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            qjo_obs::error!("trace {path} is malformed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Drains the convergence recorder into `convergence_<group>.csv`
+/// artifacts: fingerprinted in the run manifest (non-volatile — the
+/// curves are thread-count independent by construction) and written under
+/// `--csv` when set.
+fn collect_convergence(driver: &mut Driver) {
+    if !qjo_obs::convergence::is_active() {
+        return;
+    }
+    for (group, csv) in qjo_obs::convergence::drain_csv() {
+        let name = format!("convergence_{group}.csv");
+        driver.artifacts.push(Artifact {
+            name: name.clone(),
+            rows: csv.lines().count().saturating_sub(1) as u64,
+            bytes: csv.len() as u64,
+            hash: qjo_obs::fnv1a64_hex(csv.as_bytes()),
+            volatile: false,
+        });
+        if let Some(dir) = &driver.options.csv_dir {
+            let path = dir.join(&name);
+            let write =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, csv.as_bytes()));
+            match write {
+                Ok(()) => qjo_obs::info!("wrote {}", path.display()),
+                Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Stops the trace collector and writes the Chrome trace when requested,
+/// returning collector statistics for `BENCH.json`.
+fn finish_trace(options: &Options) -> Option<qjo_obs::trace::TraceStats> {
+    options.trace_out.as_ref().map(|path| {
+        qjo_obs::trace::stop();
+        let stats = qjo_obs::trace::stats();
+        match qjo_obs::trace::write_chrome_trace(path) {
+            Ok(()) => qjo_obs::info!(
+                "wrote {} ({} events, {} dropped, peak buffer occupancy {})",
+                path.display(),
+                stats.stored,
+                stats.dropped,
+                stats.peak_occupancy
+            ),
+            Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+        }
+        stats
+    })
+}
+
+/// Counter / span pairs whose ratio is a meaningful work rate, and the
+/// rate's name in `BENCH.json` (work units per wall-clock second spent
+/// inside the span).
+const RATE_PAIRS: &[(&str, &str, &str)] = &[
+    ("anneal.reads", "anneal.sample", "anneal.reads_per_sec"),
+    ("gatesim.shots", "gatesim.noisy.sample", "gatesim.shots_per_sec"),
+    ("sa.sweeps", "qubo.sa.sample", "sa.sweeps_per_sec"),
+    ("sqa.sweeps", "anneal.sample", "sqa.sweeps_per_sec"),
+    ("tabu.iterations", "qubo.tabu.solve", "tabu.iterations_per_sec"),
+    ("transpile.runs", "transpile.run", "transpile.runs_per_sec"),
+];
+
+/// Schema version of `BENCH.json`.
+const BENCH_SCHEMA_VERSION: u64 = 1;
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+/// Writes `BENCH.json`: the per-run performance trajectory record (wall
+/// times, work rates, span percentiles, trace-buffer statistics). All
+/// values here are timing-derived and therefore volatile — `BENCH.json`
+/// is never diffed, only archived per PR for trend analysis.
+fn write_bench(
+    options: &Options,
+    stages: &[StageRecord],
+    total_ms: f64,
+    trace_stats: Option<qjo_obs::trace::TraceStats>,
+) {
+    use std::collections::BTreeMap;
+    let Some(path) = &options.bench_out else {
+        return;
+    };
+    let snapshot = qjo_obs::global().snapshot();
+    let mut root = BTreeMap::new();
+    root.insert("schema_version".to_string(), Json::from(BENCH_SCHEMA_VERSION));
+
+    let mut run = BTreeMap::new();
+    run.insert("git_rev".to_string(), Json::from(git_rev()));
+    run.insert("threads".to_string(), Json::from(qjo_exec::Parallelism::auto().resolve() as u64));
+    run.insert("mode".to_string(), Json::from(options.mode.name()));
+    run.insert("total_ms".to_string(), Json::from(round3(total_ms)));
+    root.insert("run".to_string(), Json::Obj(run));
+
+    let stage_list = stages
+        .iter()
+        .map(|stage| {
+            let mut obj = BTreeMap::new();
+            obj.insert("name".to_string(), Json::from(stage.name.as_str()));
+            obj.insert("duration_ms".to_string(), Json::from(round3(stage.duration_ms)));
+            Json::Obj(obj)
+        })
+        .collect();
+    root.insert("stages".to_string(), Json::Arr(stage_list));
+
+    let mut rates = BTreeMap::new();
+    for &(counter, span, rate) in RATE_PAIRS {
+        let Some(&work) = snapshot.counters.get(counter) else { continue };
+        // Spans nest into slash-separated paths (one histogram per call
+        // path), so total the span's time across every path it appears in.
+        let suffix = format!("/{span}");
+        let span_ns: u64 = snapshot
+            .histograms
+            .iter()
+            .filter(|(path, _)| path.as_str() == span || path.ends_with(&suffix))
+            .map(|(_, h)| h.sum_ns)
+            .sum();
+        if work == 0 || span_ns == 0 {
+            continue;
+        }
+        rates.insert(rate.to_string(), Json::from(round3(work as f64 / (span_ns as f64 / 1e9))));
+    }
+    root.insert("rates".to_string(), Json::Obj(rates));
+
+    let spans = snapshot
+        .histograms
+        .iter()
+        .map(|(span_path, h)| {
+            let mut obj = BTreeMap::new();
+            obj.insert("count".to_string(), Json::from(h.count));
+            obj.insert("total_ms".to_string(), Json::from(round3(h.sum_ns as f64 / 1e6)));
+            obj.insert("p50_ms".to_string(), Json::from(round3(h.percentile_ms(0.50))));
+            obj.insert("p90_ms".to_string(), Json::from(round3(h.percentile_ms(0.90))));
+            obj.insert("p99_ms".to_string(), Json::from(round3(h.percentile_ms(0.99))));
+            (span_path.clone(), Json::Obj(obj))
+        })
+        .collect();
+    root.insert("spans".to_string(), Json::Obj(spans));
+
+    root.insert(
+        "counters".to_string(),
+        Json::Obj(snapshot.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect()),
+    );
+
+    if let Some(stats) = trace_stats {
+        let mut t = BTreeMap::new();
+        t.insert("events".to_string(), Json::from(stats.stored));
+        t.insert("recorded".to_string(), Json::from(stats.recorded));
+        t.insert("dropped".to_string(), Json::from(stats.dropped));
+        t.insert("peak_occupancy".to_string(), Json::from(stats.peak_occupancy));
+        root.insert("trace".to_string(), Json::Obj(t));
+    }
+
+    let rendered = Json::Obj(root).render();
+    let write = |path: &Path| -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, rendered.as_bytes())
+    };
+    match write(path) {
+        Ok(()) => qjo_obs::info!("wrote {}", path.display()),
+        Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+    }
 }
 
 fn main() {
@@ -448,8 +684,27 @@ fn main() {
             }
         }
     }
+    if raw.first().map(String::as_str) == Some("trace-check") {
+        match raw.as_slice() {
+            [_, trace] => trace_check(trace),
+            _ => {
+                qjo_obs::error!("trace-check takes exactly one trace path (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let options = parse_args();
+    let tracing = options.trace_out.is_some();
+    if tracing {
+        qjo_obs::trace::start(qjo_obs::trace::DEFAULT_THREAD_CAPACITY);
+    }
+    // Smoke runs always record convergence so the committed smoke baseline
+    // gates on the curves; other modes opt in with --convergence.
+    if options.convergence || options.mode == Mode::Smoke {
+        qjo_obs::convergence::start(qjo_obs::convergence::DEFAULT_STRIDE);
+    }
+
     let run_start = Instant::now();
     let mut driver = Driver { options, artifacts: Vec::new() };
     let mut stages = Vec::new();
@@ -458,6 +713,10 @@ fn main() {
         let start = Instant::now();
         {
             let _span = qjo_obs::span!("experiments.stage");
+            let _slice = tracing.then(|| qjo_obs::trace::slice_scope(format!("stage:{which}")));
+            if qjo_obs::convergence::is_active() {
+                qjo_obs::convergence::set_phase(&which);
+            }
             driver.run_stage(&which);
         }
         let elapsed = start.elapsed();
@@ -468,6 +727,10 @@ fn main() {
         });
         qjo_obs::info!("[{which} took {elapsed:.1?}]");
     }
+    collect_convergence(&mut driver);
+    let trace_stats = finish_trace(&driver.options);
+    let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
     let Driver { options, artifacts } = driver;
-    write_manifest(&options, stages, artifacts, run_start.elapsed().as_secs_f64() * 1e3);
+    write_bench(&options, &stages, total_ms, trace_stats);
+    write_manifest(&options, stages, artifacts, total_ms);
 }

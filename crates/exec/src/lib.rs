@@ -29,6 +29,16 @@
 //! poisoned locks, no secondary worker deaths) and re-raises the payload
 //! of the **lowest-indexed** failing unit on the caller's thread, so the
 //! surfaced panic is deterministic too.
+//!
+//! # Observability
+//!
+//! When `qjo-obs` event tracing or convergence recording is active, each
+//! work unit runs under a `qjo_obs::trace` unit scope: traces show units
+//! as named slices on per-worker virtual thread tracks, and convergence
+//! series opened inside a unit are keyed by the unit's index path — a
+//! pure function of the work, never of scheduling. See
+//! [`par_map_indexed`] for details; with telemetry off the integration
+//! costs two relaxed atomic loads per map.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -158,6 +168,17 @@ where
 
 /// Order-preserving parallel map where the closure also sees the unit
 /// index.
+///
+/// # Observability
+///
+/// When `qjo-obs` telemetry is active, every work unit runs under a unit
+/// scope: the unit's index extends the thread-local *unit path* (which
+/// keys convergence series deterministically, including through nested
+/// maps), and — when event tracing is enabled — the unit appears as a
+/// named slice (`{caller span path} · unit i`) on the virtual thread
+/// track of the worker slot that ran it. Both are record-on-drop, so
+/// units that panic still show up. With telemetry off, the map pays two
+/// relaxed atomic loads total.
 pub fn par_map_indexed<T, R, F>(items: Vec<T>, parallelism: Parallelism, f: F) -> Vec<R>
 where
     T: Send,
@@ -166,8 +187,33 @@ where
 {
     let n = items.len();
     let threads = parallelism.resolve().max(1).min(n);
+    let telemetry = qjo_obs::trace::is_enabled() || qjo_obs::convergence::is_active();
+    // The unit label and path prefix belong to the *caller*: workers
+    // inherit them so slices are named after the span that launched the
+    // map and nested maps key their units as "outer/inner".
+    let label = if telemetry {
+        let path = qjo_obs::current_span_path();
+        if path.is_empty() {
+            "par_map".to_string()
+        } else {
+            path
+        }
+    } else {
+        String::new()
+    };
+    let prefix = if telemetry { qjo_obs::trace::unit_path() } else { Vec::new() };
     if threads <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        if !telemetry {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let _unit = qjo_obs::trace::unit_scope(&label, i as u64);
+                f(i, item)
+            })
+            .collect();
     }
 
     // Jobs are taken via an atomic cursor; each worker owns the item it
@@ -182,35 +228,46 @@ where
     let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= n {
-                    break;
-                }
-                let item = jobs[index]
-                    .lock()
-                    .expect("job slot is locked once and f runs outside it")
-                    .take()
-                    .expect("each job is claimed exactly once");
-                match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
-                    Ok(out) => {
-                        results
-                            .lock()
-                            .expect("no panic ever unwinds while holding the results lock")
-                            .push((index, out));
+        for worker in 0..threads {
+            let (f, label, prefix) = (&f, &label, &prefix);
+            let (jobs, cursor, failed) = (&jobs, &cursor, &failed);
+            let (results, first_panic) = (&results, &first_panic);
+            scope.spawn(move || {
+                let _track = telemetry.then(|| qjo_obs::trace::worker_scope(worker as u32 + 1));
+                let _inherited = telemetry.then(|| qjo_obs::trace::unit_prefix_scope(prefix));
+                loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
                     }
-                    Err(payload) => {
-                        failed.store(true, Ordering::Relaxed);
-                        let mut slot = first_panic
-                            .lock()
-                            .expect("no panic ever unwinds while holding the panic slot");
-                        match &*slot {
-                            Some((earlier, _)) if *earlier <= index => {}
-                            _ => *slot = Some((index, payload)),
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let item = jobs[index]
+                        .lock()
+                        .expect("job slot is locked once and f runs outside it")
+                        .take()
+                        .expect("each job is claimed exactly once");
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        let _unit =
+                            telemetry.then(|| qjo_obs::trace::unit_scope(label, index as u64));
+                        f(index, item)
+                    })) {
+                        Ok(out) => {
+                            results
+                                .lock()
+                                .expect("no panic ever unwinds while holding the results lock")
+                                .push((index, out));
+                        }
+                        Err(payload) => {
+                            failed.store(true, Ordering::Relaxed);
+                            let mut slot = first_panic
+                                .lock()
+                                .expect("no panic ever unwinds while holding the panic slot");
+                            match &*slot {
+                                Some((earlier, _)) if *earlier <= index => {}
+                                _ => *slot = Some((index, payload)),
+                            }
                         }
                     }
                 }
@@ -316,6 +373,101 @@ mod tests {
         assert!(Parallelism::auto().resolve() >= 1);
         assert_eq!(Parallelism::sequential().resolve(), 1);
         assert_eq!(Parallelism::new(5).resolve(), 5);
+    }
+
+    /// Serialises tests that toggle the process-global qjo-obs telemetry.
+    fn telemetry_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn traced_units_appear_on_virtual_worker_tracks() {
+        let _serial = telemetry_serial();
+        let _span = qjo_obs::span!("exec-test-traced-map");
+        qjo_obs::trace::start(1 << 12);
+        par_map((0..8).collect::<Vec<usize>>(), Parallelism::new(4), |x| x * 2);
+        qjo_obs::trace::stop();
+        let events = qjo_obs::trace::snapshot_events();
+        let units: Vec<_> =
+            events.iter().filter(|e| e.name.starts_with("exec-test-traced-map · unit ")).collect();
+        assert_eq!(units.len(), 8, "one slice per work unit: {units:?}");
+        let mut seen_units: Vec<u64> = units.iter().map(|e| e.unit.unwrap()).collect();
+        seen_units.sort_unstable();
+        assert_eq!(seen_units, (0..8).collect::<Vec<u64>>());
+        for unit in &units {
+            assert!(
+                unit.tid > qjo_obs::trace::WORKER_TID_BASE,
+                "unit slices land on virtual worker tracks: {unit:?}"
+            );
+        }
+        // The whole export still passes the nesting validator.
+        let doc = qjo_obs::trace::to_chrome_json();
+        qjo_obs::trace::validate_chrome_trace(&doc).expect("trace nests cleanly");
+    }
+
+    #[test]
+    fn sequential_path_also_records_unit_slices() {
+        let _serial = telemetry_serial();
+        qjo_obs::trace::start(1 << 12);
+        par_map((0..3).collect::<Vec<usize>>(), Parallelism::sequential(), |x| x);
+        qjo_obs::trace::stop();
+        let events = qjo_obs::trace::snapshot_events();
+        let units: Vec<_> =
+            events.iter().filter(|e| e.name.starts_with("par_map · unit ")).collect();
+        assert_eq!(units.len(), 3, "{units:?}");
+        for unit in &units {
+            assert!(
+                unit.tid < qjo_obs::trace::WORKER_TID_BASE,
+                "inline units stay on the caller's track: {unit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_series_are_byte_identical_across_thread_counts() {
+        let _serial = telemetry_serial();
+        let run = |threads: usize| {
+            qjo_obs::convergence::start(2);
+            qjo_obs::convergence::set_phase("exec-test");
+            par_map((0..6).collect::<Vec<usize>>(), Parallelism::new(threads), |x| {
+                let series = qjo_obs::convergence::series("exec-conv-test", "value");
+                for step in 0..10u64 {
+                    series.record(step, (x as u64 * 100 + step) as f64);
+                }
+                x
+            });
+            qjo_obs::convergence::drain_csv()
+                .into_iter()
+                .find(|(group, _)| group == "exec-conv-test")
+                .map(|(_, csv)| csv)
+                .expect("group recorded")
+        };
+        let sequential = run(1);
+        // Units key rows by their par_map index.
+        assert!(sequential.contains("exec-test,value,3,0,4,304\n"), "{sequential}");
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_maps_extend_the_unit_path() {
+        let _serial = telemetry_serial();
+        qjo_obs::convergence::start(1);
+        par_map((0..2).collect::<Vec<usize>>(), Parallelism::new(2), |_| {
+            // The inner map runs on a worker thread; its units inherit the
+            // outer unit index as a prefix.
+            par_map((0..2).collect::<Vec<usize>>(), Parallelism::sequential(), |y| {
+                qjo_obs::convergence::series("exec-nest-test", "v").record(0, y as f64);
+                y
+            })
+        });
+        let drained = qjo_obs::convergence::drain_csv();
+        let csv = &drained.iter().find(|(g, _)| g == "exec-nest-test").unwrap().1;
+        for unit in ["0/0", "0/1", "1/0", "1/1"] {
+            assert!(csv.contains(&format!(",v,{unit},0,0,")), "missing unit {unit}: {csv}");
+        }
     }
 
     #[test]

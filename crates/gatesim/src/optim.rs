@@ -11,6 +11,19 @@ use qjo_exec::Parallelism;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Records an optimiser's running-best trajectory into the convergence
+/// recorder (`optim` group, one series per `minimize` call, step =
+/// iteration). Inert unless a recorder is active.
+fn record_history(optimiser: &str, history: &[f64]) {
+    let curve = qjo_obs::convergence::series("optim", optimiser);
+    if !curve.is_active() {
+        return;
+    }
+    for (step, &fx) in history.iter().enumerate() {
+        curve.record(step as u64, fx);
+    }
+}
+
 /// Result of an optimisation run.
 #[derive(Debug, Clone)]
 pub struct OptResult {
@@ -77,6 +90,7 @@ impl GradientDescent {
             }
             history.push(best_fx);
         }
+        record_history("gd", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
 }
@@ -135,6 +149,7 @@ impl Spsa {
             }
             history.push(best_fx);
         }
+        record_history("spsa", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
 }
@@ -198,6 +213,7 @@ impl Adam {
             }
             history.push(best_fx);
         }
+        record_history("adam", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
 }
@@ -295,6 +311,7 @@ impl NelderMead {
         }
 
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        record_history("nelder_mead", &history);
         let (x, fx) = simplex.swap_remove(0);
         OptResult { x, fx, evals, history }
     }
@@ -372,6 +389,7 @@ impl GridSearch {
             }
             history.push(best_fx);
         }
+        record_history("grid", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
 }
@@ -490,6 +508,19 @@ mod tests {
         assert!((bowl(&r.x) - r.fx).abs() < 1e-12);
         let r = GradientDescent::default().minimize(bowl, &[2.0, 2.0]);
         assert!((bowl(&r.x) - r.fx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convergence_recorder_captures_optimiser_trajectories() {
+        qjo_obs::convergence::start(1);
+        let gd =
+            GradientDescent { iterations: 6, ..Default::default() }.minimize(bowl, &[3.0, 3.0]);
+        let grid = GridSearch { bounds: vec![(-1.0, 1.0); 2], resolution: 3, ..Default::default() }
+            .minimize(bowl);
+        let drained = qjo_obs::convergence::drain_csv();
+        let csv = &drained.iter().find(|(g, _)| g == "optim").expect("optim group recorded").1;
+        assert!(csv.matches(",gd,").count() >= gd.history.len(), "{csv}");
+        assert!(csv.matches(",grid,").count() >= grid.history.len(), "{csv}");
     }
 
     #[test]

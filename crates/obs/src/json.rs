@@ -121,8 +121,12 @@ impl Json {
     }
 
     /// Parses a complete JSON document (rejects trailing garbage).
+    ///
+    /// Containers may nest at most [`MAX_PARSE_DEPTH`] levels; deeper
+    /// documents return an error rather than overflowing the stack (the
+    /// parser recurses per level).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -132,6 +136,9 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting [`Json::parse`] accepts.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
@@ -211,6 +218,7 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -264,6 +272,16 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("containers nest deeper than MAX_PARSE_DEPTH"));
+        }
+        let result = self.array_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn array_inner(&mut self) -> Result<Json, JsonError> {
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -287,6 +305,16 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("containers nest deeper than MAX_PARSE_DEPTH"));
+        }
+        let result = self.object_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn object_inner(&mut self) -> Result<Json, JsonError> {
         self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -445,5 +473,112 @@ mod tests {
     fn empty_containers_render_compactly() {
         assert_eq!(Json::Arr(Vec::new()).render(), "[]\n");
         assert_eq!(Json::Obj(BTreeMap::new()).render(), "{}\n");
+    }
+
+    // -- seeded random round-trip and malformed-input coverage ------------
+
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_string(rng: &mut StdRng) -> String {
+        let alphabet: Vec<char> = "ab\"\\/\n\r\t\u{1}\u{7f}é—\u{10348} z0".chars().collect();
+        let len = rng.random_range(0..8usize);
+        (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+    }
+
+    fn random_number(rng: &mut StdRng) -> f64 {
+        match rng.random_range(0..4u32) {
+            // Integers survive exactly up to 2^53.
+            0 => rng.random_range(-(1i64 << 53)..=(1i64 << 53)) as f64,
+            1 => rng.random_range(-10i64..10) as f64,
+            2 => rng.random::<f64>() * 2e6 - 1e6,
+            // Extreme magnitudes exercise the exponent path.
+            _ => rng.random::<f64>() * 1e300,
+        }
+    }
+
+    fn random_value(rng: &mut StdRng, depth: usize) -> Json {
+        let max_kind = if depth == 0 { 4 } else { 6 };
+        match rng.random_range(0..max_kind as u32) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.random_bool(0.5)),
+            2 => Json::Num(random_number(rng)),
+            3 => Json::Str(random_string(rng)),
+            4 => Json::Arr(
+                (0..rng.random_range(0..5usize)).map(|_| random_value(rng, depth - 1)).collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.random_range(0..5usize))
+                    .map(|_| (random_string(rng), random_value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn random_documents_roundtrip_exactly() {
+        let mut rng = StdRng::seed_from_u64(0x9a05);
+        for case in 0..300 {
+            let doc = random_value(&mut rng, 4);
+            let rendered = doc.render();
+            let reparsed =
+                Json::parse(&rendered).unwrap_or_else(|e| panic!("case {case}: {e}\n{rendered}"));
+            assert_eq!(reparsed, doc, "case {case} drifted:\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn truncated_documents_error_at_every_prefix() {
+        // Every proper prefix of a valid document must fail to parse —
+        // with an error, never a panic.
+        let doc = r#"{"a": [1, -2.5e3, null, true, "sé\n"], "b": {"c": []}}"#;
+        assert!(Json::parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            assert!(Json::parse(prefix).is_err(), "prefix {prefix:?} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        for bad in [
+            r#""\x""#,     // unknown escape
+            r#""\"#,       // escape at end of input
+            r#""\u12""#,   // truncated \u
+            r#""\u12g4""#, // non-hex \u
+            r#""\ud800""#, // lone surrogate
+            "\"ab",        // unterminated string
+        ] {
+            let err = Json::parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(err.offset <= bad.len(), "{err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the limit: parses fine.
+        let ok = format!("{}{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the limit: a clean error.
+        let over =
+            format!("{}{}", "[".repeat(MAX_PARSE_DEPTH + 1), "]".repeat(MAX_PARSE_DEPTH + 1));
+        let err = Json::parse(&over).expect_err("depth limit enforced");
+        assert!(err.message.contains("MAX_PARSE_DEPTH"), "{err}");
+        // Pathologically deep input must not overflow the stack. Objects
+        // recurse through the same guard.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(100_000);
+            assert!(Json::parse(&deep).is_err(), "accepted bottomless {open:?} nesting");
+        }
+    }
+
+    #[test]
+    fn depth_counts_nesting_not_sibling_containers() {
+        // Thousands of siblings at depth 2 stay well under the limit.
+        let wide = format!("[{}]", vec!["[]"; 5_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 }

@@ -49,9 +49,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod convergence;
 pub mod json;
 pub mod log;
 pub mod manifest;
+pub mod trace;
 
 /// Number of log2 buckets in a duration histogram: bucket `b` counts
 /// durations with `floor(log2(ns)) + 1 == b` (bucket 0 holds exact zeros),
@@ -159,6 +161,34 @@ impl HistogramSnapshot {
         } else {
             self.sum_ns as f64 / self.count as f64 / 1e6
         }
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in nanoseconds, resolved to the
+    /// **upper bound** of the log2 bucket holding that observation — an
+    /// over-estimate by at most 2×, which is the histogram's resolution.
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bucket, &observations) in self.buckets.iter().enumerate() {
+            cumulative += observations;
+            if cumulative >= target {
+                return match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// [`Self::percentile_ns`] in milliseconds.
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        self.percentile_ns(q) as f64 / 1e6
     }
 }
 
@@ -287,6 +317,13 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+/// This thread's current `outer/inner` span path (empty outside any
+/// span). `qjo-exec` uses it to label `par_map` unit slices after the
+/// span that launched the map.
+pub fn current_span_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
 /// RAII wall-clock timer: records the elapsed time into the global
 /// registry's histogram for this span's path when dropped.
 ///
@@ -321,8 +358,14 @@ impl ScopedTimer {
 
 impl Drop for ScopedTimer {
     fn drop(&mut self) {
-        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let end = Instant::now();
+        let ns = u64::try_from((end - self.start).as_nanos()).unwrap_or(u64::MAX);
         global().histogram(&self.path).record_ns(ns);
+        // Record-on-drop: this also runs while a panic unwinds, so traces
+        // show spans that died, not just spans that finished.
+        if trace::is_enabled() {
+            trace::record(std::mem::take(&mut self.path), self.start, end, None);
+        }
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
@@ -373,6 +416,15 @@ pub fn fnv1a64_hex(bytes: &[u8]) -> String {
     format!("{:016x}", fnv1a64(bytes))
 }
 
+/// Serialises tests that mutate process-global telemetry state (trace
+/// collector, convergence recorder, log level): the test binary runs
+/// tests on concurrent threads.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +466,49 @@ mod tests {
         assert_eq!(snap.buckets[0], 1);
         assert_eq!(snap.buckets[2], 2);
         assert_eq!(snap.mean_ms(), 6.0 / 3.0 / 1e6);
+    }
+
+    #[test]
+    fn percentiles_resolve_to_bucket_upper_bounds() {
+        let h = Histogram::new();
+        // Buckets: 1 → [1,1]; 2,3 → [2,3]; 4 → [4,7].
+        for ns in [1, 2, 3, 4] {
+            h.record_ns(ns);
+        }
+        let snap = h.snapshot();
+        // Rank ceil(0.25·4) = 1 lands in bucket 1 (upper bound 1).
+        assert_eq!(snap.percentile_ns(0.25), 1);
+        // Rank 2 and 3 land in bucket 2 (upper bound 3).
+        assert_eq!(snap.percentile_ns(0.5), 3);
+        assert_eq!(snap.percentile_ns(0.75), 3);
+        // Ranks beyond land in bucket 3 (upper bound 7).
+        assert_eq!(snap.percentile_ns(0.9), 7);
+        assert_eq!(snap.percentile_ns(1.0), 7);
+        assert_eq!(snap.percentile_ms(1.0), 7.0 / 1e6);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile_ns(0.5), 0, "empty histogram");
+        h.record_ns(0);
+        assert_eq!(h.snapshot().percentile_ns(0.5), 0, "zero bucket");
+        h.record_ns(u64::MAX);
+        assert_eq!(h.snapshot().percentile_ns(1.0), u64::MAX, "top bucket");
+        // A tiny q still resolves to the first occupied bucket.
+        assert_eq!(h.snapshot().percentile_ns(1e-9), 0);
+    }
+
+    #[test]
+    fn current_span_path_tracks_the_stack() {
+        assert_eq!(current_span_path(), "");
+        let _outer = ScopedTimer::new("obs-test-path-outer");
+        assert_eq!(current_span_path(), "obs-test-path-outer");
+        {
+            let _inner = ScopedTimer::new("obs-test-path-inner");
+            assert_eq!(current_span_path(), "obs-test-path-outer/obs-test-path-inner");
+        }
+        assert_eq!(current_span_path(), "obs-test-path-outer");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Library crates in this workspace must never write to stdout
 //! unconditionally: diagnostics go through [`error!`](crate::error),
 //! [`warn!`](crate::warn), [`info!`](crate::info), [`debug!`](crate::debug),
-//! or [`trace!`](crate::trace), which write to **stderr** and are filtered
+//! or [`trace!`](crate::trace!), which write to **stderr** and are filtered
 //! by the process-wide maximum level. `QJO_LOG` accepts `off`, `error`,
 //! `warn`, `info`, `debug`, or `trace` (case-insensitive); the default is
 //! `info`.
@@ -98,6 +98,25 @@ pub fn set_max_level(level: Option<Level>) {
     MAX_LEVEL.store(level.map_or(OFF, |l| l as u8 + 1), Ordering::Relaxed);
 }
 
+/// Applies a `QJO_LOG`-style spec (`"off"`, `"error"`, …, `"trace"`)
+/// immediately, bypassing the first-read cache.
+///
+/// The level is cached after the first `enabled()`/`log()` call, so a
+/// test that does `std::env::set_var("QJO_LOG", …)` mid-process silently
+/// no-ops. Call this instead; restore with [`set_max_level`] afterwards.
+///
+/// # Errors
+/// Returns the offending spec for strings `QJO_LOG` would not accept.
+pub fn set_level_for_tests(spec: &str) -> Result<(), String> {
+    match Level::parse(spec) {
+        Some(level) => {
+            set_max_level(level);
+            Ok(())
+        }
+        None => Err(format!("unrecognised log level {spec:?}")),
+    }
+}
+
 /// Whether a record at `level` would currently be emitted.
 #[inline]
 pub fn enabled(level: Level) -> bool {
@@ -178,7 +197,8 @@ mod tests {
 
     #[test]
     fn set_max_level_gates_enabled() {
-        // Other tests share the process-wide level: restore it afterwards.
+        // Other tests share the process-wide level: serialise and restore.
+        let _serial = crate::test_serial();
         let saved = max_level();
         set_max_level(Some(Level::Warn));
         assert!(enabled(Level::Error));
@@ -186,6 +206,33 @@ mod tests {
         assert!(!enabled(Level::Info));
         set_max_level(None);
         assert!(!enabled(Level::Error));
+        set_max_level(saved);
+    }
+
+    #[test]
+    fn env_is_cached_but_test_override_applies_immediately() {
+        let _serial = crate::test_serial();
+        let saved = max_level();
+
+        // Force the first read so the cache is populated, then change the
+        // env var: the cached level must win (this is the regression —
+        // mid-process env changes silently no-op).
+        let cached = max_level();
+        std::env::set_var("QJO_LOG", if cached == Some(Level::Trace) { "error" } else { "trace" });
+        assert_eq!(max_level(), cached, "env changes after the first read are ignored");
+
+        // The test-visible override bypasses the cache.
+        set_level_for_tests("trace").expect("valid spec");
+        assert_eq!(max_level(), Some(Level::Trace));
+        assert!(enabled(Level::Trace));
+        set_level_for_tests("off").expect("off is a valid spec");
+        assert_eq!(max_level(), None);
+
+        let err = set_level_for_tests("verbose").expect_err("invalid spec");
+        assert!(err.contains("verbose"), "{err}");
+        assert_eq!(max_level(), None, "a rejected spec leaves the level unchanged");
+
+        std::env::remove_var("QJO_LOG");
         set_max_level(saved);
     }
 }

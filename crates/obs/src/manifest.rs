@@ -53,12 +53,23 @@ pub struct StageRecord {
 }
 
 /// Span timing summary (timing-dependent; ignored by [`diff`]).
+///
+/// Percentiles come from the log2-bucketed histogram, resolved to bucket
+/// upper bounds (see
+/// [`HistogramSnapshot::percentile_ns`](crate::HistogramSnapshot::percentile_ns)),
+/// so they over-estimate by at most 2×.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanSummary {
     /// Observations recorded under this span path.
     pub count: u64,
     /// Total milliseconds across observations.
     pub total_ms: f64,
+    /// Median observation, in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile observation, in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile observation, in milliseconds.
+    pub p99_ms: f64,
 }
 
 /// The full record of one experiment run.
@@ -91,7 +102,13 @@ impl RunManifest {
             .histograms
             .iter()
             .map(|(path, h)| {
-                let summary = SpanSummary { count: h.count, total_ms: h.sum_ns as f64 / 1e6 };
+                let summary = SpanSummary {
+                    count: h.count,
+                    total_ms: h.sum_ns as f64 / 1e6,
+                    p50_ms: h.percentile_ms(0.50),
+                    p90_ms: h.percentile_ms(0.90),
+                    p99_ms: h.percentile_ms(0.99),
+                };
                 (path.clone(), summary)
             })
             .collect();
@@ -126,6 +143,9 @@ impl RunManifest {
                 let mut obj = BTreeMap::new();
                 obj.insert("count".to_string(), Json::from(span.count));
                 obj.insert("total_ms".to_string(), Json::from(round3(span.total_ms)));
+                obj.insert("p50_ms".to_string(), Json::from(round3(span.p50_ms)));
+                obj.insert("p90_ms".to_string(), Json::from(round3(span.p90_ms)));
+                obj.insert("p99_ms".to_string(), Json::from(round3(span.p99_ms)));
                 (path.clone(), Json::Obj(obj))
             })
             .collect();
@@ -212,6 +232,9 @@ impl RunManifest {
                         let summary = SpanSummary {
                             count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
                             total_ms: v.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                            p50_ms: v.get("p50_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                            p90_ms: v.get("p90_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                            p99_ms: v.get("p99_ms").and_then(Json::as_f64).unwrap_or(0.0),
                         };
                         (path.clone(), summary)
                     })
@@ -273,6 +296,26 @@ fn parse_counters(value: Option<&Json>) -> Result<BTreeMap<String, u64>, String>
         .map(Option::unwrap_or_default)
 }
 
+/// One divergence found by [`diff_entries`]: which section and key
+/// drifted, the expected (baseline) and actual (current) values, and the
+/// one-line description [`diff`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftEntry {
+    /// Manifest section (`stages`, `stage <name>`, `counters`, `gauges`,
+    /// or `artifacts`).
+    pub section: String,
+    /// Key within the section (counter/gauge/artifact name).
+    pub key: String,
+    /// Baseline value, `(absent)` when the key only exists in `current`.
+    pub expected: String,
+    /// Current value, `(absent)` when the key only exists in `baseline`.
+    pub actual: String,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+const ABSENT: &str = "(absent)";
+
 /// Compares the deterministic sections of two manifests, returning one
 /// human-readable line per divergence (empty = no drift).
 ///
@@ -280,6 +323,12 @@ fn parse_counters(value: Option<&Json>) -> Result<BTreeMap<String, u64>, String>
 /// the `spans` section, and any counter either manifest lists in
 /// `volatile_counters`.
 pub fn diff(baseline: &RunManifest, current: &RunManifest) -> Vec<String> {
+    diff_entries(baseline, current).into_iter().map(|entry| entry.detail).collect()
+}
+
+/// [`diff`] with structured per-key expected/actual values, for table
+/// rendering via [`render_drift_table`].
+pub fn diff_entries(baseline: &RunManifest, current: &RunManifest) -> Vec<DriftEntry> {
     let mut drift = Vec::new();
     let volatile: std::collections::BTreeSet<&str> = baseline
         .volatile_counters
@@ -291,7 +340,13 @@ pub fn diff(baseline: &RunManifest, current: &RunManifest) -> Vec<String> {
     let baseline_stages: Vec<&str> = baseline.stages.iter().map(|s| s.name.as_str()).collect();
     let current_stages: Vec<&str> = current.stages.iter().map(|s| s.name.as_str()).collect();
     if baseline_stages != current_stages {
-        drift.push(format!("stages changed: {baseline_stages:?} -> {current_stages:?}"));
+        drift.push(DriftEntry {
+            section: "stages".to_string(),
+            key: "(order)".to_string(),
+            expected: format!("{baseline_stages:?}"),
+            actual: format!("{current_stages:?}"),
+            detail: format!("stages changed: {baseline_stages:?} -> {current_stages:?}"),
+        });
     } else {
         for (b, c) in baseline.stages.iter().zip(&current.stages) {
             diff_counters(
@@ -308,44 +363,88 @@ pub fn diff(baseline: &RunManifest, current: &RunManifest) -> Vec<String> {
 
     for (name, &b) in &baseline.gauges {
         match current.gauges.get(name) {
-            None => drift.push(format!("gauge {name} disappeared (was {b})")),
-            Some(&c) if c != b => drift.push(format!("gauge {name}: {b} -> {c}")),
+            None => drift.push(DriftEntry {
+                section: "gauges".to_string(),
+                key: name.clone(),
+                expected: format!("{b}"),
+                actual: ABSENT.to_string(),
+                detail: format!("gauge {name} disappeared (was {b})"),
+            }),
+            Some(&c) if c != b => drift.push(DriftEntry {
+                section: "gauges".to_string(),
+                key: name.clone(),
+                expected: format!("{b}"),
+                actual: format!("{c}"),
+                detail: format!("gauge {name}: {b} -> {c}"),
+            }),
             Some(_) => {}
         }
     }
-    for name in current.gauges.keys() {
+    for (name, &c) in &current.gauges {
         if !baseline.gauges.contains_key(name) {
-            drift.push(format!("gauge {name} appeared"));
+            drift.push(DriftEntry {
+                section: "gauges".to_string(),
+                key: name.clone(),
+                expected: ABSENT.to_string(),
+                actual: format!("{c}"),
+                detail: format!("gauge {name} appeared"),
+            });
         }
     }
 
+    let describe = |a: &Artifact| format!("hash {} ({} rows, {} bytes)", a.hash, a.rows, a.bytes);
     let baseline_artifacts: BTreeMap<&str, &Artifact> =
         baseline.artifacts.iter().map(|a| (a.name.as_str(), a)).collect();
     let current_artifacts: BTreeMap<&str, &Artifact> =
         current.artifacts.iter().map(|a| (a.name.as_str(), a)).collect();
     for (name, b) in &baseline_artifacts {
         match current_artifacts.get(name) {
-            None => drift.push(format!("artifact {name} disappeared")),
+            None => drift.push(DriftEntry {
+                section: "artifacts".to_string(),
+                key: (*name).to_string(),
+                expected: describe(b),
+                actual: ABSENT.to_string(),
+                detail: format!("artifact {name} disappeared"),
+            }),
             // Timing-dependent artifacts (benchmark tables) keep a stable
             // shape but not stable bytes: check the row count only.
             Some(c) if b.volatile || c.volatile => {
                 if c.rows != b.rows {
-                    drift.push(format!(
-                        "volatile artifact {name} changed shape: {} -> {} rows",
-                        b.rows, c.rows
-                    ));
+                    drift.push(DriftEntry {
+                        section: "artifacts".to_string(),
+                        key: (*name).to_string(),
+                        expected: format!("{} rows", b.rows),
+                        actual: format!("{} rows", c.rows),
+                        detail: format!(
+                            "volatile artifact {name} changed shape: {} -> {} rows",
+                            b.rows, c.rows
+                        ),
+                    });
                 }
             }
-            Some(c) if c.hash != b.hash => drift.push(format!(
-                "artifact {name} content drifted: hash {} -> {} ({} -> {} rows, {} -> {} bytes)",
-                b.hash, c.hash, b.rows, c.rows, b.bytes, c.bytes
-            )),
+            Some(c) if c.hash != b.hash => drift.push(DriftEntry {
+                section: "artifacts".to_string(),
+                key: (*name).to_string(),
+                expected: describe(b),
+                actual: describe(c),
+                detail: format!(
+                    "artifact {name} content drifted: hash {} -> {} ({} -> {} rows, {} -> {} \
+                     bytes)",
+                    b.hash, c.hash, b.rows, c.rows, b.bytes, c.bytes
+                ),
+            }),
             Some(_) => {}
         }
     }
-    for name in current_artifacts.keys() {
+    for (name, c) in &current_artifacts {
         if !baseline_artifacts.contains_key(name) {
-            drift.push(format!("artifact {name} appeared"));
+            drift.push(DriftEntry {
+                section: "artifacts".to_string(),
+                key: (*name).to_string(),
+                expected: ABSENT.to_string(),
+                actual: describe(c),
+                detail: format!("artifact {name} appeared"),
+            });
         }
     }
 
@@ -353,7 +452,7 @@ pub fn diff(baseline: &RunManifest, current: &RunManifest) -> Vec<String> {
 }
 
 fn diff_counters(
-    drift: &mut Vec<String>,
+    drift: &mut Vec<DriftEntry>,
     context: &str,
     baseline: &BTreeMap<String, u64>,
     current: &BTreeMap<String, u64>,
@@ -364,16 +463,73 @@ fn diff_counters(
             continue;
         }
         match current.get(name) {
-            None => drift.push(format!("{context}: counter {name} disappeared (was {b})")),
-            Some(&c) if c != b => drift.push(format!("{context}: counter {name}: {b} -> {c}")),
+            None => drift.push(DriftEntry {
+                section: context.to_string(),
+                key: name.clone(),
+                expected: format!("{b}"),
+                actual: ABSENT.to_string(),
+                detail: format!("{context}: counter {name} disappeared (was {b})"),
+            }),
+            Some(&c) if c != b => drift.push(DriftEntry {
+                section: context.to_string(),
+                key: name.clone(),
+                expected: format!("{b}"),
+                actual: format!("{c}"),
+                detail: format!("{context}: counter {name}: {b} -> {c}"),
+            }),
             Some(_) => {}
         }
     }
-    for name in current.keys() {
+    for (name, &c) in current {
         if !baseline.contains_key(name) && !volatile.contains(name.as_str()) {
-            drift.push(format!("{context}: counter {name} appeared"));
+            drift.push(DriftEntry {
+                section: context.to_string(),
+                key: name.clone(),
+                expected: ABSENT.to_string(),
+                actual: format!("{c}"),
+                detail: format!("{context}: counter {name} appeared"),
+            });
         }
     }
+}
+
+/// Renders drift entries as a column-aligned expected-vs-actual table, one
+/// row per key, so CI failures are diagnosable from the log alone.
+/// Returns an empty string for no entries.
+pub fn render_drift_table(entries: &[DriftEntry]) -> String {
+    if entries.is_empty() {
+        return String::new();
+    }
+    let header = ["section", "key", "expected", "actual"];
+    let rows: Vec<[&str; 4]> = entries
+        .iter()
+        .map(|e| [e.section.as_str(), e.key.as_str(), e.expected.as_str(), e.actual.as_str()])
+        .collect();
+    let mut widths: [usize; 4] = header.map(str::len);
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, row: &[&str; 4]| {
+        for (c, cell) in row.iter().enumerate() {
+            let pad = if c + 1 == row.len() { 0 } else { widths[c] + 2 - cell.len() };
+            out.push_str(cell);
+            for _ in 0..pad {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &header);
+    let total: usize = widths.iter().map(|w| w + 2).sum::<usize>() - 2;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &rows {
+        write_row(&mut out, row);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -391,9 +547,10 @@ mod tests {
         });
         manifest.counters.insert("sa.restarts".to_string(), 40);
         manifest.gauges.insert("anneal.chain_break_fraction".to_string(), 0.125);
-        manifest
-            .spans
-            .insert("experiments/table1".to_string(), SpanSummary { count: 1, total_ms: 12.3 });
+        manifest.spans.insert(
+            "experiments/table1".to_string(),
+            SpanSummary { count: 1, total_ms: 12.3, p50_ms: 12.0, p90_ms: 12.0, p99_ms: 12.0 },
+        );
         manifest.artifacts.push(Artifact {
             name: "table1.csv".to_string(),
             rows: 4,
@@ -414,6 +571,7 @@ mod tests {
         assert_eq!(parsed.gauges, manifest.gauges);
         assert_eq!(parsed.artifacts, manifest.artifacts);
         assert_eq!(parsed.run["git_rev"], Json::from("abc123"));
+        assert_eq!(parsed.spans, manifest.spans, "percentiles survive the round-trip");
     }
 
     #[test]
@@ -512,5 +670,58 @@ mod tests {
         assert_eq!(manifest.gauges["g"], 2.5);
         assert_eq!(manifest.spans["h"].count, 1);
         assert_eq!(manifest.spans["h"].total_ms, 2.0);
+        // 2 ms lands in bucket 21 ([2^20, 2^21) ns): upper bound 2^21 - 1.
+        let expected = ((1u64 << 21) - 1) as f64 / 1e6;
+        assert_eq!(manifest.spans["h"].p50_ms, expected);
+        assert_eq!(manifest.spans["h"].p99_ms, expected);
+    }
+
+    #[test]
+    fn diff_entries_carry_expected_and_actual_values() {
+        let baseline = sample_manifest();
+        let mut current = sample_manifest();
+        current.counters.insert("sa.restarts".to_string(), 41);
+        current.gauges.remove("anneal.chain_break_fraction");
+        current.artifacts[0].hash = "0000000000000000".to_string();
+        let entries = diff_entries(&baseline, &current);
+        assert_eq!(entries.len(), 3, "{entries:?}");
+
+        let counter = entries.iter().find(|e| e.section == "counters").unwrap();
+        assert_eq!(counter.key, "sa.restarts");
+        assert_eq!(counter.expected, "40");
+        assert_eq!(counter.actual, "41");
+
+        let gauge = entries.iter().find(|e| e.section == "gauges").unwrap();
+        assert_eq!(gauge.expected, "0.125");
+        assert_eq!(gauge.actual, "(absent)");
+
+        let artifact = entries.iter().find(|e| e.section == "artifacts").unwrap();
+        assert_eq!(artifact.key, "table1.csv");
+        assert!(artifact.expected.contains("4 rows"), "{artifact:?}");
+        assert!(artifact.actual.contains("hash 0000000000000000"), "{artifact:?}");
+
+        // The string diff stays in lockstep with the entries.
+        let lines = diff(&baseline, &current);
+        assert_eq!(lines, entries.iter().map(|e| e.detail.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drift_table_renders_aligned_columns() {
+        let baseline = sample_manifest();
+        let mut current = sample_manifest();
+        current.counters.insert("sa.restarts".to_string(), 41);
+        current.counters.insert("sqa.sweeps-with-a-long-name".to_string(), 7);
+        let entries = diff_entries(&baseline, &current);
+        let table = render_drift_table(&entries);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2 + entries.len(), "{table}");
+        assert!(lines[0].starts_with("section"), "{table}");
+        assert!(lines[1].chars().all(|c| c == '-'), "{table}");
+        // Every data row starts its "expected" column at the same offset.
+        let offset = lines[0].find("expected").unwrap();
+        assert_eq!(&lines[2][offset..offset + 2], "40");
+        assert_eq!(&lines[3][offset..offset + 8], "(absent)");
+        // No drift renders as nothing rather than an empty table.
+        assert_eq!(render_drift_table(&[]), "");
     }
 }

@@ -46,6 +46,11 @@ impl SteepestDescent {
         let mut best: Option<Solution> = None;
 
         for _ in 0..self.restarts {
+            // Restarts run sequentially, so the recorder's per-key instance
+            // counter disambiguates them (one energy series per restart).
+            let energy_curve = qjo_obs::convergence::series("descent", "energy");
+            let mut flips = 0u64;
+
             let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
             let mut energy = compiled.energy(&x);
             let mut gains = compiled.all_flip_gains(&x);
@@ -62,6 +67,8 @@ impl SteepestDescent {
                 }
                 x[flip] = !x[flip];
                 energy += gain;
+                energy_curve.record(flips, energy);
+                flips += 1;
                 gains[flip] = -gains[flip];
                 for (j, w) in compiled.neighbors(flip) {
                     let delta = if x[flip] { w } else { -w };

@@ -136,6 +136,12 @@ impl SimulatedAnnealing {
 
         let restarts: Vec<usize> = (0..self.restarts).collect();
         let reads = par_map_seeded(restarts, self.seed, self.parallelism, |_, rng| {
+            // Convergence series are keyed by the restart's par_map unit
+            // path, so the exported curves are per-restart and
+            // thread-count independent. Inert unless a recorder is active.
+            let energy_curve = qjo_obs::convergence::series("sa", "energy");
+            let acceptance_curve = qjo_obs::convergence::series("sa", "acceptance");
+
             let mut order: Vec<usize> = (0..n).collect();
             let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
             let mut energy = compiled.energy(&x);
@@ -145,17 +151,21 @@ impl SimulatedAnnealing {
             for sweep in 0..self.sweeps {
                 let temp = schedule.temperature(sweep, self.sweeps).max(1e-12);
                 order.shuffle(rng);
+                let mut accepted = 0usize;
                 for &i in &order {
                     let gain = compiled.flip_gain(&x, i);
                     if gain <= 0.0 || rng.random::<f64>() < (-gain / temp).exp() {
                         x[i] = !x[i];
                         energy += gain;
+                        accepted += 1;
                         if energy < best_e {
                             best_e = energy;
                             best_x.copy_from_slice(&x);
                         }
                     }
                 }
+                energy_curve.record(sweep as u64, energy);
+                acceptance_curve.record(sweep as u64, accepted as f64 / n.max(1) as f64);
             }
             best_x
         });
@@ -314,6 +324,20 @@ mod tests {
         assert!(deltas["sa.sweeps"] >= 15, "{deltas:?}");
         let spans = qjo_obs::global().snapshot().histograms;
         assert!(spans["qubo.sa.sample"].count >= 1);
+    }
+
+    #[test]
+    fn convergence_recorder_captures_energy_and_acceptance_curves() {
+        // The recorder is process-global, so concurrent tests may add
+        // rows; assert only on this call's contribution (lower bounds).
+        let q = random_qubo(5, 8, 0.4);
+        qjo_obs::convergence::start(2);
+        SimulatedAnnealing { restarts: 2, sweeps: 8, ..Default::default() }.sample(&q).unwrap();
+        let drained = qjo_obs::convergence::drain_csv();
+        let csv = &drained.iter().find(|(g, _)| g == "sa").expect("sa group recorded").1;
+        // 2 restarts × 4 kept sweeps (stride 2) per curve.
+        assert!(csv.matches(",energy,").count() >= 8, "{csv}");
+        assert!(csv.matches(",acceptance,").count() >= 8, "{csv}");
     }
 
     #[test]

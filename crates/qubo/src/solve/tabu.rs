@@ -67,6 +67,10 @@ impl TabuSearch {
 
         let restarts: Vec<usize> = (0..self.restarts).collect();
         let per_restart = par_map_seeded(restarts, self.seed, self.parallelism, |_, rng| {
+            // Keyed by the restart's par_map unit path; inert unless a
+            // convergence recorder is active.
+            let energy_curve = qjo_obs::convergence::series("tabu", "energy");
+
             let mut x: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
             let mut energy = compiled.energy(&x);
             let mut gains = compiled.all_flip_gains(&x);
@@ -111,6 +115,7 @@ impl TabuSearch {
                     best_e = energy;
                     best_x.copy_from_slice(&x);
                 }
+                energy_curve.record(iter as u64, energy);
             }
 
             // Per-unit totals merge by commutative atomic add, so the

@@ -124,6 +124,23 @@ impl Transpiler {
                 Strategy::TketLike => cancel_pairs(&decomposed),
             }
         };
+        // Pass-by-pass convergence series (stride 1: the step is a pass
+        // index, not an iteration count): depth after input / routing /
+        // decomposition / optimisation, plus the routing swap count.
+        // `depth()` walks the whole gate list, so gate on an active
+        // recorder before computing anything.
+        let depth_curve = qjo_obs::convergence::series_with_stride("transpile", "depth", 1);
+        if depth_curve.is_active() {
+            for (pass, depth) in
+                [circuit.depth(), routed.depth(), decomposed.depth(), optimised.depth()]
+                    .into_iter()
+                    .enumerate()
+            {
+                depth_curve.record(pass as u64, depth as f64);
+            }
+            qjo_obs::convergence::series_with_stride("transpile", "swaps", 1)
+                .record(1, swaps_inserted as f64);
+        }
         TranspileResult { circuit: optimised, initial_layout, final_layout, swaps_inserted }
     }
 
@@ -288,6 +305,31 @@ mod tests {
             (sabre.depth() as f64) < 1.3 * qk as f64,
             "sabre {} vs qiskit-like {qk}",
             sabre.depth()
+        );
+    }
+
+    #[test]
+    fn convergence_recorder_captures_pass_depths() {
+        let c = dense_qaoa_circuit(6);
+        let topo = falcon_27();
+        qjo_obs::convergence::start(4);
+        let r = Transpiler::new(Strategy::QiskitLike, 0).transpile(&c, &topo, NativeGateSet::Ibm);
+        let drained = qjo_obs::convergence::drain_csv();
+        let csv =
+            &drained.iter().find(|(g, _)| g == "transpile").expect("transpile group recorded").1;
+        // Stride 1 keeps every pass even though the default stride is 4.
+        // Concurrent tests may also transpile while the recorder is live,
+        // so assert over all recorded instances rather than instance 0.
+        let steps: std::collections::BTreeSet<u64> = csv
+            .lines()
+            .filter(|l| l.contains(",depth,"))
+            .map(|l| l.split(',').nth(4).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(steps, (0..4).collect(), "stride 1 keeps every pass: {csv}");
+        assert!(
+            csv.lines()
+                .any(|l| l.contains(",swaps,") && l.ends_with(&format!(",1,{}", r.swaps_inserted))),
+            "{csv}"
         );
     }
 
