@@ -13,7 +13,7 @@
 
 use qjo_exec::{par_map_seeded, Parallelism};
 
-use qjo_qubo::{ising, IsingModel, Qubo, SampleSet};
+use qjo_qubo::{ising, IsingModel, Qubo, SampleSet, ShotBuffer};
 use qjo_transpile::Topology;
 
 use crate::chain::{chain_break_fraction, unembed_majority, uniform_torque_compensation};
@@ -178,7 +178,15 @@ impl AnnealerSampler {
                 let read = unembed_majority(&dense_embedding, &dense_spins);
                 (ising::spins_to_bits(&read.spins), read)
             });
-        let (reads, unembedded): (Vec<_>, Vec<_>) = per_read.into_iter().unzip();
+        // Pack the logical reads into one bit matrix during the (ordered)
+        // reduction; duplicate reads then aggregate by hashing packed words
+        // and the QUBO energy is evaluated once per distinct assignment.
+        let mut reads = ShotBuffer::with_capacity(qubo.num_vars(), self.num_reads);
+        let mut unembedded = Vec::with_capacity(self.num_reads);
+        for (bits, read) in per_read {
+            reads.push_bits(&bits);
+            unembedded.push(read);
+        }
 
         // Per-read chain-break fractions, recorded after the deterministic
         // par_map reduction so the series is read-ordered at any thread
@@ -197,7 +205,7 @@ impl AnnealerSampler {
         qjo_obs::gauge!("anneal.chain_break_fraction").set(cbf);
         let physical_qubits = embedding.num_physical_qubits();
         let samples =
-            SampleSet::from_reads(reads, |x| qubo.energy(x).expect("reads have model length"));
+            SampleSet::from_shots(&reads, |x| qubo.energy(x).expect("reads have model length"));
         AnnealOutcome {
             samples,
             embedding,

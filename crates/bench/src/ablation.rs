@@ -123,7 +123,7 @@ pub fn run_noise(factors: &[f64], shots: usize, seed: u64) -> Vec<NoiseRow> {
             ..NoisySimulator::new(model, seed)
         };
         let reads = sim.sample(&circuit, shots);
-        let samples = SampleSet::from_reads(reads, |x| enc.qubo.energy(x).expect("length"));
+        let samples = SampleSet::from_shots(&reads, |x| enc.qubo.energy(x).expect("length"));
         let quality = assess_samples(&samples, &enc.registry, &query, optimal_cost);
         NoiseRow { factor, valid: quality.valid_fraction, optimal: quality.optimal_fraction }
     })

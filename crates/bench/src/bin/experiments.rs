@@ -7,6 +7,7 @@
 //! experiments bench [STAGES]... [--full|--smoke] [--bench-out PATH] ...
 //! experiments manifest-diff BASELINE CURRENT
 //! experiments trace-check TRACE
+//! experiments bench-compare BASELINE CURRENT
 //! ```
 //!
 //! Defaults are scaled to simulator throughput; `--full` raises the knobs
@@ -34,6 +35,10 @@
 //! * `bench` (or `--bench-out PATH`) emits `BENCH.json`: per-stage wall
 //!   time, counter-derived work rates, span percentiles, and trace-buffer
 //!   statistics — the perf-trajectory record CI uploads per PR.
+//!   `bench-compare` diffs the work rates of two snapshots and fails when
+//!   a gated rate (the noisy-sampling `shots/s`) regresses beyond the 2×
+//!   noise allowance — CI's perf gate against the committed smoke
+//!   baseline.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -76,7 +81,8 @@ const USAGE: &str = "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig
      [--full|--smoke] [--csv DIR] [--metrics-out PATH] [--trace-out PATH] [--bench-out PATH] [--convergence]\n       \
      experiments bench [STAGES]... (as above; BENCH.json unless --bench-out)\n       \
      experiments manifest-diff BASELINE CURRENT\n       \
-     experiments trace-check TRACE";
+     experiments trace-check TRACE\n       \
+     experiments bench-compare BASELINE CURRENT";
 
 fn parse_args() -> Options {
     let mut which = Vec::new();
@@ -478,6 +484,76 @@ fn manifest_diff(baseline_path: &str, current_path: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Work rates whose regression fails `bench-compare`. Only the shot hot
+/// path is gated for now: it dominates the smoke profile's quantum stages
+/// and its rate is stable enough that a 2× drop clears run-to-run noise
+/// on the 1-core CI runner. The other `RATE_PAIRS` are reported
+/// informationally.
+const GATED_RATES: &[&str] = &["gatesim.shots_per_sec"];
+
+/// `bench-compare BASELINE CURRENT`: compare the work rates of two
+/// `BENCH.json` snapshots. Exits 1 if a gated rate regressed by more than
+/// the 2× noise allowance, 2 if either file is unreadable, 0 otherwise.
+fn bench_compare(baseline_path: &str, current_path: &str) -> ! {
+    let load = |p: &str| -> Json {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            qjo_obs::error!("cannot read bench snapshot {p}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            qjo_obs::error!("cannot parse bench snapshot {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let rates_of = |doc: &Json, p: &str| -> std::collections::BTreeMap<String, f64> {
+        let Some(obj) = doc.get("rates").and_then(Json::as_obj) else {
+            qjo_obs::error!("bench snapshot {p} has no rates section");
+            std::process::exit(2);
+        };
+        obj.iter().filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f))).collect()
+    };
+    let baseline_doc = load(baseline_path);
+    let current_doc = load(current_path);
+    let baseline = rates_of(&baseline_doc, baseline_path);
+    let current = rates_of(&current_doc, current_path);
+
+    // Timing noise allowance: fail only when a gated rate falls below
+    // half its baseline. Wall-clock rates on a shared 1-core runner jitter
+    // far too much for a tight threshold, and genuine hot-path regressions
+    // land well past 2×.
+    const MAX_REGRESSION: f64 = 2.0;
+    let mut failed = false;
+    for (name, &base) in &baseline {
+        let Some(&cur) = current.get(name) else {
+            qjo_obs::warn!("rate {name}: present in baseline, missing from current");
+            continue;
+        };
+        let ratio = cur / base;
+        let gated = GATED_RATES.contains(&name.as_str());
+        if gated && base > 0.0 && ratio < 1.0 / MAX_REGRESSION {
+            qjo_obs::error!(
+                "rate {name} regressed {:.2}×: {base:.1} -> {cur:.1} (gated, allowance {MAX_REGRESSION}×)",
+                base / cur
+            );
+            failed = true;
+        } else {
+            qjo_obs::info!(
+                "rate {name}: {base:.1} -> {cur:.1} ({ratio:.2}×{})",
+                if gated { ", gated" } else { "" }
+            );
+        }
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        qjo_obs::info!("rate {name}: new in current");
+    }
+    if failed {
+        qjo_obs::error!("bench-compare: gated work rate regressed beyond the noise allowance");
+        std::process::exit(1);
+    }
+    qjo_obs::info!("bench-compare: no gated regression vs {baseline_path}");
+    std::process::exit(0);
+}
+
 /// `trace-check TRACE`: parse a Chrome trace JSON and verify its slices
 /// nest. Exit 0 on a valid trace, 1 on an invalid one, 2 if unreadable.
 fn trace_check(path: &str) -> ! {
@@ -689,6 +765,15 @@ fn main() {
             [_, trace] => trace_check(trace),
             _ => {
                 qjo_obs::error!("trace-check takes exactly one trace path (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if raw.first().map(String::as_str) == Some("bench-compare") {
+        match raw.as_slice() {
+            [_, baseline, current] => bench_compare(baseline, current),
+            _ => {
+                qjo_obs::error!("bench-compare takes exactly two BENCH.json paths (see --help)");
                 std::process::exit(2);
             }
         }

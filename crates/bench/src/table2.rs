@@ -104,7 +104,7 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
                 parallelism: Parallelism::sequential(),
             };
             let reads = noisy.sample(&circuit, config.shots);
-            let samples = SampleSet::from_reads(reads, |x| {
+            let samples = SampleSet::from_shots(&reads, |x| {
                 enc.qubo.energy(x).expect("read length matches model")
             });
             let quality = assess_samples(&samples, &enc.registry, &query, optimal_cost);

@@ -177,7 +177,10 @@ mod tests {
         let invalid = with_tii(&reg, &[(0, 0), (1, 0)]);
         let reads =
             vec![valid_opt.clone(), valid_opt.clone(), valid_subopt, invalid.clone(), invalid];
-        let set = SampleSet::from_reads(reads, |_| 0.0);
+        // Route through the packed representation the samplers now emit, so
+        // decode is exercised on the same path as the experiment pipeline.
+        let shots = qjo_qubo::ShotBuffer::from_bit_vecs(&reads, reg.len());
+        let set = SampleSet::from_shots(&shots, |_| 0.0);
         let quality = assess_samples(&set, &reg, &q, 101_000.0);
         assert!((quality.valid_fraction - 0.6).abs() < 1e-12);
         assert!((quality.optimal_fraction - 0.4).abs() < 1e-12);

@@ -38,6 +38,10 @@ pub mod qasm;
 pub mod statevector;
 pub mod timing;
 
+/// Packed shot buffers (re-export of [`qjo_qubo::shots`]) — the type every
+/// sampler in this crate returns.
+pub use qjo_qubo::shots;
+
 pub use circuit::Circuit;
 pub use complex::C64;
 pub use gate::Gate;
@@ -45,5 +49,6 @@ pub use mitigation::ReadoutMitigator;
 pub use noise::{NoiseModel, NoisySimulator};
 pub use qaoa::{qaoa_circuit, DiagonalHamiltonian, QaoaParams, QaoaSimulator};
 pub use qasm::to_qasm;
-pub use statevector::StateVector;
+pub use shots::ShotBuffer;
+pub use statevector::{BasisSampler, StateVector};
 pub use timing::QpuTimingModel;

@@ -107,7 +107,7 @@ mod tests {
         let noise = NoiseModel { readout_error: 0.15, ..NoiseModel::noiseless() };
         let sim = NoisySimulator { trajectories: 1, ..NoisySimulator::new(noise, 3) };
         let reads = sim.sample(&c, 6000);
-        let samples = SampleSet::from_reads(reads, |_| 0.0);
+        let samples = SampleSet::from_shots(&reads, |_| 0.0);
 
         let raw = samples.mean_bit(0);
         assert!((raw - 0.85).abs() < 0.03, "raw mean {raw}");
@@ -126,7 +126,7 @@ mod tests {
         let noise = NoiseModel { readout_error: 0.1, ..NoiseModel::noiseless() };
         let sim = NoisySimulator { trajectories: 1, ..NoisySimulator::new(noise, 5) };
         let reads = sim.sample(&c, 8000);
-        let samples = SampleSet::from_reads(reads, |_| 0.0);
+        let samples = SampleSet::from_shots(&reads, |_| 0.0);
 
         // True Bell correlation is +1; raw is ~(1−2p)² = 0.64.
         let raw = samples.spin_correlation(0, 1);

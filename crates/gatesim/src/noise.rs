@@ -20,6 +20,7 @@ use rand::RngExt;
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
+use crate::shots::ShotBuffer;
 use crate::statevector::StateVector;
 
 /// Calibration data of a (real or hypothetical) gate-based QPU.
@@ -85,28 +86,84 @@ impl NoiseModel {
         }
     }
 
+    /// Checks the calibration for physical consistency.
+    ///
+    /// Decoherence obeys `T2 ≤ 2·T1` (transverse decay is bounded by twice
+    /// the longitudinal rate). A calibration violating it makes
+    /// [`Self::pauli_rates`] clamp the dephasing channel to zero — the model
+    /// then *silently* simulates less Z noise than the nominal `1/T2` decay,
+    /// which is exactly the kind of miscalibration a co-design sweep should
+    /// reject rather than average over. Infinite times are fine: `T2 = ∞`
+    /// only passes together with `T1 = ∞` (the noiseless device).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t2 > 2.0 * self.t1 {
+            return Err(format!(
+                "physically inconsistent calibration: T2 = {:.3e} s exceeds 2·T1 = {:.3e} s",
+                self.t2,
+                2.0 * self.t1
+            ));
+        }
+        Ok(())
+    }
+
+    /// The paper's calibration-average gate time.
+    ///
+    /// Transpiled QAOA circuits are dominated by two-qubit gates (every
+    /// cost term is an RZZ plus routing SWAPs), so the device-level average
+    /// the paper quotes — e.g. 472.51 ns for Auckland — is the two-qubit
+    /// time, not the unweighted mean of the 1q/2q durations.
+    pub fn avg_gate_time(&self) -> f64 {
+        if self.time_2q > 0.0 {
+            self.time_2q
+        } else {
+            self.time_1q
+        }
+    }
+
     /// Maximum circuit depth before the cumulative gate time exceeds the
     /// coherence window — the paper's `d = ⌊min(T1, T2) / g_avg⌋` with
-    /// `g_avg` the average gate time.
+    /// `g_avg` the calibration-average gate time ([`Self::avg_gate_time`]).
     pub fn max_coherent_depth(&self) -> usize {
-        let g_avg = (self.time_1q + self.time_2q) / 2.0;
-        if g_avg == 0.0 {
+        self.coherent_depth_for_gate_time(self.avg_gate_time())
+    }
+
+    /// Coherence-limited depth for a circuit's actual gate mix: the average
+    /// layer time is the gate-count-weighted mean of the 1q/2q durations.
+    pub fn max_coherent_depth_for(&self, gates_1q: usize, gates_2q: usize) -> usize {
+        let total = gates_1q + gates_2q;
+        if total == 0 {
             return usize::MAX;
         }
-        (self.t1.min(self.t2) / g_avg) as usize
+        let g = (gates_1q as f64 * self.time_1q + gates_2q as f64 * self.time_2q) / total as f64;
+        self.coherent_depth_for_gate_time(g)
+    }
+
+    fn coherent_depth_for_gate_time(&self, g: f64) -> usize {
+        // min(T1, T2) picks the finite window when only one time is
+        // infinite; with both infinite (or zero-duration gates) there is no
+        // coherence limit at all.
+        let window = self.t1.min(self.t2);
+        if !window.is_finite() || g <= 0.0 {
+            return usize::MAX;
+        }
+        (window / g) as usize
     }
 
     /// Pauli-twirl error probabilities `(p_x, p_y, p_z)` accumulated over a
     /// duration `t`: amplitude damping at rate `1/T1` contributes X and Y
     /// errors, pure dephasing the remainder of the `1/T2` decay as Z errors.
+    ///
+    /// Each channel is evaluated independently, so a hypothetical
+    /// pure-dephasing device (`t1 = ∞`, finite `t2`) still produces Z
+    /// errors, and a pure-relaxation device (`t2 = 2·t1`) still produces
+    /// X/Y errors. An infinite time simply switches its channel off.
     pub fn pauli_rates(&self, t: f64) -> (f64, f64, f64) {
-        if !(self.t1.is_finite() && self.t2.is_finite()) {
-            return (0.0, 0.0, 0.0);
-        }
-        let p_relax = 1.0 - (-t / self.t1).exp();
-        let p_deph = 1.0 - (-t / self.t2).exp();
+        let p_relax = if self.t1.is_finite() { 1.0 - (-t / self.t1).exp() } else { 0.0 };
+        let p_deph = if self.t2.is_finite() { 1.0 - (-t / self.t2).exp() } else { 0.0 };
         let px = p_relax / 4.0;
         let py = p_relax / 4.0;
+        // The clamp only fires for T2 > 2·T1 calibrations, which
+        // `Self::validate` rejects as physically inconsistent.
         let pz = (p_deph / 2.0 - p_relax / 4.0).max(0.0);
         (px, py, pz)
     }
@@ -128,60 +185,103 @@ pub struct NoisySimulator {
     pub parallelism: Parallelism,
 }
 
+/// Per-gate-class error probabilities, folded once per `sample` call so the
+/// hot trajectory loop never re-evaluates the `exp`s in
+/// [`NoiseModel::pauli_rates`]. The cumulative thresholds are exactly the
+/// `px`, `px + py`, `px + py + pz` sums the per-gate path used, so the
+/// uniform-draw comparisons are bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct GateNoise {
+    p_depol: f64,
+    thresh_x: f64,
+    thresh_xy: f64,
+    thresh_xyz: f64,
+}
+
 impl NoisySimulator {
     /// Creates an executor with a default of 16 trajectories.
+    ///
+    /// Debug builds assert [`NoiseModel::validate`]; call it yourself when
+    /// sweeping hypothetical calibrations.
     pub fn new(model: NoiseModel, seed: u64) -> Self {
+        debug_assert!(model.validate().is_ok(), "{}", model.validate().unwrap_err());
         NoisySimulator { model, trajectories: 16, seed, parallelism: Parallelism::auto() }
     }
 
-    /// Runs `shots` measurements of `circuit` under the noise model.
+    /// Runs `shots` measurements of `circuit` under the noise model,
+    /// returned as a packed [`ShotBuffer`] in trajectory order.
     ///
     /// Trajectory `i` derives its own RNG stream from `(self.seed, i)`,
     /// so the result does not depend on [`Self::parallelism`].
-    pub fn sample(&self, circuit: &Circuit, shots: usize) -> Vec<Vec<bool>> {
+    pub fn sample(&self, circuit: &Circuit, shots: usize) -> ShotBuffer {
         assert!(self.trajectories >= 1, "need at least one trajectory");
+        debug_assert!(self.model.validate().is_ok(), "{}", self.model.validate().unwrap_err());
         let _span = qjo_obs::span!("gatesim.noisy.sample");
         qjo_obs::counter!("gatesim.trajectories").add(self.trajectories as u64);
         qjo_obs::counter!("gatesim.shots").add(shots as u64);
         let n = circuit.num_qubits();
         let base = shots / self.trajectories;
         let extra = shots % self.trajectories;
+        let noise_1q = self.gate_noise(false);
+        let noise_2q = self.gate_noise(true);
 
         let trajectories: Vec<usize> = (0..self.trajectories).collect();
         let per_trajectory = par_map_seeded(trajectories, self.seed, self.parallelism, |t, rng| {
             let this_shots = base + usize::from(t < extra);
             if this_shots == 0 {
-                return Vec::new();
+                return ShotBuffer::new(n);
             }
             let mut state = StateVector::zero(n);
             for g in circuit.gates() {
                 state.apply(*g);
-                self.insert_errors(&mut state, g, rng);
+                let noise = if g.is_two_qubit() { &noise_2q } else { &noise_1q };
+                Self::insert_errors(&mut state, g, noise, rng);
             }
-            let mut out = Vec::with_capacity(this_shots);
-            for mut bits in state.sample(rng, this_shots) {
-                for b in bits.iter_mut() {
-                    if self.model.readout_error > 0.0 && rng.random_bool(self.model.readout_error) {
-                        *b = !*b;
+            // Draw order matches the unpacked representation exactly: all
+            // shot uniforms first, then readout flips shot-major/bit-minor —
+            // but the flips of one shot now land as a single word XOR.
+            let mut out = state.sampler().sample(rng, this_shots);
+            if self.model.readout_error > 0.0 {
+                for s in 0..this_shots {
+                    let mut flips = 0u64;
+                    for q in 0..n {
+                        if rng.random_bool(self.model.readout_error) {
+                            flips |= 1u64 << q;
+                        }
                     }
+                    out.xor_word(s, 0, flips);
                 }
-                out.push(bits);
             }
             out
         });
-        per_trajectory.into_iter().flatten().collect()
+        let mut all = ShotBuffer::with_capacity(n, shots);
+        for buf in &per_trajectory {
+            all.append(buf);
+        }
+        all
     }
 
-    fn insert_errors<R: RngExt + ?Sized>(&self, state: &mut StateVector, gate: &Gate, rng: &mut R) {
-        let (p_depol, t_gate) = if gate.is_two_qubit() {
+    /// Folds the depolarising probability and cumulative Pauli-twirl
+    /// thresholds for one gate class (1q or 2q).
+    fn gate_noise(&self, two_qubit: bool) -> GateNoise {
+        let (p_depol, t_gate) = if two_qubit {
             (self.model.p_depol_2q, self.model.time_2q)
         } else {
             (self.model.p_depol_1q, self.model.time_1q)
         };
         let (px, py, pz) = self.model.pauli_rates(t_gate);
+        GateNoise { p_depol, thresh_x: px, thresh_xy: px + py, thresh_xyz: px + py + pz }
+    }
+
+    fn insert_errors<R: RngExt + ?Sized>(
+        state: &mut StateVector,
+        gate: &Gate,
+        noise: &GateNoise,
+        rng: &mut R,
+    ) {
         for q in gate.qubits().iter() {
             // Depolarising gate error: uniform Pauli with probability p.
-            if p_depol > 0.0 && rng.random_bool(p_depol) {
+            if noise.p_depol > 0.0 && rng.random_bool(noise.p_depol) {
                 match rng.random_range(0..3) {
                     0 => state.apply(Gate::X(q)),
                     1 => state.apply(Gate::Y(q)),
@@ -190,11 +290,11 @@ impl NoisySimulator {
             }
             // Decoherence over the gate duration (Pauli-twirled T1/T2).
             let u: f64 = rng.random();
-            if u < px {
+            if u < noise.thresh_x {
                 state.apply(Gate::X(q));
-            } else if u < px + py {
+            } else if u < noise.thresh_xy {
                 state.apply(Gate::Y(q));
-            } else if u < px + py + pz {
+            } else if u < noise.thresh_xyz {
                 state.apply(Gate::Z(q));
             }
         }
@@ -215,8 +315,8 @@ mod tests {
         let shots = sim.sample(&c, 2000);
         assert_eq!(shots.len(), 2000);
         // Bell state: both bits always agree.
-        assert!(shots.iter().all(|b| b[0] == b[1]));
-        let ones = shots.iter().filter(|b| b[0]).count() as f64 / 2000.0;
+        assert!(shots.iter_bits().all(|b| b[0] == b[1]));
+        let ones = shots.count_ones(0) as f64 / 2000.0;
         assert!((ones - 0.5).abs() < 0.05);
     }
 
@@ -226,7 +326,7 @@ mod tests {
         let model = NoiseModel { readout_error: 0.25, ..NoiseModel::noiseless() };
         let sim = NoisySimulator::new(model, 7);
         let shots = sim.sample(&c, 4000);
-        let flipped = shots.iter().filter(|b| b[0]).count() as f64 / 4000.0;
+        let flipped = shots.count_ones(0) as f64 / 4000.0;
         assert!((flipped - 0.25).abs() < 0.05, "flip rate {flipped}");
     }
 
@@ -243,7 +343,7 @@ mod tests {
         let model = NoiseModel { p_depol_1q: 0.02, p_depol_2q: 0.05, ..NoiseModel::noiseless() };
         let sim = NoisySimulator { trajectories: 64, ..NoisySimulator::new(model, 1) };
         let shots = sim.sample(&c, 2048);
-        let agree = shots.iter().filter(|b| b[0] == b[1]).count() as f64 / 2048.0;
+        let agree = shots.iter_bits().filter(|b| b[0] == b[1]).count() as f64 / 2048.0;
         assert!(agree < 0.95, "correlations survived unrealistically: {agree}");
         assert!(agree > 0.5, "noise should not fully scramble: {agree}");
     }
@@ -261,7 +361,7 @@ mod tests {
             }
             let sim = NoisySimulator { trajectories: 256, ..NoisySimulator::new(model, 5) };
             let shots = sim.sample(&c, 4096);
-            shots.iter().filter(|b| b[0]).count() as f64 / 4096.0
+            shots.count_ones(0) as f64 / 4096.0
         };
         let shallow = error_rate(5);
         let deep = error_rate(80);
@@ -282,13 +382,72 @@ mod tests {
     }
 
     #[test]
+    fn pure_dephasing_device_still_dephases() {
+        // Regression: a hypothetical pure-dephasing calibration (finite T2,
+        // infinite T1) used to short-circuit to zero noise because the old
+        // `pauli_rates` required *both* times to be finite.
+        let m = NoiseModel { t1: f64::INFINITY, t2: 100e-6, ..NoiseModel::noiseless() };
+        let (px, py, pz) = m.pauli_rates(1e-6);
+        assert_eq!(px, 0.0, "no amplitude damping without a T1 channel");
+        assert_eq!(py, 0.0);
+        assert!(pz > 0.0, "finite T2 must produce Z errors, got pz = {pz}");
+        // And the Z rate matches the explicit p_deph/2 formula.
+        let expected = (1.0 - (-1e-6f64 / 100e-6).exp()) / 2.0;
+        assert!((pz - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validate_accepts_physical_and_rejects_unphysical_calibrations() {
+        assert!(NoiseModel::ibm_auckland().validate().is_ok());
+        assert!(NoiseModel::ibm_washington().validate().is_ok());
+        assert!(NoiseModel::noiseless().validate().is_ok());
+        // Pure dephasing (T1 = ∞) satisfies T2 ≤ 2·T1.
+        let deph = NoiseModel { t1: f64::INFINITY, t2: 100e-6, ..NoiseModel::noiseless() };
+        assert!(deph.validate().is_ok());
+        // T2 > 2·T1 is unphysical — this is exactly the regime where the
+        // pz clamp in `pauli_rates` silently under-reports dephasing.
+        let bad = NoiseModel { t1: 10e-6, t2: 50e-6, ..NoiseModel::noiseless() };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("2·T1"), "unexpected message: {err}");
+        // Boundary: pure amplitude damping has exactly T2 = 2·T1.
+        let boundary = NoiseModel { t1: 10e-6, t2: 20e-6, ..NoiseModel::noiseless() };
+        assert!(boundary.validate().is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inconsistent calibration")]
+    fn debug_builds_reject_unphysical_models_at_construction() {
+        let bad = NoiseModel { t1: 10e-6, t2: 50e-6, ..NoiseModel::noiseless() };
+        let _ = NoisySimulator::new(bad, 0);
+    }
+
+    #[test]
     fn coherent_depth_matches_paper_formula() {
+        // The paper's g_avg for QAOA workloads is the two-qubit gate time
+        // (472.51 ns on Auckland), not the unweighted 1q/2q mean.
         let m = NoiseModel::ibm_auckland();
-        let g_avg = (m.time_1q + m.time_2q) / 2.0;
-        let expected = (m.t1.min(m.t2) / g_avg) as usize;
+        assert_eq!(m.avg_gate_time(), m.time_2q);
+        let expected = (m.t1.min(m.t2) / m.time_2q) as usize;
         assert_eq!(m.max_coherent_depth(), expected);
         assert!(expected > 100, "Auckland supports a few hundred layers");
         assert_eq!(NoiseModel::noiseless().max_coherent_depth(), usize::MAX);
+    }
+
+    #[test]
+    fn coherent_depth_handles_gate_mix_and_infinite_times() {
+        let m = NoiseModel::ibm_auckland();
+        // All-2q mix reproduces the calibration-average depth; mixing in 1q
+        // gates shortens the average layer and deepens the window.
+        assert_eq!(m.max_coherent_depth_for(0, 1), m.max_coherent_depth());
+        let mixed = m.max_coherent_depth_for(3, 1);
+        let g = (3.0 * m.time_1q + m.time_2q) / 4.0;
+        assert_eq!(mixed, (m.t2 / g) as usize);
+        assert!(mixed > m.max_coherent_depth());
+        assert_eq!(m.max_coherent_depth_for(0, 0), usize::MAX);
+        // One infinite coherence time: the finite one bounds the window.
+        let deph = NoiseModel { t1: f64::INFINITY, t2: 100e-6, ..NoiseModel::ibm_auckland() };
+        assert_eq!(deph.max_coherent_depth(), (100e-6 / deph.time_2q) as usize);
     }
 
     #[test]
@@ -333,10 +492,37 @@ mod tests {
 
     #[test]
     fn shots_split_across_trajectories_exactly() {
-        let c = Circuit::new(1);
-        let sim =
-            NoisySimulator { trajectories: 7, ..NoisySimulator::new(NoiseModel::noiseless(), 0) };
-        assert_eq!(sim.sample(&c, 100).len(), 100);
-        assert_eq!(sim.sample(&c, 3).len(), 3);
+        // Property: for any (trajectories, shots) — shots below, equal to,
+        // above, and non-divisible by the trajectory count, plus zero —
+        // the returned buffer holds exactly the requested shots.
+        let mut c = Circuit::new(2);
+        c.push(H(0));
+        let model = NoiseModel::ibm_auckland();
+        for trajectories in [1usize, 2, 7, 16, 33] {
+            for shots in [0usize, 1, 3, 7, 16, 23, 100] {
+                let sim = NoisySimulator { trajectories, ..NoisySimulator::new(model, 0) };
+                let out = sim.sample(&c, shots);
+                assert_eq!(out.len(), shots, "trajectories={trajectories} shots={shots}");
+                assert_eq!(out.num_bits(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trajectories_short_circuit_without_touching_their_streams() {
+        // With shots < trajectories only the first `shots` trajectories do
+        // work; the trailing ones take the `this_shots == 0` early return.
+        // Their RNG streams are keyed by (seed, index), so the populated
+        // prefix must be identical to a run with exactly `shots`
+        // trajectories — proving the empty units contribute nothing.
+        let mut c = Circuit::new(2);
+        c.push(H(0));
+        c.push(Cx(0, 1));
+        let model = NoiseModel::ibm_auckland();
+        let sample_with = |trajectories| {
+            let sim = NoisySimulator { trajectories, ..NoisySimulator::new(model, 13) };
+            sim.sample(&c, 3)
+        };
+        assert_eq!(sample_with(9), sample_with(3));
     }
 }

@@ -222,13 +222,15 @@ impl QaoaSimulator {
         self.state(params).expectation_diagonal(self.hamiltonian.energies())
     }
 
-    /// Samples measurement shots from the QAOA state.
+    /// Samples measurement shots from the QAOA state, packed one row per
+    /// shot. The state is evolved and its sampling CDF built once for the
+    /// whole batch.
     pub fn sample<R: RngExt + ?Sized>(
         &self,
         params: &QaoaParams,
         shots: usize,
         rng: &mut R,
-    ) -> Vec<Vec<bool>> {
+    ) -> crate::shots::ShotBuffer {
         self.state(params).sample(rng, shots)
     }
 }
@@ -355,7 +357,7 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(11);
         let shots = sim.sample(&best.1, 2000, &mut rng);
-        let good = shots.iter().filter(|x| x[0] != x[1]).count() as f64 / 2000.0;
+        let good = shots.iter_bits().filter(|x| x[0] != x[1]).count() as f64 / 2000.0;
         assert!(good > 0.5, "ground-state shot fraction {good}");
     }
 

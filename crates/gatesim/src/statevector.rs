@@ -9,6 +9,7 @@ use rand::RngExt;
 
 use crate::complex::{C64, ZERO};
 use crate::gate::{Gate, GateQubits};
+use crate::shots::ShotBuffer;
 
 /// A normalised pure state over `num_qubits` qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,9 +92,8 @@ impl StateVector {
         let dim = self.amps.len();
         let mut base = 0usize;
         while base < dim {
-            for offset in base..base + stride {
-                self.amps.swap(offset, offset + stride);
-            }
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            lo.swap_with_slice(hi);
             base += stride << 1;
         }
     }
@@ -132,39 +132,149 @@ impl StateVector {
         }
     }
 
-    fn apply_diag_1q(&mut self, q: usize, d0: C64, d1: C64) {
-        let mask = 1usize << q;
-        for (z, amp) in self.amps.iter_mut().enumerate() {
-            *amp *= if z & mask == 0 { d0 } else { d1 };
-        }
-    }
-
-    fn apply_diag_2q(&mut self, a: usize, b: usize, d00: C64, d01: C64, d10: C64, d11: C64) {
-        let ma = 1usize << a;
-        let mb = 1usize << b;
-        for (z, amp) in self.amps.iter_mut().enumerate() {
-            let d = match (z & ma != 0, z & mb != 0) {
-                (false, false) => d00,
-                (true, false) => d01,
-                (false, true) => d10,
-                (true, true) => d11,
-            };
+    /// Multiplies every amplitude in `amps[start..start+len]` by `d` — the
+    /// branch-free inner kernel of the diagonal fast paths. Each amplitude
+    /// receives exactly one multiplication, so any block decomposition of
+    /// the index space produces bit-identical state.
+    #[inline]
+    fn scale_block(&mut self, start: usize, len: usize, d: C64) {
+        for amp in &mut self.amps[start..start + len] {
             *amp *= d;
         }
     }
 
+    /// Multiplies even-indexed amplitudes of `amps[start..start+len]` by
+    /// `d0` and odd-indexed ones by `d1` — the stride-1 diagonal kernel,
+    /// where per-block dispatch would cost more than the multiply itself.
+    #[inline]
+    fn scale_interleaved(&mut self, start: usize, len: usize, d0: C64, d1: C64) {
+        for pair in self.amps[start..start + len].chunks_exact_mut(2) {
+            pair[0] *= d0;
+            pair[1] *= d1;
+        }
+    }
+
+    fn apply_diag_1q(&mut self, q: usize, d0: C64, d1: C64) {
+        // Bit q partitions the index space into alternating contiguous
+        // blocks of length 2^q: scan them pairwise instead of testing the
+        // bit on every index.
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        if stride == 1 {
+            self.scale_interleaved(0, dim, d0, d1);
+            return;
+        }
+        let mut base = 0usize;
+        while base < dim {
+            self.scale_block(base, stride, d0);
+            self.scale_block(base + stride, stride, d1);
+            base += stride << 1;
+        }
+    }
+
+    fn apply_diag_2q(&mut self, a: usize, b: usize, d00: C64, d01: C64, d10: C64, d11: C64) {
+        // Two-level block scan: the outer loop walks blocks of the higher
+        // qubit, the inner loop walks blocks of the lower one, so each
+        // `scale_block` run is contiguous with a constant diagonal factor.
+        let sa = 1usize << a;
+        let sb = 1usize << b;
+        let (s_lo, s_hi) = (sa.min(sb), sa.max(sb));
+        // Factor for (bit of hi qubit, bit of lo qubit).
+        let d_of = |hi_set: bool, lo_set: bool| {
+            let (a_set, b_set) = if sa < sb { (lo_set, hi_set) } else { (hi_set, lo_set) };
+            match (a_set, b_set) {
+                (false, false) => d00,
+                (true, false) => d01,
+                (false, true) => d10,
+                (true, true) => d11,
+            }
+        };
+        let dim = self.amps.len();
+        let mut base_hi = 0usize;
+        while base_hi < dim {
+            for hi_set in [false, true] {
+                let h = base_hi + if hi_set { s_hi } else { 0 };
+                let (d0, d1) = (d_of(hi_set, false), d_of(hi_set, true));
+                if s_lo == 1 {
+                    self.scale_interleaved(h, s_hi, d0, d1);
+                    continue;
+                }
+                let mut base_lo = h;
+                while base_lo < h + s_hi {
+                    self.scale_block(base_lo, s_lo, d0);
+                    self.scale_block(base_lo + s_lo, s_lo, d1);
+                    base_lo += s_lo << 1;
+                }
+            }
+            base_hi += s_hi << 1;
+        }
+    }
+
     fn apply_1q(&mut self, q: usize, u: &[C64; 4]) {
+        // Structure-specialised variants cover the frequent gates: H (all
+        // components real) and Rx/Y (real diagonal, imaginary
+        // off-diagonal) skip half of the generic complex arithmetic. The
+        // specialisations drop only multiplications by an exact zero
+        // component — that can flip the sign of a zero amplitude but
+        // never changes a magnitude, so measurement statistics are
+        // untouched.
+        if u.iter().all(|c| c.im == 0.0) {
+            return self.apply_1q_real(q, &[u[0].re, u[1].re, u[2].re, u[3].re]);
+        }
+        if u[0].im == 0.0 && u[3].im == 0.0 && u[1].re == 0.0 && u[2].re == 0.0 {
+            return self.apply_1q_cross(q, &[u[0].re, u[1].im, u[2].im, u[3].re]);
+        }
+        // Split each pair-block in two and walk the halves in lockstep:
+        // no bounds checks in the inner loop, and the |0⟩/|1⟩ partners are
+        // contiguous streams the compiler can vectorise.
         let stride = 1usize << q;
         let dim = self.amps.len();
         let mut base = 0usize;
         while base < dim {
-            for offset in base..base + stride {
-                let i0 = offset;
-                let i1 = offset + stride;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = u[0] * a0 + u[1] * a1;
-                self.amps[i1] = u[2] * a0 + u[3] * a1;
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = u[0] * x0 + u[1] * x1;
+                *a1 = u[2] * x0 + u[3] * x1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// One-qubit gate with a real unitary `r` (H, Ry, …): the real and
+    /// imaginary planes transform independently.
+    fn apply_1q_real(&mut self, q: usize, r: &[f64; 4]) {
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = C64::new(r[0] * x0.re + r[1] * x1.re, r[0] * x0.im + r[1] * x1.im);
+                *a1 = C64::new(r[2] * x0.re + r[3] * x1.re, r[2] * x0.im + r[3] * x1.im);
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// One-qubit gate with a real diagonal and purely imaginary
+    /// off-diagonal (Rx, Y): `m = [d0, i·c0; i·c1, d1]` with all four
+    /// coefficients real.
+    fn apply_1q_cross(&mut self, q: usize, m: &[f64; 4]) {
+        let [d0, c0, c1, d1] = *m;
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            let (lo, hi) = self.amps[base..base + (stride << 1)].split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = C64::new(d0 * x0.re - c0 * x1.im, d0 * x0.im + c0 * x1.re);
+                *a1 = C64::new(d1 * x1.re - c1 * x0.im, d1 * x1.im + c1 * x0.re);
             }
             base += stride << 1;
         }
@@ -238,31 +348,68 @@ impl StateVector {
         acc.norm_sqr()
     }
 
-    /// Samples `shots` measurement outcomes in the computational basis.
+    /// Builds a reusable computational-basis sampler for this state.
     ///
-    /// Each outcome is a bit vector indexed by qubit. Uses an O(2^n)
-    /// cumulative table and O(log 2^n) binary search per shot.
-    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<Vec<bool>> {
+    /// Constructing the sampler pays the O(2^n) cumulative-table scan
+    /// once; each subsequent batch of shots only costs O(log 2^n) binary
+    /// searches. Use this when the same evolved state is sampled more
+    /// than once (noisy trajectories, shot batching).
+    pub fn sampler(&self) -> BasisSampler {
         let mut cdf = Vec::with_capacity(self.amps.len());
         let mut acc = 0.0f64;
         for a in &self.amps {
             acc += a.norm_sqr();
             cdf.push(acc);
         }
-        let total = acc;
-        (0..shots)
-            .map(|_| {
-                let u = rng.random::<f64>() * total;
-                let z = cdf.partition_point(|&c| c <= u).min(self.amps.len() - 1);
-                (0..self.num_qubits).map(|q| z >> q & 1 == 1).collect()
-            })
-            .collect()
+        BasisSampler { num_qubits: self.num_qubits, total: acc, cdf }
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    ///
+    /// Outcomes are returned packed, one row per shot with qubit `q` at
+    /// bit `q`. Uses an O(2^n) cumulative table and O(log 2^n) binary
+    /// search per shot; to amortise the table across several calls on the
+    /// same state, use [`Self::sampler`] directly.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R, shots: usize) -> ShotBuffer {
+        self.sampler().sample(rng, shots)
     }
 
     /// Probability of measuring qubit `q` as 1.
     pub fn prob_one(&self, q: usize) -> f64 {
         let mask = 1usize << q;
         self.amps.iter().enumerate().filter(|(z, _)| z & mask != 0).map(|(_, a)| a.norm_sqr()).sum()
+    }
+}
+
+/// A frozen cumulative distribution over the computational basis of one
+/// state, built once by [`StateVector::sampler`] and reusable across any
+/// number of shot batches.
+#[derive(Debug, Clone)]
+pub struct BasisSampler {
+    num_qubits: usize,
+    total: f64,
+    cdf: Vec<f64>,
+}
+
+impl BasisSampler {
+    /// Number of qubits of the sampled state.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Draws one basis-state index, consuming exactly one uniform.
+    pub fn sample_index<R: RngExt + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = rng.random::<f64>() * self.total;
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1) as u64
+    }
+
+    /// Draws `shots` outcomes into a packed buffer, one uniform per shot.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R, shots: usize) -> ShotBuffer {
+        let mut out = ShotBuffer::with_capacity(self.num_qubits, shots);
+        for _ in 0..shots {
+            out.push_index(self.sample_index(rng));
+        }
+        out
     }
 }
 
@@ -468,9 +615,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let shots = s.sample(&mut rng, 4000);
         assert_eq!(shots.len(), 4000);
-        let ones = shots.iter().filter(|b| b[0]).count() as f64 / 4000.0;
+        let ones = shots.count_ones(0) as f64 / 4000.0;
         assert!((ones - 0.5).abs() < 0.05, "qubit-0 frequency {ones}");
-        assert!(shots.iter().all(|b| !b[1]));
+        assert_eq!(shots.count_ones(1), 0);
+    }
+
+    #[test]
+    fn reused_sampler_matches_per_call_sampling() {
+        let mut s = StateVector::zero(3);
+        s.apply(H(0));
+        s.apply(Cx(0, 1));
+        s.apply(Ry(2, 0.4));
+        // Two batches from one sampler must equal two `sample` calls on the
+        // same RNG stream: the CDF hoist may not change any draw.
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let sampler = s.sampler();
+        let mut batched = sampler.sample(&mut rng_a, 100);
+        batched.append(&sampler.sample(&mut rng_a, 57));
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut per_call = s.sample(&mut rng_b, 100);
+        per_call.append(&s.sample(&mut rng_b, 57));
+        assert_eq!(batched, per_call);
+        assert_eq!(batched.len(), 157);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod ising;
 pub mod model;
 pub mod preprocess;
 pub mod sample;
+pub mod shots;
 pub mod solve;
 
 pub use error::QuboError;
@@ -52,3 +53,4 @@ pub use ising::IsingModel;
 pub use model::{CompiledQubo, Qubo};
 pub use preprocess::{fix_variables, Preprocessed};
 pub use sample::{Sample, SampleSet};
+pub use shots::ShotBuffer;

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::shots::{unpack_row, ShotBuffer};
+
 /// One distinct assignment observed while sampling, with its multiplicity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -43,13 +45,45 @@ impl SampleSet {
         for read in reads {
             *counts.entry(read).or_insert(0) += 1;
         }
-        let mut samples: Vec<Sample> = counts
+        let samples = counts
             .into_iter()
             .map(|(assignment, occurrences)| {
                 let energy = energy_of(&assignment);
                 Sample { assignment, energy, occurrences }
             })
             .collect();
+        Self::from_samples(samples)
+    }
+
+    /// Builds a sample set from a packed [`ShotBuffer`], aggregating
+    /// identical shots and sorting ascending by energy.
+    ///
+    /// Duplicate detection happens on the packed word rows (hashing
+    /// `⌈n/64⌉` `u64`s per shot rather than `n` bytes); only the distinct
+    /// rows are unpacked, and `energy_of` is called once per distinct
+    /// assignment. Produces exactly the same set as
+    /// [`Self::from_reads`] on the unpacked shots.
+    pub fn from_shots<F>(shots: &ShotBuffer, mut energy_of: F) -> Self
+    where
+        F: FnMut(&[bool]) -> f64,
+    {
+        let mut counts: HashMap<&[u64], u32> = HashMap::new();
+        for row in shots.rows() {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+        let samples = counts
+            .into_iter()
+            .map(|(row, occurrences)| {
+                let assignment = unpack_row(row, shots.num_bits());
+                let energy = energy_of(&assignment);
+                Sample { assignment, energy, occurrences }
+            })
+            .collect();
+        Self::from_samples(samples)
+    }
+
+    /// Sorts aggregated samples into canonical order and totals the reads.
+    fn from_samples(mut samples: Vec<Sample>) -> Self {
         samples.sort_by(|a, b| {
             a.energy
                 .partial_cmp(&b.energy)
@@ -201,6 +235,25 @@ mod tests {
         assert_eq!(set.best().unwrap().assignment, vec![false, false]);
         assert_eq!(set.samples()[2].occurrences, 2);
         assert_eq!(set.samples()[2].energy, 2.0);
+    }
+
+    #[test]
+    fn from_shots_matches_from_reads_exactly() {
+        let reads = vec![
+            vec![true, true, false],
+            vec![false, false, true],
+            vec![true, true, false],
+            vec![true, false, true],
+        ];
+        let packed = ShotBuffer::from_bit_vecs(&reads, 3);
+        assert_eq!(SampleSet::from_shots(&packed, weight), SampleSet::from_reads(reads, weight));
+    }
+
+    #[test]
+    fn from_shots_on_empty_buffer_is_empty() {
+        let set = SampleSet::from_shots(&ShotBuffer::new(4), weight);
+        assert_eq!(set.total_reads(), 0);
+        assert!(set.best().is_none());
     }
 
     #[test]

@@ -52,7 +52,11 @@ fn main() {
         compiled.swaps_inserted,
         compiled.circuit.len(),
     );
-    let max_depth = device.noise.max_coherent_depth();
+    // Budget the coherence window against this circuit's actual gate mix
+    // rather than the calibration-average (2q-dominated) gate time.
+    let gates_2q = compiled.circuit.gates().iter().filter(|g| g.is_two_qubit()).count();
+    let max_depth =
+        device.noise.max_coherent_depth_for(compiled.circuit.len() - gates_2q, gates_2q);
     println!(
         "coherence budget: ≤ {max_depth} layers — circuit {}",
         if compiled.depth() <= max_depth { "fits ✓" } else { "EXCEEDS the window ✗" }
@@ -63,7 +67,7 @@ fn main() {
     // equivalent but permuted by the final layout.)
     let noisy = NoisySimulator { trajectories: 8, ..NoisySimulator::new(device.noise, 5) };
     let reads = noisy.sample(&logical, 1024);
-    let samples = SampleSet::from_reads(reads, |x| encoded.qubo.energy(x).expect("length"));
+    let samples = SampleSet::from_shots(&reads, |x| encoded.qubo.energy(x).expect("length"));
     let quality = assess_samples(&samples, &encoded.registry, &query, optimal_cost);
     println!(
         "1024 noisy shots: valid {:.1}%, optimal {:.1}%",

@@ -83,7 +83,7 @@ fn qaoa_pipeline_finds_optimal_join_orders_noiselessly() {
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
     let reads = sim.sample(&params, 2048, &mut rng);
-    let samples = SampleSet::from_reads(reads, |x| encoded.qubo.energy(x).unwrap());
+    let samples = SampleSet::from_shots(&reads, |x| encoded.qubo.energy(x).unwrap());
     let (_, optimal) = dp_optimal(&query);
     let quality = assess_samples(&samples, &encoded.registry, &query, optimal);
     assert!(quality.valid_fraction > 0.0);
@@ -115,7 +115,7 @@ fn transpiled_qaoa_respects_hardware_and_survives_noise() {
     let noisy =
         NoisySimulator { trajectories: 4, ..NoisySimulator::new(NoiseModel::ibm_auckland(), 9) };
     let reads = noisy.sample(&circuit, 512);
-    let samples = SampleSet::from_reads(reads, |x| encoded.qubo.energy(x).unwrap());
+    let samples = SampleSet::from_shots(&reads, |x| encoded.qubo.energy(x).unwrap());
     let (_, optimal) = dp_optimal(&query);
     let quality = assess_samples(&samples, &encoded.registry, &query, optimal);
     assert!(quality.valid_fraction > 0.0, "noise should not erase all valid shots");
@@ -153,16 +153,18 @@ fn sampling_the_transpiled_circuit_agrees_after_unpermuting() {
     let mut physical_state = qjo::gatesim::StateVector::zero(topology.num_qubits());
     physical_state.apply_circuit(&compiled.circuit);
     let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
-    let physical_reads: Vec<Vec<bool>> = physical_state
-        .sample(&mut rng2, 2000)
-        .into_iter()
-        .map(|bits| (0..n).map(|l| bits[compiled.final_layout[l]]).collect())
-        .collect();
+    // Unpermute measured physical wires through the final layout back onto
+    // logical variables before decoding.
+    let mut physical_reads = qjo::qubo::ShotBuffer::with_capacity(n, 2000);
+    for bits in physical_state.sample(&mut rng2, 2000).iter_bits() {
+        let logical: Vec<bool> = (0..n).map(|l| bits[compiled.final_layout[l]]).collect();
+        physical_reads.push_bits(&logical);
+    }
 
     // Compare per-variable means (same seed streams differ in index order,
     // so compare statistics, not individual shots).
-    let logical_set = SampleSet::from_reads(logical_reads, |_| 0.0);
-    let physical_set = SampleSet::from_reads(physical_reads, |_| 0.0);
+    let logical_set = SampleSet::from_shots(&logical_reads, |_| 0.0);
+    let physical_set = SampleSet::from_shots(&physical_reads, |_| 0.0);
     for i in 0..n {
         let a = logical_set.mean_bit(i);
         let b = physical_set.mean_bit(i);

@@ -124,7 +124,7 @@ fn readout_mitigation_sharpens_qaoa_statistics() {
     c.push(qjo::gatesim::Gate::X(0));
     let noise = NoiseModel { readout_error: 0.2, ..NoiseModel::noiseless() };
     let sim = NoisySimulator { trajectories: 1, ..NoisySimulator::new(noise, 1) };
-    let samples = SampleSet::from_reads(sim.sample(&c, 4000), |_| 0.0);
+    let samples = SampleSet::from_shots(&sim.sample(&c, 4000), |_| 0.0);
     let mitigator = ReadoutMitigator::new(0.2);
     let corrected = mitigator.mean_bits(&samples, 2);
     assert!(corrected[0] > 0.95, "{corrected:?}");
