@@ -77,6 +77,12 @@ impl std::fmt::Display for EmbeddingError {
 
 impl std::error::Error for EmbeddingError {}
 
+impl From<EmbeddingError> for qjo_resil::QjoError {
+    fn from(e: EmbeddingError) -> Self {
+        qjo_resil::QjoError::Embedding(e.to_string())
+    }
+}
+
 impl Embedding {
     /// Total physical qubits used (the quantity Fig. 3 reports).
     pub fn num_physical_qubits(&self) -> usize {
@@ -153,15 +159,18 @@ pub struct Embedder {
     pub improvement_passes: usize,
     /// Base of the exponential overlap penalty.
     pub penalty_base: f64,
-    /// Wall-clock budget in seconds; `None` = unlimited. When exhausted,
-    /// the embedder gives up (reported as an embedding failure), which
-    /// bounds the cost of probing beyond the feasibility frontier.
+    /// Ignored. Formerly a wall-clock budget in seconds; the budget is
+    /// now attempt-based (`max_tries`), so embedding outcomes are a pure
+    /// function of the inputs instead of machine speed. The field stays
+    /// so existing struct literals keep compiling.
+    #[deprecated(note = "wall-clock budgets are gone; bound work with `max_tries` instead")]
     pub time_budget_secs: Option<f64>,
     /// RNG seed.
     pub seed: u64,
 }
 
 impl Default for Embedder {
+    #[allow(deprecated)]
     fn default() -> Self {
         Embedder {
             max_tries: 8,
@@ -453,14 +462,7 @@ impl Embedder {
         }
 
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let started = std::time::Instant::now();
-        let out_of_time = |started: &std::time::Instant| {
-            self.time_budget_secs.is_some_and(|budget| started.elapsed().as_secs_f64() > budget)
-        };
         for _try in 0..self.max_tries {
-            if out_of_time(&started) {
-                return None;
-            }
             qjo_obs::counter!("embed.tries").incr();
             let mut state = State::new(target, num_vars, adjacency.clone(), self.penalty_base);
             // Place in BFS order from a max-degree variable (random
@@ -513,7 +515,7 @@ impl Embedder {
             let mut grace = 0usize;
             let mut epoch_start = 0usize;
             for pass in 0..self.improvement_passes {
-                if state.max_usage() <= 1 || out_of_time(&started) {
+                if state.max_usage() <= 1 {
                     break;
                 }
                 // Escalate the overlap penalty steadily (×2 every few

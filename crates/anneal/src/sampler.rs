@@ -47,6 +47,23 @@ impl std::fmt::Display for AnnealError {
 
 impl std::error::Error for AnnealError {}
 
+impl From<AnnealError> for qjo_resil::QjoError {
+    fn from(e: AnnealError) -> Self {
+        qjo_resil::QjoError::Anneal(e.to_string())
+    }
+}
+
+/// Embedding attempts before falling back to a clique template: the
+/// configured embedder first, then reseeded retries.
+const EMBED_ATTEMPTS: usize = 3;
+/// Total sampling attempts a job may consume across rejected submissions
+/// and chain-storm escalations.
+const SAMPLE_ATTEMPTS: u64 = 4;
+/// Chain-strength multiplier applied per chain-storm escalation.
+const CHAIN_STORM_ESCALATION: f64 = 1.5;
+/// Domain-separation constant for reseeding rejected job resubmissions.
+const JOB_RESUBMIT_SALT: u64 = 0x6a6f_625f_7265_7375;
+
 /// Everything one sampling job returns.
 #[derive(Debug, Clone)]
 pub struct AnnealOutcome {
@@ -88,6 +105,11 @@ pub struct AnnealerSampler {
     /// Worker threads for the read loop; affects wall-clock only, never
     /// results.
     pub parallelism: Parallelism,
+    /// Chain-break fraction above which a read batch counts as a
+    /// *chain-break storm* and is resampled with the chain strength
+    /// escalated ×1.5 (bounded attempts). `None` (the default) keeps
+    /// storms injection-only, so existing seeds reproduce exactly.
+    pub chain_storm_threshold: Option<f64>,
 }
 
 impl AnnealerSampler {
@@ -104,6 +126,7 @@ impl AnnealerSampler {
             num_gauges: 4,
             annealing_time_us: 20.0,
             parallelism: Parallelism::auto(),
+            chain_storm_threshold: None,
         }
     }
 
@@ -114,28 +137,117 @@ impl AnnealerSampler {
     }
 
     /// Finds a minor embedding for a QUBO's interaction graph.
+    ///
+    /// Degradation ladder: the configured embedder runs first; a failure
+    /// (real, or injected at the `anneal.embed` fault site) is retried
+    /// with a reseeded embedder, and when the whole attempt budget runs
+    /// dry a Pegasus clique template is tried as the fallback of last
+    /// resort. Only then is [`AnnealError::EmbeddingFailed`] reported.
     pub fn embed(&self, qubo: &Qubo) -> Result<Embedding, AnnealError> {
         let _span = qjo_obs::span!("anneal.embed");
         let logical = qubo.to_ising();
         let source_edges: Vec<(usize, usize)> =
             logical.couplings().filter(|&(_, _, j)| j != 0.0).map(|(i, j, _)| (i, j)).collect();
-        self.embedder.embed(qubo.num_vars(), &source_edges, &self.topology).ok_or(
-            AnnealError::EmbeddingFailed {
-                num_vars: qubo.num_vars(),
-                num_qubits: self.topology.num_qubits(),
-            },
-        )
+        let num_vars = qubo.num_vars();
+        let embedded = qjo_resil::with_retries("anneal.embed", EMBED_ATTEMPTS, |attempt| {
+            if qjo_resil::should_inject("anneal.embed", self.embedder.seed, attempt as u64) {
+                return Err(());
+            }
+            // Attempt 0 is the configured embedder (so fault-free runs
+            // reproduce exactly); retries reseed it — the internal
+            // restarts are exhausted, a fresh stream is the lever left.
+            let seed = match attempt {
+                0 => self.embedder.seed,
+                _ => qjo_resil::stream_seed(self.embedder.seed, attempt as u64),
+            };
+            let embedder = Embedder { seed, ..self.embedder.clone() };
+            embedder.embed(num_vars, &source_edges, &self.topology).ok_or(())
+        });
+        match embedded {
+            Ok(embedding) => Ok(embedding),
+            Err(()) => {
+                self.clique_fallback(num_vars, &source_edges).ok_or(AnnealError::EmbeddingFailed {
+                    num_vars,
+                    num_qubits: self.topology.num_qubits(),
+                })
+            }
+        }
+    }
+
+    /// Clique-template fallback: when the heuristic embedder gives up on
+    /// a Pegasus-shaped target, the precomputed template (valid for any
+    /// source graph it covers, since a clique majorises everything) may
+    /// still fit. Validation gates it on arbitrary topologies.
+    fn clique_fallback(
+        &self,
+        num_vars: usize,
+        source_edges: &[(usize, usize)],
+    ) -> Option<Embedding> {
+        let num_qubits = self.topology.num_qubits();
+        // pegasus_like(m) has 8m² qubits; recover m and check the shape.
+        let m = ((num_qubits as f64) / 8.0).sqrt().round() as usize;
+        if m == 0 || 8 * m * m != num_qubits {
+            return None;
+        }
+        let embedding = crate::clique::template_embed(num_vars, m)?;
+        embedding.validate(source_edges, &self.topology).ok()?;
+        qjo_obs::counter!("resil.anneal.embed.fallback").incr();
+        Some(embedding)
     }
 
     /// Runs the annealing pipeline with a previously computed embedding
     /// (e.g. to sweep annealing times without re-embedding).
+    ///
+    /// Two operational failure modes are handled here, both bounded by
+    /// an attempt budget (never wall-clock): a *rejected job* (the
+    /// `anneal.job` fault site — the scheduler turns the submission away
+    /// before any read runs) is resubmitted under a reseeded stream, and
+    /// a *chain-break storm* (the `anneal.chain_storm` site, or a real
+    /// batch exceeding [`AnnealerSampler::chain_storm_threshold`]) is
+    /// resampled with the chain strength escalated ×1.5.
     pub fn sample_qubo_with_embedding(&self, qubo: &Qubo, embedding: Embedding) -> AnnealOutcome {
         let _span = qjo_obs::span!("anneal.sample");
-        qjo_obs::counter!("anneal.reads").add(self.num_reads as u64);
         let logical = qubo.to_ising();
-        let chain_strength = self.chain_strength.unwrap_or_else(|| {
+        let base_strength = self.chain_strength.unwrap_or_else(|| {
             uniform_torque_compensation(&logical, self.chain_strength_prefactor)
         });
+        let mut chain_strength = base_strength;
+        let mut seed = self.sqa.seed;
+        let mut attempt: u64 = 0;
+        loop {
+            if attempt + 1 < SAMPLE_ATTEMPTS
+                && qjo_resil::should_inject("anneal.job", self.sqa.seed, attempt)
+            {
+                qjo_obs::counter!("resil.anneal.job.retries").incr();
+                seed = qjo_resil::stream_seed(self.sqa.seed ^ JOB_RESUBMIT_SALT, attempt);
+                attempt += 1;
+                continue;
+            }
+            let outcome =
+                self.sample_attempt(qubo, &logical, embedding.clone(), chain_strength, seed);
+            let stormy = qjo_resil::should_inject("anneal.chain_storm", self.sqa.seed, attempt)
+                || self.chain_storm_threshold.is_some_and(|t| outcome.chain_break_fraction > t);
+            if stormy && attempt + 1 < SAMPLE_ATTEMPTS {
+                qjo_obs::counter!("resil.anneal.chain_storm.escalations").incr();
+                chain_strength *= CHAIN_STORM_ESCALATION;
+                attempt += 1;
+                continue;
+            }
+            return outcome;
+        }
+    }
+
+    /// One programmed-anneal-unembed pass at a given chain strength and
+    /// read-stream seed (the fault-free path runs exactly one).
+    fn sample_attempt(
+        &self,
+        qubo: &Qubo,
+        logical: &IsingModel,
+        embedding: Embedding,
+        chain_strength: f64,
+        seed: u64,
+    ) -> AnnealOutcome {
+        qjo_obs::counter!("anneal.reads").add(self.num_reads as u64);
         // Compact the problem onto the qubits the embedding actually uses:
         // SQA sweeps every spin of its model, and a 5000-qubit hardware
         // graph with a 300-qubit embedding would waste 94% of each sweep.
@@ -157,27 +269,26 @@ impl AnnealerSampler {
                 .collect(),
         };
         let mut programmed =
-            self.program(&logical, &embedding, chain_strength, &dense_of, used.len());
+            self.program(logical, &embedding, chain_strength, &dense_of, used.len());
         normalize(&mut programmed);
 
         let gauges = crate::gauge::gauge_set(
             programmed.num_spins(),
             self.num_gauges.max(1),
-            self.sqa.seed ^ 0x9e37_79b9,
+            seed ^ 0x9e37_79b9,
         );
         let read_indices: Vec<usize> = (0..self.num_reads).collect();
-        let per_read =
-            par_map_seeded(read_indices, self.sqa.seed, self.parallelism, |read_idx, rng| {
-                // Spin-reversal transform: rotate through the gauge set so
-                // analogue asymmetries average out across reads.
-                let gauge = &gauges[read_idx % gauges.len()];
-                let gauged = gauge.transform(&programmed);
-                let noisy = self.ice.apply(&gauged, rng);
-                let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, rng);
-                let dense_spins = gauge.untransform_spins(&dense_spins);
-                let read = unembed_majority(&dense_embedding, &dense_spins);
-                (ising::spins_to_bits(&read.spins), read)
-            });
+        let per_read = par_map_seeded(read_indices, seed, self.parallelism, |read_idx, rng| {
+            // Spin-reversal transform: rotate through the gauge set so
+            // analogue asymmetries average out across reads.
+            let gauge = &gauges[read_idx % gauges.len()];
+            let gauged = gauge.transform(&programmed);
+            let noisy = self.ice.apply(&gauged, rng);
+            let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, rng);
+            let dense_spins = gauge.untransform_spins(&dense_spins);
+            let read = unembed_majority(&dense_embedding, &dense_spins);
+            (ising::spins_to_bits(&read.spins), read)
+        });
         // Pack the logical reads into one bit matrix during the (ordered)
         // reduction; duplicate reads then aggregate by hashing packed words
         // and the QUBO energy is evaluated once per distinct assignment.

@@ -4,6 +4,7 @@
 //! experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]
 //!             [--full|--smoke] [--csv DIR] [--metrics-out PATH]
 //!             [--trace-out PATH] [--bench-out PATH] [--convergence]
+//!             [--faults SPEC] [--resume] [--halt-after STAGE]
 //! experiments bench [STAGES]... [--full|--smoke] [--bench-out PATH] ...
 //! experiments manifest-diff BASELINE CURRENT
 //! experiments trace-check TRACE
@@ -23,6 +24,20 @@
 //! disable. `manifest-diff` compares the deterministic sections of two
 //! manifests and exits non-zero on drift — CI's experiments gate.
 //!
+//! Resilience (all deterministic, see `EXPERIMENTS.md`):
+//!
+//! * `--faults SPEC` (or the `QJO_FAULTS` env var) installs a seeded
+//!   fault-injection plan; every injection and recovery event lands in
+//!   the manifest's `resilience` section, so chaos runs drift-gate like
+//!   any other sweep.
+//! * The driver checkpoints each completed stage under
+//!   `DIR/.checkpoints/`; `--resume` replays completed stages from those
+//!   checkpoints and reproduces the exact final manifest an uninterrupted
+//!   run would have written. `--halt-after STAGE` exits cleanly after
+//!   checkpointing STAGE — a deterministic stand-in for a mid-sweep kill.
+//! * Every artifact is written atomically (temp file + rename), so a real
+//!   crash never leaves a torn CSV/JSON behind.
+//!
 //! Observability extras (all opt-in, see `EXPERIMENTS.md`):
 //!
 //! * `--trace-out PATH` records a Chrome `trace_event` JSON of every span
@@ -40,6 +55,7 @@
 //!   noise allowance — CI's perf gate against the committed smoke
 //!   baseline.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -67,6 +83,12 @@ impl Mode {
     }
 }
 
+/// Every stage the driver knows, in `all` execution order.
+const STAGE_NAMES: &[&str] = &[
+    "table1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "timing", "ablation", "scaling",
+];
+
+#[derive(Debug)]
 struct Options {
     which: Vec<String>,
     mode: Mode,
@@ -75,16 +97,22 @@ struct Options {
     trace_out: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     convergence: bool,
+    faults: Option<String>,
+    resume: bool,
+    halt_after: Option<String>,
 }
 
 const USAGE: &str = "usage: experiments [table1|fig2|table2|fig3|table3|fig4|fig5|timing|ablation|scaling|all]... \
-     [--full|--smoke] [--csv DIR] [--metrics-out PATH] [--trace-out PATH] [--bench-out PATH] [--convergence]\n       \
+     [--full|--smoke] [--csv DIR] [--metrics-out PATH] [--trace-out PATH] [--bench-out PATH] [--convergence] \
+     [--faults SPEC] [--resume] [--halt-after STAGE]\n       \
      experiments bench [STAGES]... (as above; BENCH.json unless --bench-out)\n       \
      experiments manifest-diff BASELINE CURRENT\n       \
      experiments trace-check TRACE\n       \
      experiments bench-compare BASELINE CURRENT";
 
-fn parse_args() -> Options {
+/// Parses the sweep arguments. Returns a one-line error (the caller adds
+/// the usage text and exits 2) instead of panicking on malformed input.
+fn parse_args(raw: &[String]) -> Result<Options, String> {
     let mut which = Vec::new();
     let mut mode = Mode::Default;
     let mut csv_dir = None;
@@ -93,46 +121,59 @@ fn parse_args() -> Options {
     let mut bench_out = None;
     let mut bench = false;
     let mut convergence = false;
-    let mut args = std::env::args().skip(1);
+    let mut faults = None;
+    let mut resume = false;
+    let mut halt_after: Option<String> = None;
+    let mut args = raw.iter();
     while let Some(arg) = args.next() {
+        let mut value =
+            |flag: &str| args.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
         match arg.as_str() {
             "--full" => mode = Mode::Full,
             "--smoke" => mode = Mode::Smoke,
             "--convergence" => convergence = true,
+            "--resume" => resume = true,
             "bench" => bench = true,
-            "--csv" => {
-                csv_dir = Some(PathBuf::from(args.next().expect("--csv requires a directory")));
+            "--csv" => csv_dir = Some(PathBuf::from(value("--csv")?)),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--bench-out" => bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "--faults" => faults = Some(value("--faults")?),
+            "--halt-after" => halt_after = Some(value("--halt-after")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            stage if STAGE_NAMES.contains(&stage) || stage == "all" => {
+                which.push(stage.to_string());
             }
-            "--metrics-out" => {
-                metrics_out =
-                    Some(PathBuf::from(args.next().expect("--metrics-out requires a path")));
-            }
-            "--trace-out" => {
-                trace_out = Some(PathBuf::from(args.next().expect("--trace-out requires a path")));
-            }
-            "--bench-out" => {
-                bench_out = Some(PathBuf::from(args.next().expect("--bench-out requires a path")));
-            }
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => which.push(other.to_string()),
+            other => return Err(format!("unknown experiment '{other}'")),
         }
     }
     if bench && bench_out.is_none() {
         bench_out = Some(PathBuf::from("BENCH.json"));
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = [
-            "table1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "timing", "ablation",
-            "scaling",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        which = STAGE_NAMES.iter().map(|s| s.to_string()).collect();
     }
-    Options { which, mode, csv_dir, metrics_out, trace_out, bench_out, convergence }
+    // Stage names double as convergence phases and checkpoint keys, both
+    // of which must be unique: drop repeats, keeping first-run order.
+    let mut seen = std::collections::BTreeSet::new();
+    which.retain(|w| seen.insert(w.clone()));
+    if let Some(halt) = &halt_after {
+        if !which.iter().any(|w| w == halt) {
+            return Err(format!("--halt-after '{halt}' is not part of this sweep"));
+        }
+    }
+    Ok(Options {
+        which,
+        mode,
+        csv_dir,
+        metrics_out,
+        trace_out,
+        bench_out,
+        convergence,
+        faults,
+        resume,
+        halt_after,
+    })
 }
 
 /// Collects the tables a run produces: prints them, optionally writes the
@@ -145,11 +186,6 @@ struct Driver {
 /// Tables whose cells contain wall-clock measurements; their manifest
 /// entries are flagged volatile so the drift gate checks shape only.
 const VOLATILE_ARTIFACTS: &[&str] = &["scaling_classical"];
-
-/// Counters whose value depends on wall-clock (the embedder stops
-/// retrying when its time budget runs out, so the attempt count varies
-/// run to run even though results do not); the drift gate skips them.
-const VOLATILE_COUNTERS: &[&str] = &["embed.tries"];
 
 impl Driver {
     fn emit(&mut self, name: &str, title: &str, table: Table) {
@@ -382,10 +418,7 @@ impl Driver {
                     timing::render(&timing::run(&cfg)),
                 );
             }
-            other => {
-                qjo_obs::error!("unknown experiment '{other}' (see --help)");
-                std::process::exit(1);
-            }
+            other => unreachable!("stage names are validated in parse_args: {other}"),
         }
     }
 }
@@ -402,6 +435,208 @@ fn git_rev() -> String {
         .filter(|rev| !rev.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
 }
+
+// ---------------------------------------------------------------------------
+// Per-stage checkpoints (crash-safe resume)
+
+/// Checkpoint document layout version.
+const CHECKPOINT_SCHEMA: u64 = 1;
+
+/// Where stage checkpoints live for this invocation's output directory.
+fn checkpoint_dir(options: &Options) -> PathBuf {
+    options.csv_dir.as_deref().unwrap_or(Path::new("results")).join(".checkpoints")
+}
+
+/// Fingerprint of everything that shapes a stage's deterministic output.
+///
+/// A `--resume` only replays checkpoints carrying the same fingerprint:
+/// same mode, same stage list, same fault plan, and the same convergence
+/// setting. Deliberately excludes the thread count — results are
+/// thread-count invariant, so a sweep may resume at a different
+/// `QJO_THREADS`.
+fn config_fingerprint(options: &Options, convergence_on: bool) -> String {
+    let faults = qjo_resil::fault::active().map(|p| p.render()).unwrap_or_default();
+    let text = format!(
+        "v{CHECKPOINT_SCHEMA}|{}|{}|{faults}|{convergence_on}",
+        options.mode.name(),
+        options.which.join(",")
+    );
+    qjo_obs::fnv1a64_hex(text.as_bytes())
+}
+
+/// Everything `--resume` needs to replay one completed stage.
+struct StageCheckpoint {
+    duration_ms: f64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    artifacts: Vec<Artifact>,
+    /// Header-stripped convergence CSV rows, by group.
+    convergence: BTreeMap<String, String>,
+}
+
+fn artifact_to_json(a: &Artifact) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".to_string(), Json::from(a.name.as_str()));
+    obj.insert("rows".to_string(), Json::from(a.rows));
+    obj.insert("bytes".to_string(), Json::from(a.bytes));
+    obj.insert("hash".to_string(), Json::from(a.hash.as_str()));
+    if a.volatile {
+        obj.insert("volatile".to_string(), Json::Bool(true));
+    }
+    Json::Obj(obj)
+}
+
+fn artifact_from_json(a: &Json) -> Option<Artifact> {
+    Some(Artifact {
+        name: a.get("name")?.as_str()?.to_string(),
+        rows: a.get("rows")?.as_u64()?,
+        bytes: a.get("bytes")?.as_u64()?,
+        hash: a.get("hash")?.as_str()?.to_string(),
+        volatile: matches!(a.get("volatile"), Some(Json::Bool(true))),
+    })
+}
+
+fn checkpoint_doc(
+    fingerprint: &str,
+    record: &StageRecord,
+    artifacts: &[Artifact],
+    convergence: &BTreeMap<String, String>,
+) -> Json {
+    let gauges = qjo_obs::global().snapshot().gauges;
+    let mut root = BTreeMap::new();
+    root.insert("schema".to_string(), Json::from(CHECKPOINT_SCHEMA));
+    root.insert("fingerprint".to_string(), Json::from(fingerprint));
+    root.insert("stage".to_string(), Json::from(record.name.as_str()));
+    root.insert("duration_ms".to_string(), Json::from(record.duration_ms));
+    root.insert(
+        "counters".to_string(),
+        Json::Obj(record.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect()),
+    );
+    root.insert(
+        "gauges".to_string(),
+        Json::Obj(gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect()),
+    );
+    root.insert(
+        "artifacts".to_string(),
+        Json::Arr(artifacts.iter().map(artifact_to_json).collect()),
+    );
+    root.insert(
+        "convergence".to_string(),
+        Json::Obj(convergence.iter().map(|(k, v)| (k.clone(), Json::from(v.as_str()))).collect()),
+    );
+    Json::Obj(root)
+}
+
+/// Loads and validates the checkpoint for `stage`; any mismatch (absent,
+/// torn, wrong schema/fingerprint/stage) means the stage reruns live.
+fn load_stage_checkpoint(path: &Path, fingerprint: &str, stage: &str) -> Option<StageCheckpoint> {
+    let doc = qjo_resil::checkpoint::load(path).ok()??;
+    if doc.get("schema").and_then(Json::as_u64) != Some(CHECKPOINT_SCHEMA)
+        || doc.get("fingerprint").and_then(Json::as_str) != Some(fingerprint)
+        || doc.get("stage").and_then(Json::as_str) != Some(stage)
+    {
+        return None;
+    }
+    let counters = doc
+        .get("counters")?
+        .as_obj()?
+        .iter()
+        .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+        .collect::<Option<_>>()?;
+    let gauges = doc
+        .get("gauges")?
+        .as_obj()?
+        .iter()
+        .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+        .collect::<Option<_>>()?;
+    let artifacts =
+        doc.get("artifacts")?.as_arr()?.iter().map(artifact_from_json).collect::<Option<_>>()?;
+    let convergence = doc
+        .get("convergence")?
+        .as_obj()?
+        .iter()
+        .map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+        .collect::<Option<_>>()?;
+    Some(StageCheckpoint {
+        duration_ms: doc.get("duration_ms").and_then(Json::as_f64).unwrap_or(0.0),
+        counters,
+        gauges,
+        artifacts,
+        convergence,
+    })
+}
+
+/// Replays a checkpointed stage into the live process: counter deltas are
+/// re-added, gauges re-set, and artifacts re-fingerprinted from record.
+fn replay_stage(ckpt: &StageCheckpoint, name: &str, driver: &mut Driver) -> StageRecord {
+    for (counter, &delta) in &ckpt.counters {
+        qjo_obs::counter(counter).add(delta);
+    }
+    for (gauge, &value) in &ckpt.gauges {
+        qjo_obs::gauge(gauge).set(value);
+    }
+    driver.artifacts.extend(ckpt.artifacts.iter().cloned());
+    StageRecord {
+        name: name.to_string(),
+        duration_ms: ckpt.duration_ms,
+        counters: ckpt.counters.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergence (per-stage drain, crash-safe reassembly)
+
+/// Drains the recorder after a stage and restarts it for the next one,
+/// returning this stage's header-stripped rows per group. Draining per
+/// stage (rather than once at the end) is what makes the curves
+/// checkpointable; because rows sort by phase first and each stage is one
+/// phase, per-stage blocks concatenated in phase order are byte-identical
+/// to a single end-of-run drain.
+fn drain_stage_convergence(convergence_on: bool) -> BTreeMap<String, String> {
+    if !convergence_on {
+        return BTreeMap::new();
+    }
+    let blocks = qjo_obs::convergence::drain_csv()
+        .into_iter()
+        .map(|(group, csv)| {
+            let body = csv.split_once('\n').map(|(_, b)| b.to_string()).unwrap_or_default();
+            (group, body)
+        })
+        .collect();
+    qjo_obs::convergence::start(qjo_obs::convergence::DEFAULT_STRIDE);
+    blocks
+}
+
+/// Reassembles the final `convergence_<group>.csv` artifacts from the
+/// per-stage blocks (live or replayed): fingerprinted in the run manifest
+/// (non-volatile — the curves are thread-count independent by
+/// construction) and written under `--csv` when set.
+fn assemble_convergence(driver: &mut Driver, blocks: &BTreeMap<String, BTreeMap<String, String>>) {
+    for (group, phases) in blocks {
+        let mut csv = String::from("phase,series,unit,instance,step,value\n");
+        for block in phases.values() {
+            csv.push_str(block);
+        }
+        let name = format!("convergence_{group}.csv");
+        driver.artifacts.push(Artifact {
+            name: name.clone(),
+            rows: csv.lines().count().saturating_sub(1) as u64,
+            bytes: csv.len() as u64,
+            hash: qjo_obs::fnv1a64_hex(csv.as_bytes()),
+            volatile: false,
+        });
+        if let Some(dir) = &driver.options.csv_dir {
+            let path = dir.join(&name);
+            match qjo_resil::atomic_write(&path, csv.as_bytes()) {
+                Ok(()) => qjo_obs::info!("wrote {}", path.display()),
+                Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Final outputs
 
 /// Where the manifest goes; `None` when `QJO_MANIFEST` opts out.
 fn manifest_path(options: &Options) -> Option<PathBuf> {
@@ -435,21 +670,17 @@ fn write_manifest(
         "experiments".to_string(),
         Json::Arr(options.which.iter().map(|w| Json::from(w.as_str())).collect()),
     );
+    if let Some(plan) = qjo_resil::fault::active() {
+        manifest.run.insert("faults".to_string(), Json::from(plan.render()));
+    }
+    if options.resume {
+        manifest.run.insert("resumed".to_string(), Json::Bool(true));
+    }
     manifest.run.insert("total_duration_ms".to_string(), Json::from((total * 1e3).round() / 1e3));
     manifest.stages = stages;
     manifest.set_metrics(&qjo_obs::global().snapshot());
     manifest.artifacts = artifacts;
-    manifest.volatile_counters = VOLATILE_COUNTERS.iter().map(|s| s.to_string()).collect();
-    let rendered = manifest.render();
-    let write = |path: &Path| -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, rendered.as_bytes())
-    };
-    match write(&path) {
+    match qjo_resil::atomic_write(&path, manifest.render().as_bytes()) {
         Ok(()) => qjo_obs::info!("wrote {}", path.display()),
         Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
     }
@@ -582,42 +813,14 @@ fn trace_check(path: &str) -> ! {
     }
 }
 
-/// Drains the convergence recorder into `convergence_<group>.csv`
-/// artifacts: fingerprinted in the run manifest (non-volatile — the
-/// curves are thread-count independent by construction) and written under
-/// `--csv` when set.
-fn collect_convergence(driver: &mut Driver) {
-    if !qjo_obs::convergence::is_active() {
-        return;
-    }
-    for (group, csv) in qjo_obs::convergence::drain_csv() {
-        let name = format!("convergence_{group}.csv");
-        driver.artifacts.push(Artifact {
-            name: name.clone(),
-            rows: csv.lines().count().saturating_sub(1) as u64,
-            bytes: csv.len() as u64,
-            hash: qjo_obs::fnv1a64_hex(csv.as_bytes()),
-            volatile: false,
-        });
-        if let Some(dir) = &driver.options.csv_dir {
-            let path = dir.join(&name);
-            let write =
-                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, csv.as_bytes()));
-            match write {
-                Ok(()) => qjo_obs::info!("wrote {}", path.display()),
-                Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
-            }
-        }
-    }
-}
-
-/// Stops the trace collector and writes the Chrome trace when requested,
-/// returning collector statistics for `BENCH.json`.
+/// Stops the trace collector and writes the Chrome trace when requested
+/// (atomically, like every other artifact), returning collector
+/// statistics for `BENCH.json`.
 fn finish_trace(options: &Options) -> Option<qjo_obs::trace::TraceStats> {
     options.trace_out.as_ref().map(|path| {
         qjo_obs::trace::stop();
         let stats = qjo_obs::trace::stats();
-        match qjo_obs::trace::write_chrome_trace(path) {
+        match qjo_resil::atomic_write(path, qjo_obs::trace::to_chrome_json().render().as_bytes()) {
             Ok(()) => qjo_obs::info!(
                 "wrote {} ({} events, {} dropped, peak buffer occupancy {})",
                 path.display(),
@@ -660,7 +863,6 @@ fn write_bench(
     total_ms: f64,
     trace_stats: Option<qjo_obs::trace::TraceStats>,
 ) {
-    use std::collections::BTreeMap;
     let Some(path) = &options.bench_out else {
         return;
     };
@@ -734,16 +936,7 @@ fn write_bench(
         root.insert("trace".to_string(), Json::Obj(t));
     }
 
-    let rendered = Json::Obj(root).render();
-    let write = |path: &Path| -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, rendered.as_bytes())
-    };
-    match write(path) {
+    match qjo_resil::atomic_write(path, Json::Obj(root).render().as_bytes()) {
         Ok(()) => qjo_obs::info!("wrote {}", path.display()),
         Err(e) => qjo_obs::error!("failed to write {}: {e}", path.display()),
     }
@@ -751,6 +944,10 @@ fn write_bench(
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
     if raw.first().map(String::as_str) == Some("manifest-diff") {
         match raw.as_slice() {
             [_, baseline, current] => manifest_diff(baseline, current),
@@ -779,43 +976,244 @@ fn main() {
         }
     }
 
-    let options = parse_args();
+    let options = parse_args(&raw).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+
+    // Fault plan: --faults wins over QJO_FAULTS; a malformed spec from
+    // either source is a usage error.
+    if let Some(spec) = &options.faults {
+        match qjo_resil::FaultPlan::parse(spec) {
+            Ok(plan) => qjo_resil::fault::install(plan),
+            Err(e) => {
+                eprintln!("error: --faults: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Err(e) = qjo_resil::fault::install_from_env() {
+        eprintln!("error: QJO_FAULTS: {e}");
+        std::process::exit(2);
+    }
+    if let Some(plan) = qjo_resil::fault::active() {
+        qjo_obs::info!("fault injection active: {}", plan.render());
+    }
+
     let tracing = options.trace_out.is_some();
     if tracing {
         qjo_obs::trace::start(qjo_obs::trace::DEFAULT_THREAD_CAPACITY);
     }
     // Smoke runs always record convergence so the committed smoke baseline
     // gates on the curves; other modes opt in with --convergence.
-    if options.convergence || options.mode == Mode::Smoke {
+    let convergence_on = options.convergence || options.mode == Mode::Smoke;
+    if convergence_on {
         qjo_obs::convergence::start(qjo_obs::convergence::DEFAULT_STRIDE);
+    }
+
+    let ckpt_dir = checkpoint_dir(&options);
+    let fingerprint = config_fingerprint(&options, convergence_on);
+    if !options.resume {
+        // A fresh run owes nothing to previous partial sweeps.
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     let run_start = Instant::now();
     let mut driver = Driver { options, artifacts: Vec::new() };
     let mut stages = Vec::new();
+    // group -> phase (stage) -> header-stripped CSV rows.
+    let mut convergence_blocks: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    let mut replaying = driver.options.resume;
+    let mut halted = false;
     for which in driver.options.which.clone() {
+        let ckpt_path = ckpt_dir.join(format!("{which}.json"));
+        if replaying {
+            if let Some(ckpt) = load_stage_checkpoint(&ckpt_path, &fingerprint, &which) {
+                for (group, block) in &ckpt.convergence {
+                    convergence_blocks
+                        .entry(group.clone())
+                        .or_default()
+                        .insert(which.clone(), block.clone());
+                }
+                stages.push(replay_stage(&ckpt, &which, &mut driver));
+                qjo_obs::info!("[{which} replayed from checkpoint]");
+                if driver.options.halt_after.as_deref() == Some(which.as_str()) {
+                    halted = true;
+                    break;
+                }
+                continue;
+            }
+            // First missing or stale checkpoint: everything from here on
+            // runs live (later checkpoints, if any, are now meaningless).
+            replaying = false;
+        }
+        let artifacts_before = driver.artifacts.len();
         let before = qjo_obs::global().snapshot();
         let start = Instant::now();
         {
             let _span = qjo_obs::span!("experiments.stage");
             let _slice = tracing.then(|| qjo_obs::trace::slice_scope(format!("stage:{which}")));
-            if qjo_obs::convergence::is_active() {
+            if convergence_on {
                 qjo_obs::convergence::set_phase(&which);
             }
             driver.run_stage(&which);
         }
         let elapsed = start.elapsed();
-        stages.push(StageRecord {
+        let stage_blocks = drain_stage_convergence(convergence_on);
+        for (group, block) in &stage_blocks {
+            convergence_blocks
+                .entry(group.clone())
+                .or_default()
+                .insert(which.clone(), block.clone());
+        }
+        let record = StageRecord {
             name: which.clone(),
             duration_ms: elapsed.as_secs_f64() * 1e3,
             counters: qjo_obs::global().snapshot().counter_deltas_since(&before),
-        });
+        };
+        let doc = checkpoint_doc(
+            &fingerprint,
+            &record,
+            &driver.artifacts[artifacts_before..],
+            &stage_blocks,
+        );
+        if let Err(e) = qjo_resil::checkpoint::save(&ckpt_path, &doc) {
+            qjo_obs::warn!("failed to checkpoint {which}: {e}");
+        }
+        stages.push(record);
         qjo_obs::info!("[{which} took {elapsed:.1?}]");
+        if driver.options.halt_after.as_deref() == Some(which.as_str()) {
+            halted = true;
+            break;
+        }
     }
-    collect_convergence(&mut driver);
+    if halted {
+        // Simulated crash: keep the checkpoints, skip the final outputs —
+        // exactly what a kill -9 after the last checkpoint write leaves.
+        let halt = driver.options.halt_after.as_deref().unwrap_or_default();
+        qjo_obs::info!("halted after {halt}; resume with --resume");
+        return;
+    }
+    assemble_convergence(&mut driver, &convergence_blocks);
     let trace_stats = finish_trace(&driver.options);
     let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
     let Driver { options, artifacts } = driver;
     write_bench(&options, &stages, total_ms, trace_stats);
     write_manifest(&options, stages, artifacts, total_ms);
+    // The sweep finished and every output is on disk: the checkpoints
+    // have served their purpose.
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_expands_to_every_stage() {
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts.which, STAGE_NAMES.to_vec());
+        assert_eq!(opts.mode, Mode::Default);
+        assert!(opts.csv_dir.is_none() && opts.faults.is_none() && !opts.resume);
+    }
+
+    #[test]
+    fn flags_and_stage_selection_parse() {
+        let opts = parse_args(&args(&[
+            "table1",
+            "fig3",
+            "--smoke",
+            "--csv",
+            "out",
+            "--faults",
+            "seed=7;io.write=0.5",
+            "--resume",
+            "--halt-after",
+            "fig3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.which, vec!["table1", "fig3"]);
+        assert_eq!(opts.mode, Mode::Smoke);
+        assert_eq!(opts.csv_dir.as_deref(), Some(Path::new("out")));
+        assert_eq!(opts.faults.as_deref(), Some("seed=7;io.write=0.5"));
+        assert!(opts.resume);
+        assert_eq!(opts.halt_after.as_deref(), Some("fig3"));
+    }
+
+    #[test]
+    fn bench_keyword_defaults_the_bench_output() {
+        let opts = parse_args(&args(&["bench", "table1"])).unwrap();
+        assert_eq!(opts.bench_out.as_deref(), Some(Path::new("BENCH.json")));
+        let opts = parse_args(&args(&["bench", "--bench-out", "x.json"])).unwrap();
+        assert_eq!(opts.bench_out.as_deref(), Some(Path::new("x.json")));
+    }
+
+    #[test]
+    fn repeated_stages_are_deduplicated_in_order() {
+        let opts = parse_args(&args(&["fig3", "table1", "fig3", "table1"])).unwrap();
+        assert_eq!(opts.which, vec!["fig3", "table1"]);
+    }
+
+    #[test]
+    fn missing_flag_values_are_errors_not_panics() {
+        for flag in
+            ["--csv", "--metrics-out", "--trace-out", "--bench-out", "--faults", "--halt-after"]
+        {
+            let err = parse_args(&args(&[flag])).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+            assert!(err.contains("requires a value"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        assert!(parse_args(&args(&["--frobnicate"])).unwrap_err().contains("unknown flag"));
+        assert!(parse_args(&args(&["table9"])).unwrap_err().contains("unknown experiment"));
+    }
+
+    #[test]
+    fn halt_after_must_name_a_selected_stage() {
+        let err = parse_args(&args(&["table1", "--halt-after", "fig3"])).unwrap_err();
+        assert!(err.contains("not part of this sweep"), "{err}");
+        // With the implicit `all` expansion every stage qualifies.
+        assert!(parse_args(&args(&["--halt-after", "fig3"])).is_ok());
+        // But a non-stage name is caught even before membership.
+        assert!(parse_args(&args(&["--halt-after", "nope"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_documents_round_trip() {
+        let record = StageRecord {
+            name: "table1".to_string(),
+            duration_ms: 12.5,
+            counters: BTreeMap::from([("sa.restarts".to_string(), 40u64)]),
+        };
+        let artifacts = vec![Artifact {
+            name: "table1.csv".to_string(),
+            rows: 4,
+            bytes: 210,
+            hash: "a1b2".to_string(),
+            volatile: false,
+        }];
+        let blocks = BTreeMap::from([("solver".to_string(), "table1,e,-,0,0,1.5\n".to_string())]);
+        let doc = checkpoint_doc("fp", &record, &artifacts, &blocks);
+        let dir = std::env::temp_dir().join(format!("qjo-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("table1.json");
+        qjo_resil::checkpoint::save(&path, &doc).unwrap();
+        let ckpt = load_stage_checkpoint(&path, "fp", "table1").expect("valid checkpoint");
+        assert_eq!(ckpt.duration_ms, 12.5);
+        assert_eq!(ckpt.counters, record.counters);
+        assert_eq!(ckpt.artifacts, artifacts);
+        assert_eq!(ckpt.convergence, blocks);
+        // Any identity mismatch invalidates the checkpoint.
+        assert!(load_stage_checkpoint(&path, "other-fp", "table1").is_none());
+        assert!(load_stage_checkpoint(&path, "fp", "fig2").is_none());
+        assert!(load_stage_checkpoint(&dir.join("absent.json"), "fp", "table1").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

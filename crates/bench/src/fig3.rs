@@ -92,13 +92,8 @@ fn embed_one(
         JoEncoder { thresholds: ThresholdSpec::Auto(thresholds), omega, ..Default::default() }
             .encode(&query);
     let edges: Vec<(usize, usize)> = enc.qubo.quadratic_iter().map(|(i, j, _)| (i, j)).collect();
-    let embedder = Embedder {
-        max_tries: tries,
-        improvement_passes: passes,
-        time_budget_secs: Some(30.0),
-        seed,
-        ..Default::default()
-    };
+    let embedder =
+        Embedder { max_tries: tries, improvement_passes: passes, seed, ..Default::default() };
     let embedding = embedder.embed(enc.num_qubits(), &edges, target);
     Fig3Row {
         panel: "",

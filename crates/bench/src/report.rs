@@ -1,7 +1,6 @@
 //! Plain-text table rendering and CSV output for experiment results.
 
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// A simple column-aligned text table.
@@ -102,12 +101,11 @@ impl Table {
     }
 
     /// Writes the CSV to `path`, creating parent directories.
+    ///
+    /// Goes through [`qjo_resil::atomic_write`] (temp file + rename), so a
+    /// crash mid-write never leaves a truncated artifact behind.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(self.to_csv().as_bytes())
+        qjo_resil::atomic_write(path, self.to_csv().as_bytes())
     }
 }
 

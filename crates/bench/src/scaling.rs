@@ -151,7 +151,7 @@ pub fn run_hardware_generations(relations: &[usize], seed: u64, m: usize) -> Vec
     let chimera_graph = chimera(m);
     let pegasus_graph = pegasus_like(m);
     let zephyr_graph = zephyr_like(m);
-    let embedder = Embedder { time_budget_secs: Some(20.0), seed, ..Default::default() };
+    let embedder = Embedder { seed, ..Default::default() };
     relations
         .iter()
         .map(|&t| {

@@ -16,12 +16,18 @@
 //! returned shots are bit-identical at any [`Parallelism`] setting.
 
 use qjo_exec::{par_map_seeded, Parallelism};
-use rand::RngExt;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use crate::shots::ShotBuffer;
 use crate::statevector::StateVector;
+
+/// Attempt budget per trajectory (first run + reseeded re-runs).
+const TRAJECTORY_ATTEMPTS: u64 = 3;
+/// Domain-separation constant for reseeding lost trajectories.
+const TRAJECTORY_RESEED_SALT: u64 = 0x7472_616a_5f72_6572;
 
 /// Calibration data of a (real or hypothetical) gate-based QPU.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -231,6 +237,29 @@ impl NoisySimulator {
             if this_shots == 0 {
                 return ShotBuffer::new(n);
             }
+            // A lost trajectory (the `gatesim.trajectory` fault site) is
+            // re-run on a reseeded stream. The decision is pure in
+            // `(plan, seed, t, attempt)`, so the retry count — and hence
+            // the replacement stream — is thread-count invariant.
+            let mut attempt: u64 = 0;
+            while attempt + 1 < TRAJECTORY_ATTEMPTS
+                && qjo_resil::should_inject(
+                    "gatesim.trajectory",
+                    self.seed.wrapping_add(attempt),
+                    t as u64,
+                )
+            {
+                qjo_obs::counter!("resil.gatesim.trajectory.retries").incr();
+                attempt += 1;
+            }
+            let mut reseeded;
+            let rng: &mut StdRng = if attempt == 0 {
+                rng
+            } else {
+                let stream = qjo_resil::stream_seed(self.seed ^ TRAJECTORY_RESEED_SALT, attempt);
+                reseeded = StdRng::seed_from_u64(qjo_resil::stream_seed(stream, t as u64));
+                &mut reseeded
+            };
             let mut state = StateVector::zero(n);
             for g in circuit.gates() {
                 state.apply(*g);

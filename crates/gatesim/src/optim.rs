@@ -11,6 +11,47 @@ use qjo_exec::Parallelism;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Domain-separation salt of the `qaoa.step` fault site. Every
+/// `minimize` call rolls the same per-evaluation-index stream, which is
+/// deliberate: decisions stay pure in the plan and the index.
+const QAOA_STEP_SALT: u64 = 0x7161_6f61_2e73_7465;
+
+/// Domain-separation constant for SPSA's reseeded divergence restarts.
+const SPSA_RESTART_SALT: u64 = 0x7370_7361_5f72_7374;
+
+/// Wraps an objective with the `qaoa.step` fault site: a rolled
+/// evaluation returns NaN — a diverged/garbage energy estimate from the
+/// quantum processor — keyed purely by the evaluation index within this
+/// `minimize` call.
+struct ChaosObjective<F> {
+    f: F,
+    evals: u64,
+}
+
+impl<F: FnMut(&[f64]) -> f64> ChaosObjective<F> {
+    fn new(f: F) -> Self {
+        ChaosObjective { f, evals: 0 }
+    }
+
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        let unit = self.evals;
+        self.evals += 1;
+        if qjo_resil::should_inject("qaoa.step", QAOA_STEP_SALT, unit) {
+            f64::NAN
+        } else {
+            (self.f)(x)
+        }
+    }
+}
+
+/// Counts recovered divergences (injected or real NaN/∞ evaluations the
+/// optimiser routed around) once per `minimize` call.
+fn record_divergences(divergences: u64) {
+    if divergences > 0 {
+        qjo_obs::counter!("resil.qaoa.step.divergences").add(divergences);
+    }
+}
+
 /// Records an optimiser's running-best trajectory into the convergence
 /// recorder (`optim` group, one series per `minimize` call, step =
 /// iteration). Inert unless a recorder is active.
@@ -58,13 +99,24 @@ impl Default for GradientDescent {
 
 impl GradientDescent {
     /// Minimises `f` starting from `x0`.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+    ///
+    /// Divergence recovery: a non-finite gradient or objective (real, or
+    /// injected at the `qaoa.step` fault site) never poisons the state —
+    /// the iterate reverts to the best known point and the run continues,
+    /// counted under `resil.qaoa.step.divergences`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptResult {
         qjo_obs::counter!("gatesim.gd_iterations").add(self.iterations as u64);
         let d = x0.len();
+        let mut f = ChaosObjective::new(f);
+        let mut divergences = 0u64;
         let mut x = x0.to_vec();
         let mut evals = 0usize;
-        let mut fx = f(&x);
+        let mut fx = f.eval(&x);
         evals += 1;
+        if !fx.is_finite() {
+            divergences += 1;
+            fx = f64::INFINITY;
+        }
         let mut best_x = x.clone();
         let mut best_fx = fx;
         let mut history = Vec::with_capacity(self.iterations);
@@ -76,20 +128,30 @@ impl GradientDescent {
                 xp[k] += self.fd_step;
                 let mut xm = x.clone();
                 xm[k] -= self.fd_step;
-                grad[k] = (f(&xp) - f(&xm)) / (2.0 * self.fd_step);
+                grad[k] = (f.eval(&xp) - f.eval(&xm)) / (2.0 * self.fd_step);
                 evals += 2;
+            }
+            if grad.iter().any(|g| !g.is_finite()) {
+                divergences += 1;
+                x.copy_from_slice(&best_x);
+                history.push(best_fx);
+                continue;
             }
             for k in 0..d {
                 x[k] -= self.learning_rate * grad[k];
             }
-            fx = f(&x);
+            fx = f.eval(&x);
             evals += 1;
-            if fx < best_fx {
+            if !fx.is_finite() {
+                divergences += 1;
+                x.copy_from_slice(&best_x);
+            } else if fx < best_fx {
                 best_fx = fx;
                 best_x.copy_from_slice(&x);
             }
             history.push(best_fx);
         }
+        record_divergences(divergences);
         record_history("gd", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
@@ -117,38 +179,67 @@ impl Default for Spsa {
 
 impl Spsa {
     /// Minimises `f` starting from `x0`.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+    ///
+    /// Divergence recovery: a non-finite evaluation restarts the
+    /// iteration from the best known point with the perturbation RNG
+    /// reseeded (deterministically, from the iteration index), counted
+    /// under `resil.qaoa.step.divergences`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptResult {
         let d = x0.len();
+        let mut f = ChaosObjective::new(f);
+        let mut divergences = 0u64;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut x = x0.to_vec();
         let mut evals = 0usize;
         let mut best_x = x.clone();
-        let mut best_fx = f(&x);
+        let mut best_fx = f.eval(&x);
         evals += 1;
+        if !best_fx.is_finite() {
+            divergences += 1;
+            best_fx = f64::INFINITY;
+        }
         let mut history = Vec::with_capacity(self.iterations);
 
         for k in 0..self.iterations {
+            let restart_seed = || {
+                StdRng::seed_from_u64(qjo_resil::stream_seed(
+                    self.seed ^ SPSA_RESTART_SALT,
+                    k as u64,
+                ))
+            };
             let ak = self.a / ((k + 1) as f64).powf(0.602);
             let ck = self.c / ((k + 1) as f64).powf(0.101);
             let delta: Vec<f64> =
                 (0..d).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }).collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, s)| v + ck * s).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, s)| v - ck * s).collect();
-            let fp = f(&xp);
-            let fm = f(&xm);
+            let fp = f.eval(&xp);
+            let fm = f.eval(&xm);
             evals += 2;
+            if !fp.is_finite() || !fm.is_finite() {
+                divergences += 1;
+                x.copy_from_slice(&best_x);
+                rng = restart_seed();
+                history.push(best_fx);
+                continue;
+            }
             for i in 0..d {
                 let g = (fp - fm) / (2.0 * ck * delta[i]);
                 x[i] -= ak * g;
             }
-            let fx = f(&x);
+            let fx = f.eval(&x);
             evals += 1;
-            if fx < best_fx {
+            if !fx.is_finite() {
+                divergences += 1;
+                x.copy_from_slice(&best_x);
+                rng = restart_seed();
+            } else if fx < best_fx {
                 best_fx = fx;
                 best_x.copy_from_slice(&x);
             }
             history.push(best_fx);
         }
+        record_divergences(divergences);
         record_history("spsa", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
@@ -179,15 +270,26 @@ impl Default for Adam {
 
 impl Adam {
     /// Minimises `f` starting from `x0`.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+    ///
+    /// Divergence recovery: a coordinate whose gradient comes back
+    /// non-finite skips its moment update for that iteration; a
+    /// non-finite objective reverts the iterate to the best known point.
+    /// Both are counted under `resil.qaoa.step.divergences`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptResult {
         let d = x0.len();
+        let mut f = ChaosObjective::new(f);
+        let mut divergences = 0u64;
         let mut x = x0.to_vec();
         let mut m = vec![0.0; d];
         let mut v = vec![0.0; d];
         let mut evals = 0usize;
         let mut best_x = x.clone();
-        let mut best_fx = f(&x);
+        let mut best_fx = f.eval(&x);
         evals += 1;
+        if !best_fx.is_finite() {
+            divergences += 1;
+            best_fx = f64::INFINITY;
+        }
         let mut history = Vec::with_capacity(self.iterations);
         const EPS: f64 = 1e-8;
 
@@ -197,22 +299,30 @@ impl Adam {
                 xp[k] += self.fd_step;
                 let mut xm = x.clone();
                 xm[k] -= self.fd_step;
-                let g = (f(&xp) - f(&xm)) / (2.0 * self.fd_step);
+                let g = (f.eval(&xp) - f.eval(&xm)) / (2.0 * self.fd_step);
                 evals += 2;
+                if !g.is_finite() {
+                    divergences += 1;
+                    continue;
+                }
                 m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * g;
                 v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * g * g;
                 let m_hat = m[k] / (1.0 - self.beta1.powi(t as i32));
                 let v_hat = v[k] / (1.0 - self.beta2.powi(t as i32));
                 x[k] -= self.learning_rate * m_hat / (v_hat.sqrt() + EPS);
             }
-            let fx = f(&x);
+            let fx = f.eval(&x);
             evals += 1;
-            if fx < best_fx {
+            if !fx.is_finite() {
+                divergences += 1;
+                x.copy_from_slice(&best_x);
+            } else if fx < best_fx {
                 best_fx = fx;
                 best_x.copy_from_slice(&x);
             }
             history.push(best_fx);
         }
+        record_divergences(divergences);
         record_history("adam", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }
@@ -237,9 +347,26 @@ impl Default for NelderMead {
 
 impl NelderMead {
     /// Minimises `f` starting from `x0`.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptResult {
+    ///
+    /// Divergence recovery: non-finite evaluations (real, or injected at
+    /// the `qaoa.step` fault site) enter the simplex as `+∞` — a total
+    /// order the vertex sort handles — so one diverged vertex is simply
+    /// the first to be reflected away, counted under
+    /// `resil.qaoa.step.divergences`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptResult {
         let d = x0.len();
         assert!(d >= 1, "need at least one dimension");
+        let mut chaos = ChaosObjective::new(f);
+        let mut divergences = 0u64;
+        let mut f = |x: &[f64]| {
+            let fx = chaos.eval(x);
+            if fx.is_finite() {
+                fx
+            } else {
+                divergences += 1;
+                f64::INFINITY
+            }
+        };
         let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
         let mut evals = 0usize;
         let mut history = Vec::new();
@@ -311,6 +438,7 @@ impl NelderMead {
         }
 
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        record_divergences(divergences);
         record_history("nelder_mead", &history);
         let (x, fx) = simplex.swap_remove(0);
         OptResult { x, fx, evals, history }
@@ -376,19 +504,32 @@ impl GridSearch {
         }
 
         qjo_obs::counter!("gatesim.grid_evals").add(points.len() as u64);
-        let values = qjo_exec::par_map(points.clone(), self.parallelism, |x| f(&x));
+        // Injection is keyed by the grid index, so the decision is pure
+        // per point and the parallel map stays order-independent.
+        let indexed: Vec<(usize, Vec<f64>)> = points.iter().cloned().enumerate().collect();
+        let values = qjo_exec::par_map(indexed, self.parallelism, |(i, x)| {
+            if qjo_resil::should_inject("qaoa.step", QAOA_STEP_SALT, i as u64) {
+                f64::NAN
+            } else {
+                f(&x)
+            }
+        });
 
         let mut best_x = Vec::new();
         let mut best_fx = f64::INFINITY;
         let mut history = Vec::with_capacity(values.len());
         let evals = values.len();
+        let mut divergences = 0u64;
         for (x, fx) in points.into_iter().zip(values) {
-            if fx < best_fx {
+            if !fx.is_finite() {
+                divergences += 1;
+            } else if fx < best_fx {
                 best_fx = fx;
                 best_x = x;
             }
             history.push(best_fx);
         }
+        record_divergences(divergences);
         record_history("grid", &history);
         OptResult { x: best_x, fx: best_fx, evals, history }
     }

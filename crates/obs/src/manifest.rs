@@ -9,7 +9,8 @@
 //! # Drift detection
 //!
 //! [`diff`] compares the **deterministic** sections of two manifests —
-//! stage names and counters, global counters, gauges, and artifact
+//! stage names and counters, global counters, resilience counters
+//! (fault injections and recovery activity), gauges, and artifact
 //! row counts / byte sizes / content hashes — and ignores everything
 //! timing-dependent (the `run` section, `duration_ms` fields, and span
 //! histograms). Two runs of the same code at any thread count therefore
@@ -79,8 +80,12 @@ pub struct RunManifest {
     pub run: BTreeMap<String, Json>,
     /// Stages in execution order.
     pub stages: Vec<StageRecord>,
-    /// Final global counter values.
+    /// Final global counter values (excluding the resilience taxonomy).
     pub counters: BTreeMap<String, u64>,
+    /// Fault-injection and recovery counters (`fault.*` / `resil.*`),
+    /// split out of [`counters`](Self::counters) so chaos activity is
+    /// auditable — and drift-gated — as its own section.
+    pub resilience: BTreeMap<String, u64>,
     /// Final global gauge values.
     pub gauges: BTreeMap<String, f64>,
     /// Span timings by path.
@@ -94,9 +99,14 @@ pub struct RunManifest {
 }
 
 impl RunManifest {
-    /// Fills the counter/gauge/span sections from a registry snapshot.
+    /// Fills the counter/gauge/span sections from a registry snapshot,
+    /// routing `fault.*` / `resil.*` counters into the
+    /// [`resilience`](Self::resilience) section.
     pub fn set_metrics(&mut self, snapshot: &Snapshot) {
-        self.counters = snapshot.counters.clone();
+        let (resilience, counters) =
+            snapshot.counters.clone().into_iter().partition(|(name, _)| is_resilience(name));
+        self.counters = counters;
+        self.resilience = resilience;
         self.gauges = snapshot.gauges.clone();
         self.spans = snapshot
             .histograms
@@ -132,6 +142,7 @@ impl RunManifest {
             .collect();
         root.insert("stages".to_string(), Json::Arr(stages));
         root.insert("counters".to_string(), counters_json(&self.counters));
+        root.insert("resilience".to_string(), counters_json(&self.resilience));
         root.insert(
             "gauges".to_string(),
             Json::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect()),
@@ -209,6 +220,7 @@ impl RunManifest {
             })
             .collect::<Result<Vec<_>, String>>()?;
         let counters = parse_counters(doc.get("counters"))?;
+        let resilience = parse_counters(doc.get("resilience"))?;
         let gauges = doc
             .get("gauges")
             .and_then(Json::as_obj)
@@ -269,8 +281,26 @@ impl RunManifest {
             .and_then(Json::as_arr)
             .map(|arr| arr.iter().filter_map(Json::as_str).map(str::to_string).collect())
             .unwrap_or_default();
-        Ok(RunManifest { run, stages, counters, gauges, spans, artifacts, volatile_counters })
+        Ok(RunManifest {
+            run,
+            stages,
+            counters,
+            resilience,
+            gauges,
+            spans,
+            artifacts,
+            volatile_counters,
+        })
     }
+}
+
+/// Whether a counter belongs to the manifest's `resilience` section.
+///
+/// The resilience taxonomy is prefix-based: `fault.injected.<site>`
+/// records injected faults, `resil.<site>.*` records the recovery
+/// machinery's reaction (retries, fallbacks, escalations, divergences).
+pub fn is_resilience(counter: &str) -> bool {
+    counter.starts_with("fault.") || counter.starts_with("resil.")
 }
 
 fn round3(v: f64) -> f64 {
@@ -301,8 +331,8 @@ fn parse_counters(value: Option<&Json>) -> Result<BTreeMap<String, u64>, String>
 /// one-line description [`diff`] reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DriftEntry {
-    /// Manifest section (`stages`, `stage <name>`, `counters`, `gauges`,
-    /// or `artifacts`).
+    /// Manifest section (`stages`, `stage <name>`, `counters`,
+    /// `resilience`, `gauges`, or `artifacts`).
     pub section: String,
     /// Key within the section (counter/gauge/artifact name).
     pub key: String,
@@ -360,6 +390,7 @@ pub fn diff_entries(baseline: &RunManifest, current: &RunManifest) -> Vec<DriftE
     }
 
     diff_counters(&mut drift, "counters", &baseline.counters, &current.counters, &volatile);
+    diff_counters(&mut drift, "resilience", &baseline.resilience, &current.resilience, &volatile);
 
     for (name, &b) in &baseline.gauges {
         match current.gauges.get(name) {
@@ -649,6 +680,43 @@ mod tests {
         let drift = diff(&baseline, &current);
         assert_eq!(drift.len(), 1, "{drift:?}");
         assert!(drift[0].contains("changed shape"), "{drift:?}");
+    }
+
+    #[test]
+    fn set_metrics_splits_resilience_counters_out() {
+        let reg = crate::Registry::new();
+        reg.counter("sa.restarts").add(3);
+        reg.counter("fault.injected.anneal.embed").add(2);
+        reg.counter("resil.anneal.embed.fallback").add(1);
+        let mut manifest = RunManifest::default();
+        manifest.set_metrics(&reg.snapshot());
+        assert_eq!(manifest.counters, BTreeMap::from([("sa.restarts".to_string(), 3)]));
+        assert_eq!(
+            manifest.resilience,
+            BTreeMap::from([
+                ("fault.injected.anneal.embed".to_string(), 2),
+                ("resil.anneal.embed.fallback".to_string(), 1),
+            ])
+        );
+    }
+
+    #[test]
+    fn resilience_section_round_trips_and_diffs() {
+        let mut baseline = sample_manifest();
+        baseline.resilience.insert("fault.injected.io.write".to_string(), 4);
+        baseline.resilience.insert("resil.io.write.recovered".to_string(), 4);
+        let mut current = RunManifest::parse(&baseline.render()).unwrap();
+        assert_eq!(current.resilience, baseline.resilience);
+        assert_eq!(diff(&baseline, &current), Vec::<String>::new());
+        // A chaos plan firing differently is drift, same as any counter.
+        current.resilience.insert("resil.io.write.recovered".to_string(), 3);
+        current.resilience.insert("resil.io.write.exhausted".to_string(), 1);
+        let drift = diff(&baseline, &current);
+        assert_eq!(drift.len(), 2, "{drift:?}");
+        assert!(drift
+            .iter()
+            .any(|d| d.contains("resilience: counter resil.io.write.recovered: 4 -> 3")));
+        assert!(drift.iter().any(|d| d.contains("resilience: counter resil.io.write.exhausted")));
     }
 
     #[test]

@@ -191,6 +191,46 @@ mod tests {
     }
 
     #[test]
+    fn missing_and_malformed_fields_name_the_problem() {
+        let msg = |text: &str| match from_text(text) {
+            Err(ParseError::BadLine { message, .. }) => message,
+            other => panic!("expected BadLine for {text:?}, got {other:?}"),
+        };
+        assert_eq!(msg("vars 2\nlin 0"), "missing value");
+        assert_eq!(msg("vars 2\nlin"), "missing index");
+        assert_eq!(msg("vars 2\nlin 0 abc"), "bad value");
+        assert_eq!(msg("vars 2\nlin -1 1.0"), "bad index");
+        assert_eq!(msg("vars 2\nquad 0 1"), "missing value");
+        assert_eq!(msg("vars 2\noffset"), "missing value");
+        assert_eq!(msg("vars"), "missing index");
+    }
+
+    #[test]
+    fn body_lines_before_the_header_are_rejected() {
+        // Every body keyword needs `vars N` first: the model's size is
+        // what validates its indices.
+        for text in ["offset 1.0\nvars 2", "lin 0 1.0\nvars 2", "quad 0 1 1.0\nvars 2"] {
+            assert_eq!(from_text(text), Err(ParseError::MissingHeader), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn lin_index_out_of_range_is_reported_too() {
+        match from_text("vars 2\n\n# pad\nlin 2 1.0") {
+            Err(ParseError::IndexOutOfRange { line: 4, index: 2 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_line_display_carries_line_and_message() {
+        let e = ParseError::BadLine { line: 3, message: "trailing tokens".to_string() };
+        assert_eq!(e.to_string(), "line 3: trailing tokens");
+        let e = from_text("vars 2\nquad 0 1 2.0 junk").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: trailing tokens");
+    }
+
+    #[test]
     fn zero_terms_are_omitted_from_output() {
         let mut q = Qubo::new(2);
         q.add_linear(0, 0.0);

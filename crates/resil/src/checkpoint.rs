@@ -1,0 +1,63 @@
+//! Atomic JSON checkpoints.
+//!
+//! A checkpoint is a small JSON document saved with
+//! [`atomic_write_uninjected`], so a crash mid-save leaves either the
+//! previous checkpoint or none — never a torn one. Checkpoints are the
+//! recovery substrate itself, so they are exempt from `io.write` fault
+//! injection. The `experiments` driver writes one per completed sweep
+//! stage and replays them under `--resume`.
+
+use std::path::Path;
+
+use crate::atomic::atomic_write_uninjected;
+use crate::error::QjoError;
+use qjo_obs::json::Json;
+
+/// Saves `doc` to `path` atomically, bypassing fault injection.
+pub fn save(path: impl AsRef<Path>, doc: &Json) -> Result<(), QjoError> {
+    atomic_write_uninjected(path, doc.render().as_bytes()).map_err(QjoError::from)
+}
+
+/// Loads the checkpoint at `path`.
+///
+/// Returns `Ok(None)` when the file is absent *or* unparsable: a
+/// checkpoint that cannot be trusted is treated as missing, and the
+/// caller simply redoes the work it would have skipped.
+pub fn load(path: impl AsRef<Path>) -> Result<Option<Json>, QjoError> {
+    let text = match std::fs::read_to_string(path.as_ref()) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(QjoError::from(e)),
+    };
+    Ok(Json::parse(&text).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::without_faults;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn round_trips_and_treats_garbage_as_missing() {
+        without_faults(|| {
+            let dir =
+                std::env::temp_dir().join(format!("qjo-resil-checkpoint-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let path = dir.join("stage.json");
+
+            assert_eq!(load(&path).unwrap(), None, "missing file is None");
+
+            let doc = Json::Obj(BTreeMap::from([
+                ("stage".to_string(), Json::Str("table1".to_string())),
+                ("duration_ms".to_string(), Json::Num(12.0)),
+            ]));
+            save(&path, &doc).unwrap();
+            assert_eq!(load(&path).unwrap(), Some(doc));
+
+            std::fs::write(&path, "{ torn").unwrap();
+            assert_eq!(load(&path).unwrap(), None, "corrupt checkpoint is None");
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+}

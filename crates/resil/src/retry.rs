@@ -1,0 +1,90 @@
+//! Attempt-bounded retry: the policy engine's core loop.
+//!
+//! Budgets are **attempt counts, never wall-clock** — a retried run
+//! makes the same decisions on a loaded CI box as on an idle laptop, so
+//! results stay bit-identical at any thread count. The closure receives
+//! the 0-based attempt index; call sites use it to derive a fresh seed
+//! per attempt (via [`crate::stream_seed`]), which is what turns a
+//! deterministic failure into a genuinely different retry.
+//!
+//! Every outcome is counted: `resil.<site>.retries` (an attempt failed
+//! with budget remaining), `resil.<site>.recovered` (a retry succeeded),
+//! `resil.<site>.exhausted` (the whole budget failed).
+
+/// Runs `op` up to `max_attempts` times, returning the first success or
+/// the last error.
+///
+/// # Panics
+/// If `max_attempts` is 0.
+pub fn with_retries<T, E>(
+    site: &str,
+    max_attempts: usize,
+    mut op: impl FnMut(usize) -> Result<T, E>,
+) -> Result<T, E> {
+    assert!(max_attempts >= 1, "retry budget must allow at least one attempt");
+    let mut last = None;
+    for attempt in 0..max_attempts {
+        match op(attempt) {
+            Ok(value) => {
+                if attempt > 0 {
+                    qjo_obs::counter(&format!("resil.{site}.recovered")).incr();
+                }
+                return Ok(value);
+            }
+            Err(e) => {
+                if attempt + 1 < max_attempts {
+                    qjo_obs::counter(&format!("resil.{site}.retries")).incr();
+                }
+                last = Some(e);
+            }
+        }
+    }
+    qjo_obs::counter(&format!("resil.{site}.exhausted")).incr();
+    Err(last.expect("max_attempts >= 1 guarantees at least one result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deltas_since(before: &qjo_obs::Snapshot) -> std::collections::BTreeMap<String, u64> {
+        qjo_obs::global().snapshot().counter_deltas_since(before)
+    }
+
+    #[test]
+    fn first_try_success_counts_nothing() {
+        let before = qjo_obs::global().snapshot();
+        let out: Result<i32, ()> = with_retries("t.first", 3, |_| Ok(7));
+        assert_eq!(out, Ok(7));
+        let d = deltas_since(&before);
+        assert!(d.keys().all(|k| !k.starts_with("resil.t.first.")), "{d:?}");
+    }
+
+    #[test]
+    fn recovery_counts_retries_and_recovered() {
+        let before = qjo_obs::global().snapshot();
+        let out: Result<usize, &str> =
+            with_retries("t.recover", 4, |a| if a < 2 { Err("boom") } else { Ok(a) });
+        assert_eq!(out, Ok(2));
+        let d = deltas_since(&before);
+        assert_eq!(d.get("resil.t.recover.retries"), Some(&2));
+        assert_eq!(d.get("resil.t.recover.recovered"), Some(&1));
+        assert_eq!(d.get("resil.t.recover.exhausted"), None);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let before = qjo_obs::global().snapshot();
+        let out: Result<(), String> = with_retries("t.dry", 3, |a| Err(format!("attempt {a}")));
+        assert_eq!(out, Err("attempt 2".to_string()));
+        let d = deltas_since(&before);
+        assert_eq!(d.get("resil.t.dry.retries"), Some(&2));
+        assert_eq!(d.get("resil.t.dry.exhausted"), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_budget_is_a_bug() {
+        let _: Result<(), ()> = with_retries("t.zero", 0, |_| Ok(()));
+    }
+}

@@ -78,6 +78,10 @@ impl Transpiler {
 
     /// Compiles `circuit` for a device with the given coupling graph and
     /// native gate set.
+    ///
+    /// A routing failure injected at the `transpile.route` fault site
+    /// (a device rejecting the mapped circuit) restarts the pipeline
+    /// with a reseeded layout, bounded by an attempt budget.
     pub fn transpile(
         &self,
         circuit: &Circuit,
@@ -86,10 +90,25 @@ impl Transpiler {
     ) -> TranspileResult {
         let _span = qjo_obs::span!("transpile.run");
         qjo_obs::counter!("transpile.runs").incr();
+        // Bounded pre-roll: each rejected route costs one attempt and
+        // reseeds the layout stream; the final attempt always runs.
+        const ROUTE_ATTEMPTS: u64 = 3;
+        const ROUTE_RESEED_SALT: u64 = 0x726f_7574_655f_7273;
+        let mut attempt: u64 = 0;
+        while attempt + 1 < ROUTE_ATTEMPTS
+            && qjo_resil::should_inject("transpile.route", self.seed, attempt)
+        {
+            qjo_obs::counter!("resil.transpile.route.retries").incr();
+            attempt += 1;
+        }
+        let effective_seed = match attempt {
+            0 => self.seed,
+            _ => qjo_resil::stream_seed(self.seed ^ ROUTE_RESEED_SALT, attempt),
+        };
         let perturbation = 2;
         let seed_layout = {
             let _pass = qjo_obs::span!("transpile.layout");
-            greedy_layout(circuit, topology, self.seed, perturbation)
+            greedy_layout(circuit, topology, effective_seed, perturbation)
         };
         let (initial_layout, routed) = match self.strategy {
             Strategy::QiskitLike | Strategy::TketLike => {

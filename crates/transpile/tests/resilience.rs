@@ -1,0 +1,44 @@
+//! Chaos tests for the transpiler's rejected-route retry (own binary:
+//! fault plans are process-global and serialise via the scoped guard).
+
+use qjo_gatesim::{Circuit, Gate};
+use qjo_resil::fault::{scoped, without_faults};
+use qjo_resil::FaultPlan;
+use qjo_transpile::{NativeGateSet, Strategy, Topology, Transpiler};
+
+fn ladder(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push(Gate::H(q));
+    }
+    for q in 0..n - 1 {
+        c.push(Gate::Cx(q, q + 1));
+    }
+    c.push(Gate::Cx(0, n - 1));
+    c
+}
+
+#[test]
+fn rejected_routes_restart_with_a_reseeded_layout() {
+    let run = || {
+        Transpiler::new(Strategy::QiskitLike, 7).transpile(
+            &ladder(6),
+            &Topology::grid(3, 3),
+            NativeGateSet::Ibm,
+        )
+    };
+    let baseline = without_faults(run);
+    let _guard = scoped(FaultPlan::new(21).with_rate("transpile.route", 1.0));
+    let before = qjo_obs::global().snapshot();
+    let chaotic = run();
+    let deltas = qjo_obs::global().snapshot().counter_deltas_since(&before);
+    assert_eq!(deltas.get("resil.transpile.route.retries"), Some(&2));
+    assert_eq!(deltas.get("fault.injected.transpile.route"), Some(&2));
+    assert_ne!(
+        baseline.initial_layout, chaotic.initial_layout,
+        "the reseeded layout differs from the rejected one"
+    );
+    let again = run();
+    assert_eq!(again.initial_layout, chaotic.initial_layout, "deterministically so");
+    assert_eq!(again.swaps_inserted, chaotic.swaps_inserted);
+}
