@@ -63,6 +63,13 @@ impl Gauge {
         out
     }
 
+    /// In-place variant of [`Gauge::transform`] on a compiled model — the
+    /// read-loop hot path, which would otherwise rebuild a coupling map
+    /// per read only to flatten it again.
+    pub fn apply_compiled(&self, ising: &mut qjo_qubo::CompiledIsing) {
+        ising.apply_gauge(&self.signs);
+    }
+
     /// Maps a spin configuration of the transformed problem back to the
     /// original problem's frame.
     pub fn untransform_spins(&self, spins: &[i8]) -> Vec<i8> {

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use qjo_qubo::IsingModel;
+use qjo_qubo::{CompiledIsing, IsingModel, IsingTerm};
 
 /// ICE noise parameters (in units of the normalised coefficient range
 /// `[−1, 1]`).
@@ -58,6 +58,26 @@ impl IceNoise {
         out
     }
 
+    /// In-place variant of [`IceNoise::apply`] on a compiled model — the
+    /// read-loop hot path. Coefficients are visited in the same order the
+    /// map-based rebuild iterates (fields by index, then couplings
+    /// lexicographic with `i < j`), so the Gaussian stream is consumed
+    /// per coefficient exactly as [`IceNoise::apply`] would; a coupling
+    /// that quantises to zero stays in the adjacency with weight 0.0,
+    /// which contributes nothing to any local field or energy.
+    pub fn apply_compiled(&self, ising: &mut CompiledIsing, rng: &mut StdRng) {
+        ising.perturb(|term, v| match term {
+            IsingTerm::Field(_) => {
+                if v != 0.0 || self.sigma_h > 0.0 {
+                    self.quantise(v + self.sigma_h * gaussian(rng))
+                } else {
+                    v
+                }
+            }
+            IsingTerm::Coupling(..) => self.quantise(v + self.sigma_j * gaussian(rng)),
+        });
+    }
+
     fn quantise(&self, v: f64) -> f64 {
         let clamped = v.clamp(-1.0, 1.0);
         if self.quantisation_levels < 2 {
@@ -102,6 +122,42 @@ mod tests {
         let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn compiled_gauge_and_ice_match_the_map_based_rebuild() {
+        // The read loop's in-place pipeline (clone → apply_gauge →
+        // apply_compiled) must consume the identical Gaussian stream and
+        // produce the identical coefficients as transforming and
+        // perturbing the uncompiled model and then compiling it.
+        let mut m = IsingModel::new(6);
+        for i in 0..6 {
+            m.add_field(i, 0.1 * i as f64 - 0.2);
+        }
+        for (a, b, v) in [(0, 1, 0.8), (1, 2, -0.6), (2, 5, 0.4), (0, 4, -1.0), (3, 4, 0.9)] {
+            m.add_coupling(a, b, v);
+        }
+        let gauge = crate::gauge::gauge_set(6, 3, 11).pop().expect("non-identity gauge");
+        let ice = IceNoise::advantage();
+
+        let mut rng_map = StdRng::seed_from_u64(99);
+        let reference = ice.apply(&gauge.transform(&m), &mut rng_map).compile();
+
+        let mut rng_flat = StdRng::seed_from_u64(99);
+        let mut flat = m.compile();
+        gauge.apply_compiled(&mut flat);
+        ice.apply_compiled(&mut flat, &mut rng_flat);
+
+        for i in 0..6 {
+            assert_eq!(flat.field(i), reference.field(i), "field {i}");
+            // The flat path may keep quantised-to-zero couplings as
+            // 0.0-weight entries; compare effective coefficients instead
+            // of adjacency shape.
+            for (j, w) in flat.neighbors(i) {
+                let r = reference.neighbors(i).find(|&(c, _)| c == j).map_or(0.0, |(_, w)| w);
+                assert_eq!(w, r, "coupling ({i},{j})");
+            }
+        }
     }
 
     #[test]

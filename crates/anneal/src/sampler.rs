@@ -19,7 +19,7 @@ use qjo_transpile::Topology;
 use crate::chain::{chain_break_fraction, unembed_majority, uniform_torque_compensation};
 use crate::embed::{Embedder, Embedding};
 use crate::ice::{normalize, IceNoise};
-use crate::sqa::{anneal_once, SqaConfig};
+use crate::sqa::{anneal_compiled, SqaConfig};
 
 /// Errors of the annealing pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -277,14 +277,19 @@ impl AnnealerSampler {
             self.num_gauges.max(1),
             seed ^ 0x9e37_79b9,
         );
+        // Compile the programmed problem once; each read clones the flat
+        // CSR arrays and applies its gauge + ICE perturbation in place
+        // instead of rebuilding two coupling maps per read.
+        let compiled = programmed.compile();
         let read_indices: Vec<usize> = (0..self.num_reads).collect();
         let per_read = par_map_seeded(read_indices, seed, self.parallelism, |read_idx, rng| {
             // Spin-reversal transform: rotate through the gauge set so
             // analogue asymmetries average out across reads.
             let gauge = &gauges[read_idx % gauges.len()];
-            let gauged = gauge.transform(&programmed);
-            let noisy = self.ice.apply(&gauged, rng);
-            let dense_spins = anneal_once(&noisy, &self.sqa, self.annealing_time_us, rng);
+            let mut noisy = compiled.clone();
+            gauge.apply_compiled(&mut noisy);
+            self.ice.apply_compiled(&mut noisy, rng);
+            let dense_spins = anneal_compiled(&noisy, &self.sqa, self.annealing_time_us, rng);
             let dense_spins = gauge.untransform_spins(&dense_spins);
             let read = unembed_majority(&dense_embedding, &dense_spins);
             (ising::spins_to_bits(&read.spins), read)

@@ -15,18 +15,50 @@
 //! between classical configurations, which is the mechanism quantum
 //! annealers exploit. The annealing *time* maps linearly onto Monte-Carlo
 //! sweeps.
+//!
+//! # The packed kernel
+//!
+//! Both the forward anneal and reverse annealing run on one shared
+//! `Lattice` kernel with two structural optimisations over a naive
+//! slice-by-slice Metropolis loop:
+//!
+//! * **Multi-spin coding.** The `P ≤ 64` Trotter slices of each problem
+//!   spin live in a single `u64` word (bit `k` set ⇔ slice `k` is `+1`).
+//!   One rotate + XOR per site yields the inter-slice agreement pattern of
+//!   *all* slices at once, and the ferromagnetic ΔE contribution reduces to
+//!   a 3-entry table lookup indexed by how many of the two imaginary-time
+//!   neighbours agree. Slices are visited in checkerboard (parity) batches
+//!   so the agreement masks stay valid across a whole batch.
+//! * **Incremental ΔE.** The coupling part of every spin's local field,
+//!   `Σ_j J_ij s_j^(k)`, is cached per `(site, slice)` and updated in
+//!   O(degree) only when a neighbouring flip is *accepted*. A proposal
+//!   costs O(1) instead of the O(degree) field recomputation the previous
+//!   implementation paid per proposal, and per-slice problem energies are
+//!   maintained incrementally alongside.
+//!
+//! The model itself is walked through [`CompiledIsing`] CSR adjacency, so
+//! no per-anneal `Vec<Vec<…>>` neighbour tables are rebuilt.
 
 use qjo_exec::{par_map_seeded, Parallelism};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::RngExt;
 
-use qjo_qubo::IsingModel;
+use qjo_qubo::{CompiledIsing, IsingModel};
+
+/// Floor on the number of Monte-Carlo sweeps in any anneal.
+///
+/// Forward and reverse anneals historically disagreed (2 vs 4); the shared
+/// kernel pins both to this single documented value. Four sweeps is the
+/// minimum for the triangle (reverse) schedule to visit the ramp-up, the
+/// reversal point, and the ramp-down with at least one sweep each.
+pub const MIN_SWEEPS: usize = 4;
 
 /// SQA parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SqaConfig {
-    /// Number of Trotter slices `P`.
+    /// Number of Trotter slices `P` (clamped to `2..=64`; the packed
+    /// kernel stores one slice per bit of a `u64` word).
     pub trotter_slices: usize,
     /// Simulation temperature (in problem-energy units). Annealers operate
     /// cold relative to the programmed problem scale.
@@ -62,37 +94,299 @@ pub fn trotter_coupling(gamma: f64, slices: usize, temperature: f64) -> f64 {
     -(pt / 2.0) * g.tanh().ln()
 }
 
-/// Runs one SQA anneal and returns the best slice's spin configuration.
-pub fn anneal_once(
-    ising: &IsingModel,
+/// Number of Metropolis sweeps for a given annealing time, floored at
+/// [`MIN_SWEEPS`]. Both [`anneal_once`] and [`reverse_anneal_once`] route
+/// through this.
+pub fn sweep_count(annealing_time_us: f64, sweeps_per_us: f64) -> usize {
+    ((annealing_time_us * sweeps_per_us).ceil() as usize).max(MIN_SWEEPS)
+}
+
+/// Transverse-field schedule over the normalised sweep fraction `s ∈ [0,1]`.
+#[derive(Debug, Clone, Copy)]
+enum GammaSchedule {
+    /// Forward anneal: linear ramp from `gamma0` down to 0.
+    Ramp { gamma0: f64 },
+    /// Reverse anneal: Γ rises to `peak` at the midpoint, then falls back
+    /// to ~0 (clamped away from exactly zero).
+    Triangle { peak: f64 },
+}
+
+impl GammaSchedule {
+    fn gamma(self, s_frac: f64) -> f64 {
+        match self {
+            GammaSchedule::Ramp { gamma0 } => gamma0 * (1.0 - s_frac),
+            GammaSchedule::Triangle { peak } => {
+                if s_frac < 0.5 { peak * (s_frac * 2.0) } else { peak * (2.0 - s_frac * 2.0) }
+                    .max(1e-9)
+            }
+        }
+    }
+}
+
+/// Metropolis rejection cutoff on `x = ΔE/T`: beyond `ln(2⁵³)` the
+/// acceptance probability `exp(−x)` falls below 2⁻⁵³, the resolution of
+/// the uniform draw, so the only representable uniform that could accept
+/// is exactly 0.0 (a once-per-2⁵³-draws event). Such proposals are
+/// rejected outright without spending a draw or an `exp` — which removes
+/// the two most expensive operations from the late-anneal regime, where
+/// most proposals fight the full `+4·J_⊥` ferromagnetic penalty.
+const NEGLIGIBLE_ACCEPTANCE: f64 = 36.736_800_569_677_1;
+
+/// Orders a and b such that NaN energies always lose: finite (and ±∞)
+/// energies rank strictly before any NaN, and ties fall back to a total
+/// order. `min_by(better_energy)` therefore never returns a NaN slice
+/// while a non-NaN one exists — the previous `partial_cmp().unwrap_or
+/// (Equal)` selection let a NaN replica win arbitrarily.
+fn better_energy(a: f64, b: f64) -> std::cmp::Ordering {
+    a.is_nan().cmp(&b.is_nan()).then_with(|| a.total_cmp(&b))
+}
+
+/// The shared SQA spin lattice: `P` Trotter slices of `n` problem spins,
+/// packed one word per site.
+struct Lattice<'a> {
+    model: &'a CompiledIsing,
+    /// Trotter slices (2..=64).
+    p: usize,
+    /// Low `p` bits set.
+    slice_mask: u64,
+    /// `words[i]` bit `k` is spin `i` of slice `k` (`1 ⇔ +1`).
+    words: Vec<u64>,
+    /// Cached coupling field `Σ_j J_ij s_j^(k)` at `[i * p + k]` (site-major
+    /// so one site's slice row is contiguous). Fields `h_i` are excluded —
+    /// they are constants read from the model.
+    local: Vec<f64>,
+    /// Incrementally maintained problem energy of each slice.
+    slice_energy: Vec<f64>,
+    /// Scratch site visiting order, reshuffled every sweep.
+    site_order: Vec<usize>,
+    /// Checkerboard slice batches: same-parity slices are never
+    /// imaginary-time neighbours, so one batch's agreement masks stay
+    /// valid throughout the batch. Odd `P` puts the wrap-around slice
+    /// `P−1` (adjacent to slice 0, same parity) in a batch of its own.
+    batches: Vec<Vec<usize>>,
+}
+
+impl<'a> Lattice<'a> {
+    /// Builds a lattice with every slice set to the given classical state.
+    fn from_state(model: &'a CompiledIsing, p: usize, initial: &[i8]) -> Self {
+        let n = model.num_spins();
+        debug_assert_eq!(initial.len(), n);
+        let slice_mask = if p == 64 { u64::MAX } else { (1u64 << p) - 1 };
+        let words =
+            initial.iter().map(|&s| if s > 0 { slice_mask } else { 0 }).collect::<Vec<u64>>();
+        Self::finish(model, p, slice_mask, words)
+    }
+
+    /// Builds a lattice with independently random spins, consuming one
+    /// `random_bool` draw per `(site, slice)` in site-major order.
+    fn random(model: &'a CompiledIsing, p: usize, rng: &mut StdRng) -> Self {
+        let n = model.num_spins();
+        let slice_mask = if p == 64 { u64::MAX } else { (1u64 << p) - 1 };
+        let words = (0..n)
+            .map(|_| {
+                let mut w = 0u64;
+                for k in 0..p {
+                    if rng.random_bool(0.5) {
+                        w |= 1u64 << k;
+                    }
+                }
+                w
+            })
+            .collect();
+        Self::finish(model, p, slice_mask, words)
+    }
+
+    fn finish(model: &'a CompiledIsing, p: usize, slice_mask: u64, words: Vec<u64>) -> Self {
+        assert!((2..=64).contains(&p), "trotter slices must be in 2..=64, got {p}");
+        let n = model.num_spins();
+        let mut batches: Vec<Vec<usize>> = vec![
+            (0..p).step_by(2).filter(|&k| p.is_multiple_of(2) || k != p - 1).collect(),
+            (1..p).step_by(2).collect(),
+        ];
+        if p % 2 == 1 {
+            batches.push(vec![p - 1]);
+        }
+        let mut lattice = Lattice {
+            model,
+            p,
+            slice_mask,
+            words,
+            local: vec![0.0; n * p],
+            slice_energy: vec![0.0; p],
+            site_order: (0..n).collect(),
+            batches,
+        };
+        for i in 0..n {
+            for k in 0..p {
+                lattice.local[i * p + k] = lattice.recompute_local(i, k);
+            }
+        }
+        for k in 0..p {
+            lattice.slice_energy[k] = model.energy(&lattice.extract_slice(k));
+        }
+        lattice
+    }
+
+    #[inline]
+    fn spin(&self, i: usize, k: usize) -> i8 {
+        if self.words[i] >> k & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Coupling field of `(i, k)` summed from scratch (test / init path).
+    fn recompute_local(&self, i: usize, k: usize) -> f64 {
+        let mut acc = 0.0;
+        for (j, w) in self.model.neighbors(i) {
+            acc += w * f64::from(self.spin(j, k));
+        }
+        acc
+    }
+
+    fn extract_slice(&self, k: usize) -> Vec<i8> {
+        (0..self.words.len()).map(|i| self.spin(i, k)).collect()
+    }
+
+    /// One full Metropolis sweep over every `(site, slice)` at inter-slice
+    /// coupling `j_perp`. Sites are visited in a freshly shuffled order;
+    /// within a site, slices go batch by batch (see `batches`).
+    fn sweep(&mut self, j_perp: f64, temp: f64, rng: &mut StdRng) {
+        let model = self.model;
+        let p = self.p;
+        let mask = self.slice_mask;
+        let inv_p = 1.0 / p as f64;
+        let inv_temp = 1.0 / temp;
+        // ΔE of the inter-slice term indexed by how many of the two
+        // imaginary-time neighbours currently agree with the spin:
+        // s·(s_up + s_down) = 2a − 2, so ΔE_⊥ = 2·J_⊥·(2a − 2).
+        let dperp = [-4.0 * j_perp, 0.0, 4.0 * j_perp];
+
+        let mut order = std::mem::take(&mut self.site_order);
+        let batches = std::mem::take(&mut self.batches);
+        order.shuffle(rng);
+
+        for &i in &order {
+            let hi = model.field(i);
+            let row = i * p;
+            for batch in &batches {
+                let w = self.words[i];
+                // Periodic imaginary-time neighbours of every slice at once.
+                let up = ((w >> 1) | (w << (p - 1))) & mask;
+                let down = ((w << 1) | (w >> (p - 1))) & mask;
+                let agree_up = !(w ^ up) & mask;
+                let agree_down = !(w ^ down) & mask;
+                let mut flips = 0u64;
+                for &k in batch {
+                    let a = ((agree_up >> k) & 1) + ((agree_down >> k) & 1);
+                    let s = if w >> k & 1 == 1 { 1.0 } else { -1.0 };
+                    let local = hi + self.local[row + k];
+                    // Problem term: s·local flips sign (−2·s·local, scaled
+                    // by the 1/P slice weight); inter-slice term from the
+                    // agreement table.
+                    let delta = -2.0 * s * (inv_p * local) + dperp[a as usize];
+                    let x = delta * inv_temp;
+                    if delta <= 0.0
+                        || (x < NEGLIGIBLE_ACCEPTANCE && rng.random::<f64>() < (-x).exp())
+                    {
+                        flips |= 1u64 << k;
+                        let s_new = -s;
+                        for (j, jij) in model.neighbors(i) {
+                            self.local[j * p + k] += 2.0 * jij * s_new;
+                        }
+                        self.slice_energy[k] += -2.0 * s * local;
+                    }
+                }
+                // Same-parity slices are not neighbours, so deferring the
+                // word update to the end of the batch never feeds a stale
+                // agreement mask to a later proposal.
+                self.words[i] ^= flips;
+            }
+        }
+
+        self.site_order = order;
+        self.batches = batches;
+    }
+
+    /// True (recomputed) problem energies of every slice.
+    fn true_energies(&self) -> Vec<f64> {
+        (0..self.p).map(|k| self.model.energy(&self.extract_slice(k))).collect()
+    }
+
+    /// Returns the slice with the lowest problem energy. NaN energies
+    /// never win while a non-NaN slice exists.
+    fn best_slice(&self) -> Vec<i8> {
+        let energies = self.true_energies();
+        debug_assert!(
+            energies.iter().all(|e| !e.is_nan()),
+            "NaN replica energy: non-finite model coefficients reached the annealer"
+        );
+        let k = energies
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| better_energy(**a, **b))
+            .map(|(k, _)| k)
+            .expect("at least two slices");
+        self.extract_slice(k)
+    }
+
+    /// Worst-case drift of the incremental caches against from-scratch
+    /// recomputation; exercised by the property tests.
+    #[cfg(test)]
+    fn consistency_error(&self) -> f64 {
+        let mut err = 0.0f64;
+        for i in 0..self.words.len() {
+            for k in 0..self.p {
+                err = err.max((self.local[i * self.p + k] - self.recompute_local(i, k)).abs());
+            }
+        }
+        for (k, &e) in self.slice_energy.iter().enumerate() {
+            let truth = self.model.energy(&self.extract_slice(k));
+            err = err.max((e - truth).abs() / (1.0 + truth.abs()));
+        }
+        err
+    }
+}
+
+/// Runs `sweeps` Metropolis sweeps under the given Γ schedule, invoking
+/// `after_sweep` with the lattice after each one. The single inner loop
+/// both [`anneal_once`] and [`reverse_anneal_once`] share.
+fn run_schedule(
+    lattice: &mut Lattice<'_>,
+    schedule: GammaSchedule,
+    sweeps: usize,
+    temp: f64,
+    rng: &mut StdRng,
+    mut after_sweep: impl FnMut(&Lattice<'_>, usize),
+) {
+    for sweep in 0..sweeps {
+        let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
+        let gamma = schedule.gamma(s_frac);
+        let j_perp = trotter_coupling(gamma, lattice.p, temp);
+        lattice.sweep(j_perp, temp, rng);
+        after_sweep(lattice, sweep);
+    }
+}
+
+/// Runs one SQA anneal on a pre-compiled model and returns the best
+/// slice's spin configuration.
+///
+/// Prefer this over [`anneal_once`] when annealing the same model many
+/// times: the CSR compilation happens once instead of per read.
+pub fn anneal_compiled(
+    model: &CompiledIsing,
     config: &SqaConfig,
     annealing_time_us: f64,
     rng: &mut StdRng,
 ) -> Vec<i8> {
-    let n = ising.num_spins();
-    let p = config.trotter_slices.max(2);
-    let sweeps = ((annealing_time_us * config.sweeps_per_us).ceil() as usize).max(2);
+    let p = config.trotter_slices.clamp(2, 64);
+    let sweeps = sweep_count(annealing_time_us, config.sweeps_per_us);
     qjo_obs::counter!("sqa.anneals").incr();
     qjo_obs::counter!("sqa.sweeps").add(sweeps as u64);
 
-    // Adjacency in CSR-ish form for fast local fields.
-    let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for (i, j, jij) in ising.couplings() {
-        if jij != 0.0 {
-            neighbors[i].push((j, jij));
-            neighbors[j].push((i, jij));
-        }
-    }
-    let fields: Vec<f64> = ising.fields().map(|(_, h)| h).collect();
-
-    // spins[k][i]: slice k, spin i.
-    let mut spins: Vec<Vec<i8>> = (0..p)
-        .map(|_| (0..n).map(|_| if rng.random_bool(0.5) { 1i8 } else { -1 }).collect())
-        .collect();
-    let mut order: Vec<(usize, usize)> = (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
-
-    let inv_p = 1.0 / p as f64;
     let temp = config.temperature.max(1e-9);
+    let mut lattice = Lattice::random(model, p, rng);
 
     // Replica energies are expensive (P energy evaluations per kept
     // sweep), so only exemplar units record them — unit 0 of each
@@ -100,59 +394,52 @@ pub fn anneal_once(
     let replica_min = qjo_obs::convergence::exemplar_series("sqa", "replica_energy_min");
     let replica_mean = qjo_obs::convergence::exemplar_series("sqa", "replica_energy_mean");
 
-    for sweep in 0..sweeps {
-        let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
-        let gamma = config.gamma0 * (1.0 - s_frac);
-        let j_perp = trotter_coupling(gamma, p, temp);
-        order.shuffle(rng);
-        for &(k, i) in &order {
-            let s = f64::from(spins[k][i]);
-            // Problem part of the local field (scaled by 1/P per slice).
-            let mut local = fields[i];
-            for &(j, jij) in &neighbors[i] {
-                local += jij * f64::from(spins[k][j]);
+    run_schedule(
+        &mut lattice,
+        GammaSchedule::Ramp { gamma0: config.gamma0 },
+        sweeps,
+        temp,
+        rng,
+        |lattice, sweep| {
+            if replica_min.wants(sweep as u64) {
+                let energies = lattice.true_energies();
+                replica_min
+                    .record(sweep as u64, energies.iter().copied().fold(f64::INFINITY, f64::min));
+                replica_mean.record(sweep as u64, energies.iter().sum::<f64>() / p as f64);
             }
-            let up = spins[(k + 1) % p][i];
-            let down = spins[(k + p - 1) % p][i];
-            // ΔE of flipping spin (k, i): the problem term s·local flips
-            // sign (−2·s·local per slice weight), and the ferromagnetic
-            // inter-slice term −J_⊥·s·(up+down) flips likewise (+2·s·J_⊥·…).
-            let delta = -2.0 * s * (inv_p * local) + 2.0 * s * j_perp * f64::from(up + down);
-            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
-                spins[k][i] = -spins[k][i];
-            }
-        }
-        if replica_min.wants(sweep as u64) {
-            let energies: Vec<f64> = spins.iter().map(|s| ising.energy(s)).collect();
-            replica_min
-                .record(sweep as u64, energies.iter().copied().fold(f64::INFINITY, f64::min));
-            replica_mean.record(sweep as u64, energies.iter().sum::<f64>() / p as f64);
-        }
-    }
+        },
+    );
 
     // Γ ≈ 0 at the end: slices have (mostly) collapsed; report the best.
-    spins
-        .into_iter()
-        .min_by(|a, b| {
-            ising.energy(a).partial_cmp(&ising.energy(b)).unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("at least two slices")
+    lattice.best_slice()
+}
+
+/// Runs one SQA anneal and returns the best slice's spin configuration.
+pub fn anneal_once(
+    ising: &IsingModel,
+    config: &SqaConfig,
+    annealing_time_us: f64,
+    rng: &mut StdRng,
+) -> Vec<i8> {
+    anneal_compiled(&ising.compile(), config, annealing_time_us, rng)
 }
 
 /// Runs `num_reads` independent anneals.
 ///
 /// Read `i` derives its own RNG stream from `(config.seed, i)` via
 /// [`qjo_exec::stream_seed`], so the returned reads are bit-identical at
-/// any `config.parallelism` setting.
+/// any `config.parallelism` setting. The model is compiled to CSR once and
+/// shared by every read.
 pub fn sample(
     ising: &IsingModel,
     config: &SqaConfig,
     annealing_time_us: f64,
     num_reads: usize,
 ) -> Vec<Vec<i8>> {
+    let compiled = ising.compile();
     let reads: Vec<usize> = (0..num_reads).collect();
     par_map_seeded(reads, config.seed, config.parallelism, |_, rng| {
-        anneal_once(ising, config, annealing_time_us, rng)
+        anneal_compiled(&compiled, config, annealing_time_us, rng)
     })
 }
 
@@ -172,62 +459,42 @@ pub fn reverse_anneal_once(
     let n = ising.num_spins();
     assert_eq!(initial.len(), n, "initial state must cover every spin");
     assert!(reversal_gamma > 0.0, "reversal point must re-introduce fluctuations");
-    let p = config.trotter_slices.max(2);
-    let sweeps = ((annealing_time_us * config.sweeps_per_us).ceil() as usize).max(4);
-
-    let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for (i, j, jij) in ising.couplings() {
-        if jij != 0.0 {
-            neighbors[i].push((j, jij));
-            neighbors[j].push((i, jij));
-        }
-    }
-    let fields: Vec<f64> = ising.fields().map(|(_, h)| h).collect();
-
-    // All slices start in the given classical state.
-    let mut spins: Vec<Vec<i8>> = (0..p).map(|_| initial.to_vec()).collect();
-    let mut order: Vec<(usize, usize)> = (0..p).flat_map(|k| (0..n).map(move |i| (k, i))).collect();
-    let inv_p = 1.0 / p as f64;
+    let p = config.trotter_slices.clamp(2, 64);
+    let sweeps = sweep_count(annealing_time_us, config.sweeps_per_us);
     let temp = config.temperature.max(1e-9);
+
+    let model = ising.compile();
+    // All slices start in the given classical state.
+    let mut lattice = Lattice::from_state(&model, p, initial);
+
     // Track the best configuration visited (the refinement semantics: the
     // walk may wander past the reversal point; what matters is the best
-    // point it touched in the initial state's neighbourhood).
+    // point it touched in the initial state's neighbourhood). The cheap
+    // incremental slice energies act as a filter; a candidate only pays
+    // for an exact recomputation when it might beat the best so far.
     let mut best = initial.to_vec();
-    let mut best_energy = ising.energy(initial);
+    let mut best_energy = model.energy(initial);
 
-    for sweep in 0..sweeps {
-        // Triangle schedule: Γ rises to `reversal_gamma` at the midpoint,
-        // then falls back to ~0.
-        let s_frac = sweep as f64 / (sweeps - 1).max(1) as f64;
-        let gamma = if s_frac < 0.5 {
-            reversal_gamma * (s_frac * 2.0)
-        } else {
-            reversal_gamma * (2.0 - s_frac * 2.0)
-        }
-        .max(1e-9);
-        let j_perp = trotter_coupling(gamma, p, temp);
-        order.shuffle(rng);
-        for &(k, i) in &order {
-            let s = f64::from(spins[k][i]);
-            let mut local = fields[i];
-            for &(j, jij) in &neighbors[i] {
-                local += jij * f64::from(spins[k][j]);
+    run_schedule(
+        &mut lattice,
+        GammaSchedule::Triangle { peak: reversal_gamma },
+        sweeps,
+        temp,
+        rng,
+        |lattice, _| {
+            let guard = 1e-6 * (1.0 + best_energy.abs());
+            for k in 0..p {
+                if lattice.slice_energy[k] < best_energy + guard {
+                    let slice = lattice.extract_slice(k);
+                    let e = model.energy(&slice);
+                    if e < best_energy {
+                        best_energy = e;
+                        best.copy_from_slice(&slice);
+                    }
+                }
             }
-            let up = spins[(k + 1) % p][i];
-            let down = spins[(k + p - 1) % p][i];
-            let delta = -2.0 * s * (inv_p * local) + 2.0 * s * j_perp * f64::from(up + down);
-            if delta <= 0.0 || rng.random::<f64>() < (-delta / temp).exp() {
-                spins[k][i] = -spins[k][i];
-            }
-        }
-        for slice in &spins {
-            let e = ising.energy(slice);
-            if e < best_energy {
-                best_energy = e;
-                best.copy_from_slice(slice);
-            }
-        }
-    }
+        },
+    );
 
     best
 }
@@ -241,6 +508,24 @@ mod tests {
         let mut m = IsingModel::new(n);
         for i in 0..n {
             m.add_coupling(i, (i + 1) % n, -1.0);
+        }
+        m
+    }
+
+    /// A random Ising instance with mixed-sign couplings and fields.
+    fn random_instance(n: usize, rng: &mut StdRng) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 0..n {
+            if rng.random_bool(0.7) {
+                m.add_field(i, rng.random_range(-1.5..1.5));
+            }
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.random_bool(0.3) {
+                    m.add_coupling(i, j, rng.random_range(-2.0..2.0));
+                }
+            }
         }
         m
     }
@@ -371,5 +656,205 @@ mod tests {
         let downs = reads.iter().filter(|s| s[0] == -1 && m.energy(s) == -6.0).count();
         assert!(ups + downs >= 6, "most reads should reach the ground state");
         assert!(ups > 0 && downs > 0, "degenerate states should both occur");
+    }
+
+    // ---- sweep floor -----------------------------------------------------
+
+    #[test]
+    fn sweep_floor_is_unified_at_min_sweeps() {
+        // Regression pin: forward and reverse anneals once disagreed on
+        // their sweep floors (2 vs 4). Both now route through sweep_count.
+        assert_eq!(MIN_SWEEPS, 4);
+        assert_eq!(sweep_count(0.0, 2.0), MIN_SWEEPS);
+        assert_eq!(sweep_count(0.5, 2.0), MIN_SWEEPS);
+        assert_eq!(sweep_count(100.0, 2.0), 200);
+        // Zero-time anneals still work and burn exactly the floor.
+        let m = ferromagnetic_ring(4);
+        let before = qjo_obs::counter!("sqa.sweeps").get();
+        let mut rng = StdRng::seed_from_u64(1);
+        anneal_once(&m, &SqaConfig::default(), 0.0, &mut rng);
+        assert_eq!(qjo_obs::counter!("sqa.sweeps").get() - before, MIN_SWEEPS as u64);
+    }
+
+    // ---- NaN-safe best-slice selection -----------------------------------
+
+    #[test]
+    fn nan_energies_never_win_selection() {
+        use std::cmp::Ordering;
+        assert_eq!(better_energy(f64::NAN, 1.0), Ordering::Greater);
+        assert_eq!(better_energy(1.0, f64::NAN), Ordering::Less);
+        assert_eq!(better_energy(f64::NEG_INFINITY, f64::NAN), Ordering::Less);
+        // The sign-flipped NaN pattern that f64::total_cmp alone would
+        // rank *below* −∞.
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | 1 << 63);
+        assert!(neg_nan.is_nan());
+        assert_eq!(better_energy(neg_nan, f64::NEG_INFINITY), Ordering::Greater);
+        let mut energies = [f64::NAN, -3.0, neg_nan, 1.0];
+        energies.sort_by(|a, b| better_energy(*a, *b));
+        assert_eq!(energies[0], -3.0);
+        assert_eq!(energies[1], 1.0);
+        assert!(energies[2].is_nan() && energies[3].is_nan());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "NaN replica energy")]
+    fn injected_nan_model_trips_the_debug_assert() {
+        // ∞ field + ∞ coupling produce ∞ − ∞ = NaN slice energies for some
+        // spin configurations; the debug assert must catch them instead of
+        // letting an arbitrary slice win.
+        let mut m = IsingModel::new(2);
+        m.add_field(0, f64::INFINITY);
+        m.add_coupling(0, 1, f64::INFINITY);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Many attempts: at least one final lattice contains both a NaN
+        // and a non-NaN slice or an all-NaN set; either way the assert
+        // fires as soon as any NaN energy is present.
+        for seed in 0..20 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            anneal_once(&m, &SqaConfig::default(), 5.0, &mut rng2);
+        }
+        anneal_once(&m, &SqaConfig::default(), 5.0, &mut rng);
+    }
+
+    // ---- packed-kernel property tests ------------------------------------
+
+    /// Scalar mirror of the packed kernel: same proposal order, same RNG
+    /// consumption, same float expressions — but spins stored as plain
+    /// `i8`s and the inter-slice term read scalar-wise. Validates the u64
+    /// bit manipulation (rotates, masks, deferred flips) bit-for-bit.
+    struct ScalarLattice<'a> {
+        model: &'a CompiledIsing,
+        p: usize,
+        /// `spins[i * p + k]`, site-major like the packed local cache.
+        spins: Vec<i8>,
+        local: Vec<f64>,
+        slice_energy: Vec<f64>,
+        site_order: Vec<usize>,
+        batches: Vec<Vec<usize>>,
+    }
+
+    impl<'a> ScalarLattice<'a> {
+        fn mirror(lattice: &Lattice<'a>) -> Self {
+            let n = lattice.words.len();
+            let p = lattice.p;
+            let mut spins = vec![0i8; n * p];
+            for i in 0..n {
+                for k in 0..p {
+                    spins[i * p + k] = lattice.spin(i, k);
+                }
+            }
+            ScalarLattice {
+                model: lattice.model,
+                p,
+                spins,
+                local: lattice.local.clone(),
+                slice_energy: lattice.slice_energy.clone(),
+                site_order: lattice.site_order.clone(),
+                batches: lattice.batches.clone(),
+            }
+        }
+
+        fn sweep(&mut self, j_perp: f64, temp: f64, rng: &mut StdRng) {
+            let model = self.model;
+            let p = self.p;
+            let inv_p = 1.0 / p as f64;
+            let inv_temp = 1.0 / temp;
+            let dperp = [-4.0 * j_perp, 0.0, 4.0 * j_perp];
+            let mut order = std::mem::take(&mut self.site_order);
+            let batches = std::mem::take(&mut self.batches);
+            order.shuffle(rng);
+            for &i in &order {
+                let hi = model.field(i);
+                let row = i * p;
+                for batch in &batches {
+                    for &k in batch {
+                        let cur = self.spins[row + k];
+                        let up = self.spins[row + (k + 1) % p];
+                        let down = self.spins[row + (k + p - 1) % p];
+                        let a = usize::from(up == cur) + usize::from(down == cur);
+                        let s = f64::from(cur);
+                        let local = hi + self.local[row + k];
+                        let delta = -2.0 * s * (inv_p * local) + dperp[a];
+                        let x = delta * inv_temp;
+                        if delta <= 0.0
+                            || (x < NEGLIGIBLE_ACCEPTANCE && rng.random::<f64>() < (-x).exp())
+                        {
+                            self.spins[row + k] = -cur;
+                            let s_new = -s;
+                            for (j, jij) in model.neighbors(i) {
+                                self.local[j * p + k] += 2.0 * jij * s_new;
+                            }
+                            self.slice_energy[k] += -2.0 * s * local;
+                        }
+                    }
+                }
+            }
+            self.site_order = order;
+            self.batches = batches;
+        }
+    }
+
+    #[test]
+    fn packed_sweeps_match_scalar_reference_bit_for_bit() {
+        for &p in &[2usize, 3, 4, 5, 8, 63, 64] {
+            let mut rng = StdRng::seed_from_u64(1000 + p as u64);
+            let model = random_instance(14, &mut rng).compile();
+            let mut packed = Lattice::random(&model, p, &mut rng);
+            let mut scalar = ScalarLattice::mirror(&packed);
+            let mut rng_packed = StdRng::seed_from_u64(7 * p as u64);
+            let mut rng_scalar = rng_packed.clone();
+            for sweep in 0..30 {
+                let gamma = 3.0 * (1.0 - sweep as f64 / 29.0);
+                let j_perp = trotter_coupling(gamma, p, 0.08);
+                packed.sweep(j_perp, 0.08, &mut rng_packed);
+                scalar.sweep(j_perp, 0.08, &mut rng_scalar);
+                for i in 0..model.num_spins() {
+                    for k in 0..p {
+                        assert_eq!(
+                            packed.spin(i, k),
+                            scalar.spins[i * p + k],
+                            "p={p} sweep={sweep} site={i} slice={k}"
+                        );
+                    }
+                }
+                assert_eq!(packed.local, scalar.local, "p={p} sweep={sweep}");
+                assert_eq!(packed.slice_energy, scalar.slice_energy, "p={p} sweep={sweep}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_caches_agree_with_full_recomputation() {
+        // After every sweep (i.e. after a few hundred accepted flips), the
+        // incrementally maintained local fields and slice energies must
+        // still agree with from-scratch recomputation.
+        for case in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(500 + case);
+            let model = random_instance(12 + case as usize, &mut rng).compile();
+            let p = 2 + (case as usize % 7);
+            let mut lattice = Lattice::random(&model, p, &mut rng);
+            assert!(lattice.consistency_error() < 1e-9, "fresh lattice must be consistent");
+            for sweep in 0..25 {
+                let gamma = 2.5 * (1.0 - sweep as f64 / 24.0);
+                let j_perp = trotter_coupling(gamma, p, 0.1);
+                lattice.sweep(j_perp, 0.1, &mut rng);
+                let err = lattice.consistency_error();
+                assert!(err < 1e-9, "case={case} sweep={sweep}: drift {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_and_uncompiled_entry_points_agree() {
+        let m = ferromagnetic_ring(9);
+        let compiled = m.compile();
+        let cfg = SqaConfig::default();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = a.clone();
+        assert_eq!(
+            anneal_once(&m, &cfg, 25.0, &mut a),
+            anneal_compiled(&compiled, &cfg, 25.0, &mut b)
+        );
     }
 }

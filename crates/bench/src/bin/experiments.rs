@@ -715,12 +715,14 @@ fn manifest_diff(baseline_path: &str, current_path: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Work rates whose regression fails `bench-compare`. Only the shot hot
-/// path is gated for now: it dominates the smoke profile's quantum stages
-/// and its rate is stable enough that a 2× drop clears run-to-run noise
-/// on the 1-core CI runner. The other `RATE_PAIRS` are reported
-/// informationally.
-const GATED_RATES: &[&str] = &["gatesim.shots_per_sec"];
+/// Work rates whose regression fails `bench-compare`. The shot hot path
+/// dominates the smoke profile's quantum stages; the SQA sweep and anneal
+/// read rates gate the packed bit-parallel annealing kernel so a future
+/// change cannot silently give back its speedup. All three are stable
+/// enough that a 2× drop clears run-to-run noise on the 1-core CI
+/// runner. The other `RATE_PAIRS` are reported informationally.
+const GATED_RATES: &[&str] =
+    &["gatesim.shots_per_sec", "sqa.sweeps_per_sec", "anneal.reads_per_sec"];
 
 /// `bench-compare BASELINE CURRENT`: compare the work rates of two
 /// `BENCH.json` snapshots. Exits 1 if a gated rate regressed by more than

@@ -71,12 +71,9 @@ fn encode_scenario(seed: u64, knob: Knob) -> qjo_core::JoQubo {
 fn measure(device: &Device, encoded: &qjo_core::JoQubo, repetitions: usize) -> DepthStats {
     let params = QaoaParams { gammas: vec![0.4], betas: vec![0.3] };
     let circuit = qaoa_circuit(&encoded.qubo.to_ising(), &params);
-    let depths = Transpiler::new(Strategy::QiskitLike, 0).depth_distribution(
-        &circuit,
-        &device.topology,
-        device.gate_set,
-        repetitions,
-    );
+    let depths = Transpiler::new(Strategy::QiskitLike, 0)
+        .depth_distribution(&circuit, &device.topology, device.gate_set, repetitions)
+        .expect("paper devices are connected");
     DepthStats::from_samples(&depths)
 }
 

@@ -104,12 +104,9 @@ fn run_for_relations(config: &Fig5Config, t: usize) -> Vec<Fig5Row> {
                     for (tr_label, strategy) in
                         [("qiskit-like", Strategy::QiskitLike), ("tket-like", Strategy::TketLike)]
                     {
-                        let depths = Transpiler::new(strategy, 0).depth_distribution(
-                            &circuit,
-                            &device.topology,
-                            gate_set,
-                            config.seeds,
-                        );
+                        let depths = Transpiler::new(strategy, 0)
+                            .depth_distribution(&circuit, &device.topology, gate_set, config.seeds)
+                            .expect("extrapolated devices are connected");
                         let mut sorted = depths;
                         sorted.sort_unstable();
                         rows.push(Fig5Row {

@@ -49,7 +49,7 @@ pub mod shots;
 pub mod solve;
 
 pub use error::QuboError;
-pub use ising::IsingModel;
+pub use ising::{CompiledIsing, IsingModel, IsingTerm};
 pub use model::{CompiledQubo, Qubo};
 pub use preprocess::{fix_variables, Preprocessed};
 pub use sample::{Sample, SampleSet};

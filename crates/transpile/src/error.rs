@@ -1,0 +1,31 @@
+//! Transpilation errors.
+
+use std::fmt;
+
+/// Why a transpilation pipeline could not produce a hardware circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranspileError {
+    /// A two-qubit gate's operands sit in different connected components
+    /// of the device topology. SWAPs move states along couplers only, so
+    /// no routing sequence can ever bring the pair together.
+    DisconnectedQubits {
+        /// Physical qubit holding the first operand.
+        a: usize,
+        /// Physical qubit holding the second operand.
+        b: usize,
+    },
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::DisconnectedQubits { a, b } => write!(
+                f,
+                "physical qubits {a} and {b} are in different connected components; \
+                 no SWAP sequence can route a gate between them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}

@@ -24,7 +24,8 @@
 //!
 //! let device = Device::ibm_auckland();
 //! let result = Transpiler::new(Strategy::QiskitLike, 0)
-//!     .transpile(&circuit, &device.topology, device.gate_set);
+//!     .transpile(&circuit, &device.topology, device.gate_set)
+//!     .expect("connected device");
 //! assert!(result.depth() >= circuit.depth()); // routing + decomposition cost
 //! ```
 
@@ -32,6 +33,7 @@ pub mod aspen;
 pub mod decompose;
 pub mod density;
 pub mod device;
+pub mod error;
 pub mod heavy_hex;
 pub mod layout;
 pub mod metrics;
@@ -43,6 +45,7 @@ pub mod transpiler;
 
 pub use decompose::NativeGateSet;
 pub use device::Device;
+pub use error::TranspileError;
 pub use metrics::{stats, stats_cheap, TopologyStats};
 pub use routing::{respects_topology, RoutedCircuit, RouterConfig};
 pub use topology::Topology;

@@ -15,6 +15,7 @@
 use qjo_gatesim::gate::{Gate, GateQubits};
 use qjo_gatesim::Circuit;
 
+use crate::error::TranspileError;
 use crate::layout::Layout;
 use crate::topology::Topology;
 
@@ -48,14 +49,16 @@ pub struct RoutedCircuit {
 
 /// Routes `circuit` onto `topology` starting from `initial_layout`.
 ///
-/// Panics if the layout is invalid or the topology is disconnected over the
-/// qubits the circuit needs.
+/// Panics if the layout is invalid. Returns
+/// [`TranspileError::DisconnectedQubits`] when a two-qubit gate's operands
+/// sit in different connected components (SWAPs cannot bridge components,
+/// so no routing exists).
 pub fn route(
     circuit: &Circuit,
     topology: &Topology,
     initial_layout: &Layout,
     config: RouterConfig,
-) -> RoutedCircuit {
+) -> Result<RoutedCircuit, TranspileError> {
     assert_eq!(initial_layout.len(), circuit.num_qubits(), "layout size mismatch");
     assert!(crate::layout::validate_layout(initial_layout, topology), "invalid initial layout");
 
@@ -93,7 +96,7 @@ pub fn route(
                     let (pa, pb) = (layout[a], layout[b]);
                     let dist = topology
                         .distance(pa, pb)
-                        .expect("operands must be connected on the device");
+                        .ok_or(TranspileError::DisconnectedQubits { a: pa, b: pb })?;
                     if dist <= 1 {
                         break;
                     }
@@ -104,7 +107,7 @@ pub fn route(
                         pb,
                         &two_qubit_ops[next_2q_idx.min(two_qubit_ops.len())..],
                         config,
-                    );
+                    )?;
                     apply_swap(&mut layout, &mut inverse, swap);
                     out.push(Gate::Swap(swap.0, swap.1));
                     swaps_inserted += 1;
@@ -114,12 +117,13 @@ pub fn route(
         }
     }
 
-    RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted }
+    Ok(RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted })
 }
 
 /// Picks the admissible SWAP (strictly reducing the current gate's
 /// distance) with the best lookahead score. Deterministic: ties break
-/// toward the lexicographically smallest edge.
+/// toward the lexicographically smallest edge. Errors when `pa` and `pb`
+/// are disconnected (no SWAP can ever make progress).
 fn choose_swap(
     topology: &Topology,
     layout: &Layout,
@@ -127,8 +131,10 @@ fn choose_swap(
     pb: usize,
     upcoming: &[(usize, usize, usize)],
     config: RouterConfig,
-) -> (usize, usize) {
-    let current = topology.distance(pa, pb).expect("connected") as f64;
+) -> Result<(usize, usize), TranspileError> {
+    let current = topology
+        .distance(pa, pb)
+        .ok_or(TranspileError::DisconnectedQubits { a: pa, b: pb })? as f64;
     let mut best: Option<((usize, usize), f64)> = None;
 
     let mut consider = |edge: (usize, usize)| {
@@ -141,7 +147,12 @@ fn choose_swap(
                 p
             }
         };
-        let new_dist = topology.distance(moved(pa), moved(pb)).expect("connected") as f64;
+        // A neighbour swap keeps both operands inside their components, so
+        // this is always Some once `current` exists; guard anyway.
+        let Some(new_dist) = topology.distance(moved(pa), moved(pb)) else {
+            return;
+        };
+        let new_dist = new_dist as f64;
         if new_dist >= current {
             return; // inadmissible: no strict progress on the current gate
         }
@@ -166,7 +177,9 @@ fn choose_swap(
             consider(edge);
         }
     }
-    best.expect("a shortest-path neighbour always strictly reduces distance").0
+    // For a connected pair, a neighbour along the shortest path always
+    // strictly reduces distance, so `best` is Some here.
+    best.map(|(edge, _)| edge).ok_or(TranspileError::DisconnectedQubits { a: pa, b: pb })
 }
 
 fn apply_swap(layout: &mut Layout, inverse: &mut [usize], edge: (usize, usize)) {
@@ -197,7 +210,7 @@ mod tests {
 
     fn route_simple(circ: &Circuit, topo: &Topology) -> RoutedCircuit {
         let layout: Layout = (0..circ.num_qubits()).collect();
-        route(circ, topo, &layout, RouterConfig::default())
+        route(circ, topo, &layout, RouterConfig::default()).expect("connected topology")
     }
 
     #[test]
@@ -281,7 +294,7 @@ mod tests {
         }
         let topo = Topology::line(6);
         let layout: Layout = (0..6).collect();
-        let r = route(&c, &topo, &layout, RouterConfig { lookahead: 0, decay: 0.5 });
+        let r = route(&c, &topo, &layout, RouterConfig { lookahead: 0, decay: 0.5 }).unwrap();
         assert!(respects_topology(&r.circuit, &topo));
         assert!(r.swaps_inserted > 0);
     }
@@ -297,8 +310,8 @@ mod tests {
         }
         let topo = Topology::line(6);
         let layout: Layout = (0..6).collect();
-        let blind = route(&c, &topo, &layout, RouterConfig { lookahead: 0, decay: 0.5 });
-        let ahead = route(&c, &topo, &layout, RouterConfig { lookahead: 6, decay: 0.6 });
+        let blind = route(&c, &topo, &layout, RouterConfig { lookahead: 0, decay: 0.5 }).unwrap();
+        let ahead = route(&c, &topo, &layout, RouterConfig { lookahead: 6, decay: 0.6 }).unwrap();
         assert!(
             ahead.swaps_inserted <= blind.swaps_inserted,
             "lookahead {} vs blind {}",
@@ -317,6 +330,22 @@ mod tests {
         }
         let r = route_simple(&c, &Topology::complete(5));
         assert_eq!(r.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn disconnected_operands_error_instead_of_panicking() {
+        // Two 2-qubit islands: a gate across them has no routing.
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4);
+        c.push(Cx(0, 2));
+        let layout: Layout = (0..4).collect();
+        let err = route(&c, &topo, &layout, RouterConfig::default()).unwrap_err();
+        assert_eq!(err, crate::error::TranspileError::DisconnectedQubits { a: 0, b: 2 });
+        // Gates inside one island still route fine on the same device.
+        let mut ok = Circuit::new(4);
+        ok.push(Cx(0, 1));
+        ok.push(Cx(2, 3));
+        assert!(route(&ok, &topo, &layout, RouterConfig::default()).is_ok());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use qjo_gatesim::gate::{Gate, GateQubits};
 use qjo_gatesim::Circuit;
 
+use crate::error::TranspileError;
 use crate::layout::Layout;
 use crate::routing::RoutedCircuit;
 use crate::topology::Topology;
@@ -71,14 +72,28 @@ fn build_dag(circuit: &Circuit) -> Dag {
 
 /// Routes `circuit` onto `topology` with SABRE, starting from
 /// `initial_layout` (logical → physical).
+///
+/// Returns [`TranspileError::DisconnectedQubits`] when any two-qubit
+/// gate's operands sit in different connected components. SWAPs move
+/// states along couplers only, so component membership is invariant under
+/// routing — the upfront check is both sound and complete, and without it
+/// the blocked-front loop below would spin forever on such a gate.
 pub fn sabre_route(
     circuit: &Circuit,
     topology: &Topology,
     initial_layout: &Layout,
     config: &SabreConfig,
-) -> RoutedCircuit {
+) -> Result<RoutedCircuit, TranspileError> {
     assert_eq!(initial_layout.len(), circuit.num_qubits(), "layout size mismatch");
     assert!(crate::layout::validate_layout(initial_layout, topology), "invalid initial layout");
+    for gate in circuit.gates() {
+        if let GateQubits::Two(a, b) = gate.qubits() {
+            let (pa, pb) = (initial_layout[a], initial_layout[b]);
+            if topology.distance(pa, pb).is_none() {
+                return Err(TranspileError::DisconnectedQubits { a: pa, b: pb });
+            }
+        }
+    }
     let n_phys = topology.num_qubits();
     let mut layout = initial_layout.clone();
     let mut inverse = vec![usize::MAX; n_phys];
@@ -214,7 +229,7 @@ pub fn sabre_route(
         }
     }
 
-    RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted }
+    Ok(RoutedCircuit { circuit: out, final_layout: layout, swaps_inserted })
 }
 
 /// SABRE's forward–backward layout refinement: route the circuit, route
@@ -225,7 +240,7 @@ pub fn sabre_layout(
     topology: &Topology,
     seed_layout: &Layout,
     config: &SabreConfig,
-) -> Layout {
+) -> Result<Layout, TranspileError> {
     let mut layout = seed_layout.clone();
     let reversed = {
         let mut r = Circuit::new(circuit.num_qubits());
@@ -235,11 +250,11 @@ pub fn sabre_layout(
         r
     };
     for _ in 0..config.layout_passes {
-        let forward = sabre_route(circuit, topology, &layout, config);
-        let backward = sabre_route(&reversed, topology, &forward.final_layout, config);
+        let forward = sabre_route(circuit, topology, &layout, config)?;
+        let backward = sabre_route(&reversed, topology, &forward.final_layout, config)?;
         layout = backward.final_layout;
     }
-    layout
+    Ok(layout)
 }
 
 #[cfg(test)]
@@ -252,7 +267,7 @@ mod tests {
 
     fn route_sabre(c: &Circuit, topo: &Topology) -> RoutedCircuit {
         let layout: Layout = (0..c.num_qubits()).collect();
-        sabre_route(c, topo, &layout, &SabreConfig::default())
+        sabre_route(c, topo, &layout, &SabreConfig::default()).expect("connected topology")
     }
 
     #[test]
@@ -318,8 +333,8 @@ mod tests {
         }
         let topo = Topology::line(n);
         let layout: Layout = (0..n).collect();
-        let greedy = route(&c, &topo, &layout, RouterConfig::default());
-        let sabre = sabre_route(&c, &topo, &layout, &SabreConfig::default());
+        let greedy = route(&c, &topo, &layout, RouterConfig::default()).unwrap();
+        let sabre = sabre_route(&c, &topo, &layout, &SabreConfig::default()).unwrap();
         assert!(respects_topology(&sabre.circuit, &topo));
         assert!(
             sabre.swaps_inserted <= greedy.swaps_inserted + 2,
@@ -338,9 +353,9 @@ mod tests {
         let topo = Topology::grid(3, 2);
         let seed = greedy_layout(&c, &topo, 0, 0);
         let cfg = SabreConfig::default();
-        let refined = sabre_layout(&c, &topo, &seed, &cfg);
-        let baseline = sabre_route(&c, &topo, &seed, &cfg).swaps_inserted;
-        let improved = sabre_route(&c, &topo, &refined, &cfg).swaps_inserted;
+        let refined = sabre_layout(&c, &topo, &seed, &cfg).unwrap();
+        let baseline = sabre_route(&c, &topo, &seed, &cfg).unwrap().swaps_inserted;
+        let improved = sabre_route(&c, &topo, &refined, &cfg).unwrap().swaps_inserted;
         assert!(improved <= baseline + 1, "refined {improved} vs baseline {baseline}");
     }
 
@@ -353,6 +368,27 @@ mod tests {
         let r = route_sabre(&c, &Topology::line(3));
         assert_eq!(r.swaps_inserted, 0);
         assert_eq!(r.circuit.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_operands_error_instead_of_looping() {
+        // Before the upfront routability check, an unroutable gate left
+        // the front layer permanently blocked and SABRE inserted SWAPs
+        // forever. It must fail fast instead.
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4);
+        c.push(Cx(1, 2));
+        let layout: Layout = (0..4).collect();
+        let err = sabre_route(&c, &topo, &layout, &SabreConfig::default()).unwrap_err();
+        assert_eq!(err, TranspileError::DisconnectedQubits { a: 1, b: 2 });
+        assert_eq!(
+            sabre_layout(&c, &topo, &layout, &SabreConfig::default()).unwrap_err(),
+            TranspileError::DisconnectedQubits { a: 1, b: 2 }
+        );
+        // Within-island work still routes.
+        let mut ok = Circuit::new(4);
+        ok.push(Cx(0, 1));
+        assert!(sabre_route(&ok, &topo, &layout, &SabreConfig::default()).is_ok());
     }
 
     #[test]

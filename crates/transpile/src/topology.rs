@@ -5,24 +5,56 @@
 //! inserts SWAPs along shortest paths, so all-pairs distances are
 //! precomputed (BFS from every vertex) when the topology is frozen.
 
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// Above this size the all-pairs distance matrix is skipped and distance
-/// queries fall back to per-call BFS (annealer graphs have thousands of
-/// qubits and are consumed by the embedder, which runs its own searches).
+/// queries go through a lazy per-source row cache instead (annealer graphs
+/// have thousands of qubits and are consumed by the embedder, which runs
+/// its own searches).
 const EAGER_DISTANCE_LIMIT: usize = 2048;
 
 /// An undirected coupling graph over `num_qubits` physical qubits.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Topology {
     num_qubits: usize,
     edges: BTreeSet<(u32, u32)>,
     adjacency: Vec<Vec<usize>>,
     /// All-pairs hop distances (`u16::MAX` marks disconnected pairs);
-    /// `None` for graphs above [`EAGER_DISTANCE_LIMIT`].
+    /// `None` for graphs above `EAGER_DISTANCE_LIMIT`.
     distances: Option<Vec<Vec<u16>>>,
+    /// Lazily filled single-source BFS rows for graphs above the eager
+    /// cutoff: routing asks for distances from the same few sources over
+    /// and over (one per SWAP candidate endpoint), so each row is computed
+    /// once and reused instead of re-running BFS per query. The topology
+    /// is immutable after construction, so entries never go stale.
+    row_cache: Mutex<BTreeMap<usize, Arc<Vec<u16>>>>,
 }
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Topology {
+            num_qubits: self.num_qubits,
+            edges: self.edges.clone(),
+            adjacency: self.adjacency.clone(),
+            distances: self.distances.clone(),
+            row_cache: Mutex::new(self.row_cache.lock().expect("row cache poisoned").clone()),
+        }
+    }
+}
+
+/// Equality is over the graph itself (vertex count + edge set); derived
+/// caches never disagree for equal graphs and the lazy row cache is just
+/// a warm-up detail.
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.edges == other.edges
+    }
+}
+
+impl Eq for Topology {}
 
 impl Topology {
     /// Builds a topology from an edge list (self-loops are rejected,
@@ -34,7 +66,13 @@ impl Topology {
             assert_ne!(a, b, "self-loop at {a}");
             edges.insert((a.min(b) as u32, a.max(b) as u32));
         }
-        let mut t = Topology { num_qubits, edges, adjacency: Vec::new(), distances: None };
+        let mut t = Topology {
+            num_qubits,
+            edges,
+            adjacency: Vec::new(),
+            distances: None,
+            row_cache: Mutex::new(BTreeMap::new()),
+        };
         t.rebuild_caches();
         t
     }
@@ -104,14 +142,27 @@ impl Topology {
         self.adjacency[q].len()
     }
 
+    /// The BFS distance row from `a`, computed at most once per source.
+    fn cached_row(&self, a: usize) -> Arc<Vec<u16>> {
+        let mut cache = self.row_cache.lock().expect("row cache poisoned");
+        Arc::clone(cache.entry(a).or_insert_with(|| Arc::new(self.bfs_row(a))))
+    }
+
+    /// Number of BFS rows currently held by the lazy cache (0 whenever the
+    /// eager all-pairs matrix exists).
+    pub fn cached_distance_rows(&self) -> usize {
+        self.row_cache.lock().expect("row cache poisoned").len()
+    }
+
     /// Hop distance between two qubits (`None` when disconnected).
     ///
-    /// O(1) for topologies small enough to cache the distance matrix;
-    /// otherwise a BFS per call.
+    /// O(1) for topologies small enough to hold the all-pairs matrix;
+    /// above `EAGER_DISTANCE_LIMIT` the source's BFS row is computed on
+    /// first use and cached.
     pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
         let d = match &self.distances {
             Some(m) => m[a][b],
-            None => self.bfs_row(a)[b],
+            None => self.cached_row(a)[b],
         };
         (d != u16::MAX).then_some(d as usize)
     }
@@ -157,7 +208,7 @@ impl Topology {
         let row: &[u16] = match &self.distances {
             Some(m) => &m[a],
             None => {
-                row_owned = self.bfs_row(a);
+                row_owned = self.cached_row(a);
                 &row_owned
             }
         };
@@ -366,5 +417,43 @@ mod tests {
     fn density_of_line_matches_formula() {
         let t = Topology::line(5);
         assert!((t.density() - 4.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_topology_caches_bfs_rows_lazily() {
+        // 2100 qubits is above EAGER_DISTANCE_LIMIT: no all-pairs matrix,
+        // but repeated queries from the same source reuse one BFS row.
+        let t = Topology::line(2100);
+        assert_eq!(t.cached_distance_rows(), 0);
+        assert_eq!(t.distance(7, 2050), Some(2043));
+        assert_eq!(t.cached_distance_rows(), 1);
+        for b in [0, 6, 8, 2099] {
+            assert_eq!(t.distance(7, b), Some(7usize.abs_diff(b)));
+        }
+        assert_eq!(t.cached_distance_rows(), 1, "same source must reuse its row");
+        assert_eq!(t.distance(9, 7), Some(2));
+        assert_eq!(t.cached_distance_rows(), 2);
+        // shortest_path shares the cache too.
+        assert_eq!(t.shortest_path(9, 12), Some(vec![9, 10, 11, 12]));
+        assert_eq!(t.cached_distance_rows(), 2);
+    }
+
+    #[test]
+    fn small_topology_never_populates_the_row_cache() {
+        let t = Topology::grid(4, 4);
+        assert_eq!(t.distance(0, 15), Some(6));
+        assert_eq!(t.cached_distance_rows(), 0, "eager matrix answers directly");
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_cache_state() {
+        let a = Topology::line(2100);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.distance(0, 1); // warms a's cache only
+        assert_eq!(a, b, "cache warmth must not affect equality");
+        let c = Topology::line(2100);
+        assert_eq!(a, c);
+        assert_ne!(a, Topology::ring(2100));
     }
 }

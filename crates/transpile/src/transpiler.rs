@@ -16,6 +16,7 @@
 use qjo_gatesim::Circuit;
 
 use crate::decompose::NativeGateSet;
+use crate::error::TranspileError;
 use crate::layout::{greedy_layout, Layout};
 use crate::optimize::{cancel_pairs, merge_rotations};
 use crate::routing::{route, RoutedCircuit, RouterConfig};
@@ -82,12 +83,15 @@ impl Transpiler {
     /// A routing failure injected at the `transpile.route` fault site
     /// (a device rejecting the mapped circuit) restarts the pipeline
     /// with a reseeded layout, bounded by an attempt budget.
+    ///
+    /// Returns [`TranspileError::DisconnectedQubits`] when the circuit
+    /// needs a two-qubit gate between qubits the device cannot connect.
     pub fn transpile(
         &self,
         circuit: &Circuit,
         topology: &Topology,
         gate_set: NativeGateSet,
-    ) -> TranspileResult {
+    ) -> Result<TranspileResult, TranspileError> {
         let _span = qjo_obs::span!("transpile.run");
         qjo_obs::counter!("transpile.runs").incr();
         // Bounded pre-roll: each rejected route costs one attempt and
@@ -117,16 +121,16 @@ impl Transpiler {
                     _ => RouterConfig { lookahead: 1, decay: 0.5 },
                 };
                 let _pass = qjo_obs::span!("transpile.route");
-                (seed_layout.clone(), route(circuit, topology, &seed_layout, router))
+                (seed_layout.clone(), route(circuit, topology, &seed_layout, router)?)
             }
             Strategy::Sabre => {
                 let cfg = SabreConfig::default();
                 let refined = {
                     let _pass = qjo_obs::span!("transpile.layout");
-                    sabre_layout(circuit, topology, &seed_layout, &cfg)
+                    sabre_layout(circuit, topology, &seed_layout, &cfg)?
                 };
                 let _pass = qjo_obs::span!("transpile.route");
-                let routed = sabre_route(circuit, topology, &refined, &cfg);
+                let routed = sabre_route(circuit, topology, &refined, &cfg)?;
                 (refined, routed)
             }
         };
@@ -160,7 +164,7 @@ impl Transpiler {
             qjo_obs::convergence::series_with_stride("transpile", "swaps", 1)
                 .record(1, swaps_inserted as f64);
         }
-        TranspileResult { circuit: optimised, initial_layout, final_layout, swaps_inserted }
+        Ok(TranspileResult { circuit: optimised, initial_layout, final_layout, swaps_inserted })
     }
 
     /// Transpiles `repetitions` times with seeds `seed..seed+repetitions`,
@@ -171,12 +175,12 @@ impl Transpiler {
         topology: &Topology,
         gate_set: NativeGateSet,
         repetitions: usize,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, TranspileError> {
         (0..repetitions)
             .map(|r| {
                 Transpiler { strategy: self.strategy, seed: self.seed + r as u64 }
                     .transpile(circuit, topology, gate_set)
-                    .depth()
+                    .map(|result| result.depth())
             })
             .collect()
     }
@@ -235,7 +239,7 @@ mod tests {
         let topo = falcon_27();
         for strategy in [Strategy::QiskitLike, Strategy::TketLike] {
             for set in [NativeGateSet::Ibm, NativeGateSet::Unrestricted] {
-                let r = Transpiler::new(strategy, 0).transpile(&c, &topo, set);
+                let r = Transpiler::new(strategy, 0).transpile(&c, &topo, set).unwrap();
                 assert!(respects_topology(&r.circuit, &topo), "{strategy:?}/{set:?}");
                 assert!(
                     r.circuit.gates().iter().all(|g| set.is_native(g)),
@@ -251,9 +255,12 @@ mod tests {
         let topo = falcon_27();
         let qk = Transpiler::new(Strategy::QiskitLike, 0)
             .transpile(&c, &topo, NativeGateSet::Ibm)
+            .unwrap()
             .depth();
-        let tk =
-            Transpiler::new(Strategy::TketLike, 0).transpile(&c, &topo, NativeGateSet::Ibm).depth();
+        let tk = Transpiler::new(Strategy::TketLike, 0)
+            .transpile(&c, &topo, NativeGateSet::Ibm)
+            .unwrap()
+            .depth();
         assert!(tk > qk, "tket-like {tk} should exceed qiskit-like {qk}");
     }
 
@@ -263,9 +270,11 @@ mod tests {
         let topo = Topology::complete(8);
         let qk = Transpiler::new(Strategy::QiskitLike, 0)
             .transpile(&c, &topo, NativeGateSet::Ionq)
+            .unwrap()
             .depth();
         let tk = Transpiler::new(Strategy::TketLike, 0)
             .transpile(&c, &topo, NativeGateSet::Ionq)
+            .unwrap()
             .depth();
         let ratio = tk as f64 / qk as f64;
         assert!(ratio < 1.8, "mesh ratio {ratio} too large (qk={qk}, tk={tk})");
@@ -276,8 +285,8 @@ mod tests {
         let c = dense_qaoa_circuit(10);
         let topo = falcon_27();
         let t = Transpiler::new(Strategy::QiskitLike, 0);
-        let native = t.transpile(&c, &topo, NativeGateSet::Ibm).depth();
-        let unrestricted = t.transpile(&c, &topo, NativeGateSet::Unrestricted).depth();
+        let native = t.transpile(&c, &topo, NativeGateSet::Ibm).unwrap().depth();
+        let unrestricted = t.transpile(&c, &topo, NativeGateSet::Unrestricted).unwrap().depth();
         assert!(unrestricted < native, "unrestricted {unrestricted} should beat native {native}");
     }
 
@@ -285,12 +294,9 @@ mod tests {
     fn depth_distribution_shows_seed_variance() {
         let c = dense_qaoa_circuit(9);
         let topo = falcon_27();
-        let depths = Transpiler::new(Strategy::QiskitLike, 0).depth_distribution(
-            &c,
-            &topo,
-            NativeGateSet::Ibm,
-            10,
-        );
+        let depths = Transpiler::new(Strategy::QiskitLike, 0)
+            .depth_distribution(&c, &topo, NativeGateSet::Ibm, 10)
+            .unwrap();
         assert_eq!(depths.len(), 10);
         let stats = DepthStats::from_samples(&depths);
         assert!(stats.max >= stats.median && stats.median >= stats.min);
@@ -302,8 +308,8 @@ mod tests {
         let c = dense_qaoa_circuit(7);
         let topo = falcon_27();
         let t = Transpiler::new(Strategy::QiskitLike, 42);
-        let a = t.transpile(&c, &topo, NativeGateSet::Ibm);
-        let b = t.transpile(&c, &topo, NativeGateSet::Ibm);
+        let a = t.transpile(&c, &topo, NativeGateSet::Ibm).unwrap();
+        let b = t.transpile(&c, &topo, NativeGateSet::Ibm).unwrap();
         assert_eq!(a.circuit, b.circuit);
         assert_eq!(a.initial_layout, b.initial_layout);
     }
@@ -312,11 +318,13 @@ mod tests {
     fn sabre_pipeline_is_sound_and_competitive() {
         let c = dense_qaoa_circuit(10);
         let topo = falcon_27();
-        let sabre = Transpiler::new(Strategy::Sabre, 0).transpile(&c, &topo, NativeGateSet::Ibm);
+        let sabre =
+            Transpiler::new(Strategy::Sabre, 0).transpile(&c, &topo, NativeGateSet::Ibm).unwrap();
         assert!(respects_topology(&sabre.circuit, &topo));
         assert!(sabre.circuit.gates().iter().all(|g| NativeGateSet::Ibm.is_native(g)));
         let qk = Transpiler::new(Strategy::QiskitLike, 0)
             .transpile(&c, &topo, NativeGateSet::Ibm)
+            .unwrap()
             .depth();
         // SABRE should be in the same league or better than the greedy
         // pipeline (allow slack: heuristics vary per instance).
@@ -332,7 +340,9 @@ mod tests {
         let c = dense_qaoa_circuit(6);
         let topo = falcon_27();
         qjo_obs::convergence::start(4);
-        let r = Transpiler::new(Strategy::QiskitLike, 0).transpile(&c, &topo, NativeGateSet::Ibm);
+        let r = Transpiler::new(Strategy::QiskitLike, 0)
+            .transpile(&c, &topo, NativeGateSet::Ibm)
+            .unwrap();
         let drained = qjo_obs::convergence::drain_csv();
         let csv =
             &drained.iter().find(|(g, _)| g == "transpile").expect("transpile group recorded").1;
@@ -350,6 +360,30 @@ mod tests {
                 .any(|l| l.contains(",swaps,") && l.ends_with(&format!(",1,{}", r.swaps_inserted))),
             "{csv}"
         );
+    }
+
+    #[test]
+    fn disconnected_device_errors_for_every_strategy() {
+        // A two-island device cannot host a circuit that entangles across
+        // the islands; every pipeline must surface TranspileError instead
+        // of panicking (greedy) or looping forever (SABRE).
+        let topo = Topology::new(4, &[(0, 1), (2, 3)]);
+        let mut c = Circuit::new(4);
+        c.push(qjo_gatesim::gate::Gate::Cx(0, 1));
+        c.push(qjo_gatesim::gate::Gate::Cx(1, 2));
+        for strategy in [Strategy::QiskitLike, Strategy::TketLike, Strategy::Sabre] {
+            let err = Transpiler::new(strategy, 0)
+                .transpile(&c, &topo, NativeGateSet::Unrestricted)
+                .unwrap_err();
+            assert!(
+                matches!(err, TranspileError::DisconnectedQubits { .. }),
+                "{strategy:?}: {err:?}"
+            );
+            assert!(err.to_string().contains("different connected components"));
+        }
+        assert!(Transpiler::new(Strategy::QiskitLike, 0)
+            .depth_distribution(&c, &topo, NativeGateSet::Unrestricted, 3)
+            .is_err());
     }
 
     #[test]

@@ -95,7 +95,9 @@ fn transpilation_is_sound() {
         let seed = rng.random_range(0u64..20);
         let topo = Topology::grid(3, 2); // 6 physical qubits
         for strategy in [PipelineStrategy::QiskitLike, PipelineStrategy::TketLike] {
-            let r = Transpiler::new(strategy, seed).transpile(&c, &topo, NativeGateSet::Ibm);
+            let r = Transpiler::new(strategy, seed)
+                .transpile(&c, &topo, NativeGateSet::Ibm)
+                .expect("grid is connected");
             assert!(respects_topology(&r.circuit, &topo), "case {case} {strategy:?}");
             assert!(
                 r.circuit.gates().iter().all(|g| NativeGateSet::Ibm.is_native(g)),
@@ -170,11 +172,9 @@ fn complete_graph_needs_no_swaps() {
         let c = arb_circuit(rng, 5, 16);
         let seed = rng.random_range(0u64..10);
         let topo = Topology::complete(5);
-        let r = Transpiler::new(PipelineStrategy::QiskitLike, seed).transpile(
-            &c,
-            &topo,
-            NativeGateSet::Unrestricted,
-        );
+        let r = Transpiler::new(PipelineStrategy::QiskitLike, seed)
+            .transpile(&c, &topo, NativeGateSet::Unrestricted)
+            .expect("complete graph is connected");
         assert_eq!(r.swaps_inserted, 0, "case {case}");
     });
 }

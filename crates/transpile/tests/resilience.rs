@@ -21,11 +21,9 @@ fn ladder(n: usize) -> Circuit {
 #[test]
 fn rejected_routes_restart_with_a_reseeded_layout() {
     let run = || {
-        Transpiler::new(Strategy::QiskitLike, 7).transpile(
-            &ladder(6),
-            &Topology::grid(3, 3),
-            NativeGateSet::Ibm,
-        )
+        Transpiler::new(Strategy::QiskitLike, 7)
+            .transpile(&ladder(6), &Topology::grid(3, 3), NativeGateSet::Ibm)
+            .expect("grid is connected")
     };
     let baseline = without_faults(run);
     let _guard = scoped(FaultPlan::new(21).with_rate("transpile.route", 1.0));

@@ -36,11 +36,13 @@ fn main() {
     );
     let baseline_depth = Transpiler::new(Strategy::QiskitLike, 0)
         .transpile(&circuit, &base.topology, base.gate_set)
+        .expect("connected")
         .depth();
     for &density in &[0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let device = if density == 0.0 { base.clone() } else { base.with_density(density, 9) };
         let depth = Transpiler::new(Strategy::QiskitLike, 0)
             .transpile(&circuit, &device.topology, device.gate_set)
+            .expect("connected")
             .depth();
         let st = stats(&device.topology);
         println!(
@@ -59,8 +61,12 @@ fn main() {
         ("IonQ complete", Device::ionq(encoded.num_qubits())),
     ] {
         let t = Transpiler::new(Strategy::QiskitLike, 0);
-        let native = t.transpile(&circuit, &device.topology, device.gate_set).depth();
-        let free = t.transpile(&circuit, &device.topology, NativeGateSet::Unrestricted).depth();
+        let native =
+            t.transpile(&circuit, &device.topology, device.gate_set).expect("connected").depth();
+        let free = t
+            .transpile(&circuit, &device.topology, NativeGateSet::Unrestricted)
+            .expect("connected")
+            .depth();
         println!("  {name:<18} native {native:>4}  unrestricted {free:>4}");
     }
 

@@ -39,11 +39,9 @@ fn main() {
     // Compile for the device.
     let device = Device::ibm_auckland();
     let logical = qaoa_circuit(&encoded.qubo.to_ising(), &params);
-    let compiled = Transpiler::new(Strategy::QiskitLike, 0).transpile(
-        &logical,
-        &device.topology,
-        device.gate_set,
-    );
+    let compiled = Transpiler::new(Strategy::QiskitLike, 0)
+        .transpile(&logical, &device.topology, device.gate_set)
+        .expect("device is connected");
     println!(
         "transpiled for {}: depth {} (logical {}), {} SWAPs inserted, {} gates",
         device.name,

@@ -103,11 +103,9 @@ fn transpiled_qaoa_respects_hardware_and_survives_noise() {
     let device = Device::ibm_auckland();
     let circuit =
         qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
-    let compiled = Transpiler::new(Strategy::QiskitLike, 1).transpile(
-        &circuit,
-        &device.topology,
-        device.gate_set,
-    );
+    let compiled = Transpiler::new(Strategy::QiskitLike, 1)
+        .transpile(&circuit, &device.topology, device.gate_set)
+        .expect("device is connected");
     assert!(respects_topology(&compiled.circuit, &device.topology));
     assert!(compiled.circuit.gates().iter().all(|g| device.gate_set.is_native(g)));
 
@@ -139,8 +137,9 @@ fn sampling_the_transpiled_circuit_agrees_after_unpermuting() {
     // A 20-qubit grid device keeps the physical state vector small while
     // still forcing routing (the Auckland-sized 2^27 state is ~50× slower).
     let topology = qjo::transpile::Topology::grid(5, 4);
-    let compiled =
-        Transpiler::new(Strategy::QiskitLike, 3).transpile(&circuit, &topology, NativeGateSet::Ibm);
+    let compiled = Transpiler::new(Strategy::QiskitLike, 3)
+        .transpile(&circuit, &topology, NativeGateSet::Ibm)
+        .expect("grid is connected");
     assert!(compiled.swaps_inserted > 0, "routing must actually happen");
 
     // Noiseless sampling of both circuits.

@@ -23,8 +23,9 @@ fn sabre_transpiles_jo_circuits_onto_real_devices() {
     let circuit =
         qaoa_circuit(&encoded.qubo.to_ising(), &QaoaParams { gammas: vec![0.4], betas: vec![0.3] });
     let device = Device::ibm_auckland();
-    let result =
-        Transpiler::new(Strategy::Sabre, 0).transpile(&circuit, &device.topology, device.gate_set);
+    let result = Transpiler::new(Strategy::Sabre, 0)
+        .transpile(&circuit, &device.topology, device.gate_set)
+        .expect("device is connected");
     assert!(respects_topology(&result.circuit, &device.topology));
     assert!(result.circuit.gates().iter().all(|g| device.gate_set.is_native(g)));
 
